@@ -1,0 +1,196 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out: early
+// release, contention-management backoff, speculative-buffer associativity,
+// and conflict-detection granularity. Each reports the metric the paper
+// argues about (read-set size, retries, overflow serializations) alongside
+// wall time.
+package stamp_test
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/stamp-go/stamp"
+	"github.com/stamp-go/stamp/internal/apps/labyrinth"
+	"github.com/stamp-go/stamp/internal/apps/vacation"
+	"github.com/stamp-go/stamp/internal/mem"
+	"github.com/stamp-go/stamp/internal/thread"
+	"github.com/stamp-go/stamp/internal/tm"
+	"github.com/stamp-go/stamp/internal/tm/factory"
+)
+
+// BenchmarkAblationEarlyRelease: labyrinth on the lazy HTM with early
+// release enabled vs disabled. Disabled, every privatization read stays in
+// the speculative read set, so transactions overflow and serialize — the
+// exact mechanism Section III.B.5 describes.
+func BenchmarkAblationEarlyRelease(b *testing.B) {
+	for _, enabled := range []bool{true, false} {
+		b.Run(fmt.Sprintf("earlyRelease=%v", enabled), func(b *testing.B) {
+			app := labyrinth.New(labyrinth.Config{X: 24, Y: 24, Z: 3, Paths: 24, Seed: 3})
+			var readP90 int
+			var aborts uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				arena := mem.NewArena(app.ArenaWords())
+				app.Setup(arena)
+				sys, err := factory.New("htm-lazy", tm.Config{
+					Arena: arena, Threads: 4, EnableEarlyRelease: enabled,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				app.Run(sys, thread.NewTeam(4))
+				if err := app.Verify(arena); err != nil {
+					b.Fatal(err)
+				}
+				st := sys.Stats()
+				readP90 = st.ReadSetP90()
+				aborts += st.Total.Aborts
+			}
+			b.ReportMetric(float64(readP90), "readset-p90-lines")
+			b.ReportMetric(float64(aborts)/float64(b.N), "aborts/run")
+		})
+	}
+}
+
+// BenchmarkAblationBackoff: a contended counter on the lazy STM with and
+// without randomized linear backoff (the paper's contention manager kicks
+// in after 3 aborts; BackoffAfter beyond any abort count disables it).
+func BenchmarkAblationBackoff(b *testing.B) {
+	for _, backoff := range []bool{true, false} {
+		b.Run(fmt.Sprintf("backoff=%v", backoff), func(b *testing.B) {
+			after := 3
+			if !backoff {
+				after = 1 << 30
+			}
+			var aborts, commits uint64
+			for i := 0; i < b.N; i++ {
+				arena := stamp.NewArena(1 << 10)
+				hot := arena.Alloc(1)
+				sys, err := factory.New("stm-lazy", tm.Config{
+					Arena: arena, Threads: 8, BackoffAfter: after,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				team := thread.NewTeam(8)
+				team.Run(func(tid int) {
+					th := sys.Thread(tid)
+					for j := 0; j < 2000; j++ {
+						th.Atomic(func(tx tm.Tx) {
+							tx.Store(hot, tx.Load(hot)+1)
+						})
+					}
+				})
+				st := sys.Stats()
+				aborts += st.Total.Aborts
+				commits += st.Total.Commits
+			}
+			b.ReportMetric(float64(aborts)/float64(commits), "retries/tx")
+		})
+	}
+}
+
+// BenchmarkAblationAssociativity: bayes-sized read sets on the lazy HTM
+// with the Table V 4-way buffer vs a fully associative one. The 4-way
+// buffer overflows on footprints far below its total capacity, reproducing
+// why the paper's bayes serializes on HTM.
+func BenchmarkAblationAssociativity(b *testing.B) {
+	for _, assoc := range []int{4, 0} {
+		name := "4-way"
+		if assoc == 0 {
+			name = "full"
+		}
+		b.Run(name, func(b *testing.B) {
+			var aborts uint64
+			for i := 0; i < b.N; i++ {
+				arena := stamp.NewArena(1 << 22)
+				// ~700 scattered lines per transaction: below the 2048-line
+				// total, above what 4-way sets absorb reliably.
+				addrs := make([]stamp.Addr, 700)
+				for j := range addrs {
+					arena.Alloc(int(j%13) + 1) // scatter
+					addrs[j] = arena.AllocLines(1)
+				}
+				sys, err := factory.New("htm-lazy", tm.Config{
+					Arena: arena, Threads: 1,
+					CapacityLines: 2048, CapacityAssoc: assoc,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				th := sys.Thread(0)
+				for k := 0; k < 10; k++ {
+					th.Atomic(func(tx tm.Tx) {
+						for _, a := range addrs {
+							tx.Store(a, tx.Load(a)+1)
+						}
+					})
+				}
+				aborts += sys.Stats().Total.Aborts
+			}
+			b.ReportMetric(float64(aborts)/float64(b.N), "overflow-serializations/run")
+		})
+	}
+}
+
+// BenchmarkAblationGranularity: vacation on word-granularity (stm-lazy)
+// vs line-granularity (hybrid-lazy) conflict detection at equal versioning
+// policy. Line granularity manufactures false conflicts on the tree nodes
+// (the bayes/vacation observation of Section V).
+func BenchmarkAblationGranularity(b *testing.B) {
+	for _, sysName := range []string{"stm-lazy", "hybrid-lazy"} {
+		b.Run(sysName, func(b *testing.B) {
+			app := vacation.New(vacation.Config{
+				QueriesPerTx: 4, QueryRange: 60, PercentUser: 90,
+				Records: 1024, Transactions: 4096, Seed: 4,
+			})
+			var aborts, commits uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				arena := mem.NewArena(app.ArenaWords())
+				app.Setup(arena)
+				sys, err := factory.New(sysName, tm.Config{Arena: arena, Threads: 8})
+				if err != nil {
+					b.Fatal(err)
+				}
+				app.Run(sys, thread.NewTeam(8))
+				if err := app.Verify(arena); err != nil {
+					b.Fatal(err)
+				}
+				st := sys.Stats()
+				aborts += st.Total.Aborts
+				commits += st.Total.Commits
+			}
+			b.ReportMetric(float64(aborts)/float64(commits), "retries/tx")
+		})
+	}
+}
+
+// BenchmarkAblationHTMCapacity sweeps the lazy HTM's speculative capacity
+// on labyrinth-style transactions, locating the serialization cliff.
+func BenchmarkAblationHTMCapacity(b *testing.B) {
+	for _, capacity := range []int{64, 256, 1024, 4096} {
+		b.Run(fmt.Sprintf("lines=%d", capacity), func(b *testing.B) {
+			app := labyrinth.New(labyrinth.Config{X: 16, Y: 16, Z: 3, Paths: 16, Seed: 5})
+			var aborts uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				arena := mem.NewArena(app.ArenaWords())
+				app.Setup(arena)
+				sys, err := factory.New("htm-lazy", tm.Config{
+					Arena: arena, Threads: 4,
+					CapacityLines: capacity, EnableEarlyRelease: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				app.Run(sys, thread.NewTeam(4))
+				if err := app.Verify(arena); err != nil {
+					b.Fatal(err)
+				}
+				aborts += sys.Stats().Total.Aborts
+			}
+			b.ReportMetric(float64(aborts)/float64(b.N), "aborts/run")
+		})
+	}
+}

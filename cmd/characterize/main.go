@@ -1,0 +1,64 @@
+// Command characterize regenerates Table VI (the quantitative transactional
+// characterization of the STAMP applications) and, with -qualitative, the
+// derived Table III buckets.
+//
+// Usage:
+//
+//	characterize [-scale 0.25] [-retry-threads 16] [-variants genome,kmeans-high] [-qualitative]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/stamp-go/stamp"
+	"github.com/stamp-go/stamp/internal/harness"
+)
+
+func main() {
+	var (
+		scale       = flag.Float64("scale", 0.25, "workload scale (1 = the paper's configuration)")
+		retry       = flag.Int("retry-threads", 16, "thread count for the retries-per-transaction columns (paper: 16)")
+		only        = flag.String("variants", "", "comma-separated variant subset (default: all 20 simulation variants)")
+		qualitative = flag.Bool("qualitative", false, "also print the derived Table III buckets")
+	)
+	flag.Parse()
+
+	var selected []stamp.Variant
+	if *only != "" {
+		for _, name := range strings.Split(*only, ",") {
+			v, err := stamp.FindVariant(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "characterize:", err)
+				os.Exit(2)
+			}
+			selected = append(selected, v)
+		}
+	} else {
+		selected = stamp.SimVariants()
+	}
+
+	var rows []stamp.Characterization
+	for _, v := range selected {
+		fmt.Fprintf(os.Stderr, "characterizing %s (scale %g)...\n", v.Name, *scale)
+		c, err := harness.Characterize(v, *scale, *retry)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "characterize:", err)
+			os.Exit(1)
+		}
+		rows = append(rows, c)
+	}
+	fmt.Println("Table VI — transactional characterization (proxies per DESIGN.md):")
+	harness.WriteTableVI(os.Stdout, rows)
+	if *qualitative {
+		fmt.Println()
+		fmt.Println("Table III — qualitative buckets derived from the measurements:")
+		var qs []harness.Qualitative
+		for _, c := range rows {
+			qs = append(qs, harness.Bucketize(c))
+		}
+		harness.WriteTableIII(os.Stdout, qs)
+	}
+}

@@ -1,0 +1,58 @@
+// Command stamp runs one STAMP variant on one TM system, the equivalent of
+// invoking an original benchmark binary linked against a TM library.
+//
+// Usage:
+//
+//	stamp -list
+//	stamp -variant vacation-low -sys stm-lazy -threads 8 [-scale 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/stamp-go/stamp"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list all Table IV variants and exit")
+		variant = flag.String("variant", "", "variant name (see -list)")
+		sysName = flag.String("sys", "stm-lazy", "TM system: seq, stm-lazy, stm-eager, htm-lazy, htm-eager, hybrid-lazy, hybrid-eager")
+		threads = flag.Int("threads", 4, "worker threads")
+		scale   = flag.Float64("scale", 1.0, "workload scale (1 = the paper's configuration)")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-18s %-10s %s\n", "VARIANT", "APP", "TABLE IV ARGS")
+		for _, v := range stamp.Variants() {
+			fmt.Printf("%-18s %-10s %s\n", v.Name, v.App, v.Args)
+		}
+		return
+	}
+	if *variant == "" {
+		fmt.Fprintln(os.Stderr, "stamp: -variant is required (use -list to enumerate)")
+		os.Exit(2)
+	}
+	res, err := stamp.Run(*variant, *scale, *sysName, *threads)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stamp:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("variant      %s\n", res.Variant)
+	fmt.Printf("system       %s\n", res.System)
+	fmt.Printf("threads      %d\n", res.Threads)
+	fmt.Printf("wall time    %v\n", res.Wall)
+	fmt.Printf("transactions %d\n", res.Stats.Total.Commits)
+	fmt.Printf("aborts       %d (%.3f retries/tx)\n", res.Stats.Total.Aborts, res.RetriesPerTx())
+	fmt.Printf("barriers     %d loads, %d stores (%d wasted in aborted attempts)\n",
+		res.Stats.Total.Loads, res.Stats.Total.Stores, res.Stats.Total.Wasted)
+	fmt.Printf("tx time      %.1f%% of thread time\n", res.TxTimeFraction()*100)
+	if res.Verify != nil {
+		fmt.Printf("VERIFY       FAILED: %v\n", res.Verify)
+		os.Exit(1)
+	}
+	fmt.Printf("verify       ok\n")
+}

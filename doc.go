@@ -1,0 +1,32 @@
+// Package stamp is a from-scratch Go reproduction of STAMP — the Stanford
+// Transactional Applications for Multi-Processing benchmark suite (Cao Minh,
+// Chung, Kozyrakis, Olukotun; IISWC 2008) — together with the seven
+// transactional-memory runtimes it is evaluated on.
+//
+// The package exposes three layers:
+//
+//   - A portable transactional-memory API (System, Thread, Tx) over a
+//     word-addressed shared-memory Arena, with seven interchangeable
+//     runtimes: a sequential baseline, TL2-style lazy and eager STMs,
+//     simulated TCC-style (lazy) and LogTM-style (eager) HTMs, and
+//     SigTM-style lazy and eager hybrids.
+//   - A transactional container library (sorted list, FIFO queue, hash
+//     table, red-black tree, binary heap, vector, bitmap) that works both
+//     inside transactions and with the non-transactional Direct accessor.
+//   - The eight STAMP applications with their 30 Table IV configurations,
+//     and the harness that regenerates the paper's Table VI
+//     characterization and Figure 1 speedup curves.
+//
+// Quick start:
+//
+//	arena := stamp.NewArena(1 << 16)
+//	acct := arena.Alloc(1)
+//	sys, _ := stamp.NewSystem("stm-lazy", stamp.Config{Arena: arena, Threads: 4})
+//	// ... from worker goroutine i:
+//	sys.Thread(i).Atomic(func(tx stamp.Tx) {
+//	    tx.Store(acct, tx.Load(acct)+1)
+//	})
+//
+// See README.md for the architecture overview, DESIGN.md for the paper
+// mapping and substitutions, and EXPERIMENTS.md for measured results.
+package stamp

@@ -1,0 +1,92 @@
+// Quickstart: concurrent bank transfers under transactional memory.
+//
+// Eight workers shuffle money between 64 accounts; an auditor thread keeps
+// re-checking the global invariant inside read-only transactions. Swap the
+// system name to any of stamp.Systems() — the code does not change, which
+// is the suite's portability claim in one file.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/stamp-go/stamp"
+)
+
+const (
+	accounts           = 64
+	total              = 64_000
+	workers            = 8
+	transfersPerWorker = 20_000
+)
+
+func main() {
+	arena := stamp.NewArena(1 << 12)
+	accts := make([]stamp.Addr, accounts)
+	d := stamp.Direct{A: arena}
+	for i := range accts {
+		accts[i] = arena.Alloc(1)
+	}
+	d.Store(accts[0], total)
+
+	sys, err := stamp.NewSystem("stm-lazy", stamp.Config{Arena: arena, Threads: workers + 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	team := stamp.NewTeam(workers + 1)
+	audits, torn := 0, 0
+	team.Run(func(tid int) {
+		th := sys.Thread(tid)
+		if tid == workers {
+			// Auditor: the invariant must hold inside every transaction.
+			for i := 0; i < 5_000; i++ {
+				th.Atomic(func(tx stamp.Tx) {
+					var sum uint64
+					for _, a := range accts {
+						sum += tx.Load(a)
+					}
+					if sum != total {
+						torn++
+					}
+				})
+				audits++
+			}
+			return
+		}
+		seed := uint64(tid)*2654435761 + 1
+		next := func(n int) int {
+			seed ^= seed << 13
+			seed ^= seed >> 7
+			seed ^= seed << 17
+			return int(seed % uint64(n))
+		}
+		for i := 0; i < transfersPerWorker; i++ {
+			from, to := accts[next(accounts)], accts[next(accounts)]
+			amount := uint64(next(5) + 1)
+			th.Atomic(func(tx stamp.Tx) {
+				f := tx.Load(from)
+				if f < amount {
+					return
+				}
+				tx.Store(from, f-amount)
+				tx.Store(to, tx.Load(to)+amount)
+			})
+		}
+	})
+
+	var sum uint64
+	for _, a := range accts {
+		sum += d.Load(a)
+	}
+	st := sys.Stats()
+	fmt.Printf("system        %s\n", sys.Name())
+	fmt.Printf("transactions  %d committed, %d aborted attempts\n", st.Total.Commits, st.Total.Aborts)
+	fmt.Printf("audits        %d, torn snapshots observed: %d\n", audits, torn)
+	fmt.Printf("final total   %d (want %d)\n", sum, total)
+	if sum != total || torn != 0 {
+		log.Fatal("invariant violated")
+	}
+	fmt.Println("ok: atomicity and isolation held")
+}

@@ -1,0 +1,111 @@
+// Travelbooking: a miniature reservation service in the style of the
+// vacation benchmark, written directly against the public API.
+//
+// A red-black tree maps flight ids to seat records; clients book and cancel
+// seats in coarse-grain transactions, the natural way to write this code —
+// no lock ordering to design, no deadlock to avoid.
+//
+// Run: go run ./examples/travelbooking
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/stamp-go/stamp"
+)
+
+const (
+	flights  = 200
+	seats    = 50
+	clients  = 6
+	sessions = 30_000
+)
+
+// Seat record layout: [free, booked].
+const (
+	recFree   = 0
+	recBooked = 1
+	recWords  = 2
+)
+
+func main() {
+	arena := stamp.NewArena(1 << 20)
+	d := stamp.Direct{A: arena}
+	table := stamp.NewRBTree(d)
+	for id := 1; id <= flights; id++ {
+		rec := arena.Alloc(recWords)
+		d.Store(rec+recFree, seats)
+		d.Store(rec+recBooked, 0)
+		table.Insert(d, uint64(id), uint64(rec))
+	}
+
+	sys, err := stamp.NewSystem("hybrid-lazy", stamp.Config{Arena: arena, Threads: clients})
+	if err != nil {
+		log.Fatal(err)
+	}
+	team := stamp.NewTeam(clients)
+	booked := make([]int, clients)
+	team.Run(func(tid int) {
+		th := sys.Thread(tid)
+		seed := uint64(tid)*0x9e3779b9 + 7
+		next := func(n int) int {
+			seed ^= seed << 13
+			seed ^= seed >> 7
+			seed ^= seed << 17
+			return int(seed % uint64(n))
+		}
+		for s := 0; s < sessions/clients; s++ {
+			id := uint64(next(flights) + 1)
+			cancel := next(10) == 0
+			th.Atomic(func(tx stamp.Tx) {
+				recA, ok := table.Get(tx, id)
+				if !ok {
+					return
+				}
+				rec := stamp.Addr(recA)
+				free := tx.Load(rec + recFree)
+				bookedN := tx.Load(rec + recBooked)
+				if cancel {
+					if bookedN > 0 {
+						tx.Store(rec+recBooked, bookedN-1)
+						tx.Store(rec+recFree, free+1)
+						booked[tid]--
+					}
+					return
+				}
+				if free > 0 {
+					tx.Store(rec+recFree, free-1)
+					tx.Store(rec+recBooked, bookedN+1)
+					booked[tid]++
+				}
+			})
+		}
+	})
+
+	totalBooked := 0
+	for _, b := range booked {
+		totalBooked += b
+	}
+	// Audit: per-flight accounting must balance exactly.
+	tableBooked := 0
+	ok := true
+	table.Each(d, func(id, recA uint64) bool {
+		rec := stamp.Addr(recA)
+		free, bookedN := d.Load(rec+recFree), d.Load(rec+recBooked)
+		if free+bookedN != seats {
+			fmt.Printf("flight %d out of balance: %d free + %d booked\n", id, free, bookedN)
+			ok = false
+		}
+		tableBooked += int(bookedN)
+		return true
+	})
+	st := sys.Stats()
+	fmt.Printf("system        %s\n", sys.Name())
+	fmt.Printf("sessions      %d committed, %.3f retries/tx\n", st.Total.Commits, st.RetriesPerTx())
+	fmt.Printf("booked seats  %d (client ledgers) vs %d (flight table)\n", totalBooked, tableBooked)
+	if !ok || totalBooked != tableBooked {
+		log.Fatal("accounting mismatch")
+	}
+	fmt.Println("ok: every booking is accounted for")
+}

@@ -1,0 +1,37 @@
+// Package apps defines the contract every STAMP benchmark application
+// implements. An App is constructed once per workload (deterministic input
+// generation happens in the constructor), then can be staged into a fresh
+// arena and executed on any TM system:
+//
+//	app := kmeans.New(cfg)
+//	arena := mem.NewArena(app.ArenaWords())
+//	app.Setup(arena)              // sequential, non-transactional staging
+//	app.Run(sys, team)            // the timed, parallel, transactional region
+//	err := app.Verify(arena)      // application-specific output oracle
+//
+// Setup/Run/Verify may be repeated with fresh arenas to run the same input
+// on several systems, exactly like recompiling one STAMP benchmark against
+// different TM libraries.
+package apps
+
+import (
+	"github.com/stamp-go/stamp/internal/mem"
+	"github.com/stamp-go/stamp/internal/thread"
+	"github.com/stamp-go/stamp/internal/tm"
+)
+
+// App is one benchmark instance with a fixed, deterministic input.
+type App interface {
+	// Name returns the benchmark name ("kmeans", "vacation", ...).
+	Name() string
+	// ArenaWords returns the arena capacity (in 8-byte words) a run needs.
+	ArenaWords() int
+	// Setup stages the input into the arena. It must be called exactly once
+	// per arena, before Run.
+	Setup(a *mem.Arena)
+	// Run executes the parallel transactional region on sys using team
+	// (team.N() == sys.NThreads()). This is the region the paper times.
+	Run(sys tm.System, team *thread.Team)
+	// Verify checks the run's output against the application oracle.
+	Verify(a *mem.Arena) error
+}

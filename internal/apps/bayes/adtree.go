@@ -1,0 +1,137 @@
+package bayes
+
+import (
+	"github.com/stamp-go/stamp/internal/mem"
+	"github.com/stamp-go/stamp/internal/tm"
+)
+
+// adtree is the cached-sufficient-statistics structure of Moore & Lee,
+// with the most-common-value (MCV) optimization: at each node, for every
+// remaining variable, only the subtree for the *less* common value is
+// materialized; counts for the common value are derived by subtraction.
+// Small nodes fall back to leaf lists of record indices.
+//
+// The tree lives in the arena and is immutable after Setup. Queries walk it
+// through a tm.Mem: on the simulated HTMs every access is implicitly
+// tracked (producing the paper's large bayes read sets and overflows), while
+// the STM/hybrid learner reads it uninstrumented, matching the original
+// code where adtree accesses carry no read barriers.
+//
+// Node layout:  [count, startVar, leafLen, ptr]
+//
+//	leafLen > 0: ptr addresses leafLen record-index words
+//	leafLen = 0: ptr addresses (nVars-startVar) vary entries of 2 words
+//	             [mcv, childAddr]; childAddr = 0 when the minority side is
+//	             empty.
+const (
+	adCount    = 0
+	adStartVar = 1
+	adLeafLen  = 2
+	adPtr      = 3
+	adWords    = 4
+
+	leafCutoff = 16
+)
+
+// buildADTree constructs the tree for the given record subset (indices into
+// records) considering variables [startVar, nVars).
+func buildADTree(d mem.Direct, records []uint64, subset []int, startVar, nVars int) mem.Addr {
+	node := d.Alloc(adWords)
+	d.Store(node+adCount, uint64(len(subset)))
+	d.Store(node+adStartVar, uint64(startVar))
+	if len(subset) < leafCutoff || startVar >= nVars {
+		d.Store(node+adLeafLen, uint64(len(subset)))
+		leaf := d.Alloc(maxInt(len(subset), 1))
+		for i, rec := range subset {
+			d.Store(leaf+mem.Addr(i), uint64(rec))
+		}
+		d.Store(node+adPtr, uint64(leaf))
+		return node
+	}
+	d.Store(node+adLeafLen, 0)
+	vary := d.Alloc(2 * (nVars - startVar))
+	d.Store(node+adPtr, uint64(vary))
+	for j := startVar; j < nVars; j++ {
+		var zero, one []int
+		for _, rec := range subset {
+			if records[rec]>>uint(j)&1 == 1 {
+				one = append(one, rec)
+			} else {
+				zero = append(zero, rec)
+			}
+		}
+		mcv, minority := uint64(0), one
+		if len(one) > len(zero) {
+			mcv, minority = 1, zero
+		}
+		entry := vary + mem.Addr(2*(j-startVar))
+		d.Store(entry, mcv)
+		if len(minority) == 0 {
+			d.Store(entry+1, 0)
+		} else {
+			child := buildADTree(d, records, minority, j+1, nVars)
+			d.Store(entry+1, uint64(child))
+		}
+	}
+	return node
+}
+
+// varVal is one query constraint: variable v must equal val.
+type varVal struct {
+	v   int
+	val uint64
+}
+
+// adCountQuery returns the number of records matching cons[qi:] under node.
+// cons must be sorted by variable and all constrained variables must be
+// >= the node's startVar.
+func adCountQuery(m tm.Mem, records []uint64, node mem.Addr, cons []varVal, qi int) int {
+	if node == mem.Nil {
+		return 0
+	}
+	if qi >= len(cons) {
+		return int(m.Load(node + adCount))
+	}
+	leafLen := m.Load(node + adLeafLen)
+	count := m.Load(node + adCount)
+	if leafLen > 0 || count == 0 {
+		// Leaf: scan the record list.
+		leaf := mem.Addr(m.Load(node + adPtr))
+		n := 0
+	scan:
+		for i := uint64(0); i < leafLen; i++ {
+			rec := records[m.Load(leaf+mem.Addr(i))]
+			for _, c := range cons[qi:] {
+				if rec>>uint(c.v)&1 != c.val {
+					continue scan
+				}
+			}
+			n++
+		}
+		return n
+	}
+	startVar := int(m.Load(node + adStartVar))
+	j := cons[qi].v
+	entry := mem.Addr(m.Load(node+adPtr)) + mem.Addr(2*(j-startVar))
+	mcv := m.Load(entry)
+	child := mem.Addr(m.Load(entry + 1))
+	if cons[qi].val != mcv {
+		if child == mem.Nil {
+			return 0
+		}
+		return adCountQuery(m, records, child, cons, qi+1)
+	}
+	// MCV side: count(node, rest) - count(minority child, rest).
+	total := adCountQuery(m, records, node, cons, qi+1)
+	if child == mem.Nil {
+		return total
+	}
+	return total - adCountQuery(m, records, child, cons, qi+1)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

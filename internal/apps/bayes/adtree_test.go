@@ -1,0 +1,157 @@
+package bayes
+
+import (
+	"testing"
+
+	"github.com/stamp-go/stamp/internal/mem"
+	"github.com/stamp-go/stamp/internal/rng"
+)
+
+// buildFixture creates records and an adtree over them.
+func buildFixture(t *testing.T, nVars, nRecords int, seed uint64) ([]uint64, mem.Addr, mem.Direct) {
+	t.Helper()
+	r := rng.New(seed)
+	records := make([]uint64, nRecords)
+	for i := range records {
+		records[i] = r.Uint64() & ((1 << uint(nVars)) - 1)
+	}
+	arena := mem.NewArena(1 << 22)
+	d := mem.Direct{A: arena}
+	subset := make([]int, nRecords)
+	for i := range subset {
+		subset[i] = i
+	}
+	root := buildADTree(d, records, subset, 0, nVars)
+	return records, root, d
+}
+
+// bruteCount scans the records directly.
+func bruteCount(records []uint64, cons []varVal) int {
+	n := 0
+scan:
+	for _, rec := range records {
+		for _, c := range cons {
+			if rec>>uint(c.v)&1 != c.val {
+				continue scan
+			}
+		}
+		n++
+	}
+	return n
+}
+
+func TestADTreeTotalCount(t *testing.T) {
+	records, root, d := buildFixture(t, 10, 500, 1)
+	if got := adCountQuery(d, records, root, nil, 0); got != 500 {
+		t.Fatalf("unconstrained count = %d", got)
+	}
+}
+
+func TestADTreeSingleVariable(t *testing.T) {
+	records, root, d := buildFixture(t, 10, 500, 2)
+	for v := 0; v < 10; v++ {
+		for val := uint64(0); val <= 1; val++ {
+			cons := []varVal{{v: v, val: val}}
+			want := bruteCount(records, cons)
+			if got := adCountQuery(d, records, root, cons, 0); got != want {
+				t.Fatalf("count(v%d=%d) = %d, want %d", v, val, got, want)
+			}
+		}
+	}
+}
+
+func TestADTreeMultiVariableMatchesBrute(t *testing.T) {
+	records, root, d := buildFixture(t, 12, 800, 3)
+	r := rng.New(99)
+	for trial := 0; trial < 300; trial++ {
+		nCons := r.Intn(5) + 1
+		used := map[int]bool{}
+		var cons []varVal
+		for len(cons) < nCons {
+			v := r.Intn(12)
+			if used[v] {
+				continue
+			}
+			used[v] = true
+			cons = insertSorted(cons, varVal{v: v, val: uint64(r.Intn(2))})
+		}
+		want := bruteCount(records, cons)
+		if got := adCountQuery(d, records, root, cons, 0); got != want {
+			t.Fatalf("trial %d: count(%v) = %d, want %d", trial, cons, got, want)
+		}
+	}
+}
+
+func TestADTreeSmallRecordSetsLeaf(t *testing.T) {
+	// Below the leaf cutoff everything is one leaf scan.
+	records, root, d := buildFixture(t, 6, leafCutoff-1, 4)
+	cons := []varVal{{v: 0, val: 1}, {v: 3, val: 0}}
+	if got, want := adCountQuery(d, records, root, cons, 0), bruteCount(records, cons); got != want {
+		t.Fatalf("leaf count = %d, want %d", got, want)
+	}
+}
+
+func TestADTreeComplementarySplit(t *testing.T) {
+	// count(v=0) + count(v=1) == total, for every variable (the MCV
+	// subtraction path must be exact).
+	records, root, d := buildFixture(t, 14, 1000, 5)
+	for v := 0; v < 14; v++ {
+		c0 := adCountQuery(d, records, root, []varVal{{v: v, val: 0}}, 0)
+		c1 := adCountQuery(d, records, root, []varVal{{v: v, val: 1}}, 0)
+		if c0+c1 != 1000 {
+			t.Fatalf("v%d: %d + %d != 1000", v, c0, c1)
+		}
+	}
+}
+
+func TestInsertSortedKeepsOrder(t *testing.T) {
+	cons := []varVal{{v: 2}, {v: 5}, {v: 9}}
+	got := insertSorted(cons, varVal{v: 7})
+	for i := 1; i < len(got); i++ {
+		if got[i-1].v >= got[i].v {
+			t.Fatalf("unsorted: %v", got)
+		}
+	}
+	if len(got) != 4 {
+		t.Fatalf("len = %d", len(got))
+	}
+	head := insertSorted(cons, varVal{v: 0})
+	if head[0].v != 0 {
+		t.Fatalf("head insert failed: %v", head)
+	}
+	tail := insertSorted(cons, varVal{v: 11})
+	if tail[3].v != 11 {
+		t.Fatalf("tail insert failed: %v", tail)
+	}
+}
+
+func TestFamilyScoreImprovesWithTrueParent(t *testing.T) {
+	// Generate data where v1 strongly depends on v0; the family score of
+	// v1 with parent v0 must beat the empty family.
+	r := rng.New(8)
+	records := make([]uint64, 600)
+	for i := range records {
+		var rec uint64
+		if r.Float64() < 0.5 {
+			rec |= 1
+		}
+		// v1 copies v0 with 90% probability.
+		if (rec&1 == 1) == (r.Float64() < 0.9) {
+			rec |= 2
+		}
+		records[i] = rec
+	}
+	app := &App{cfg: Config{Vars: 2, Records: len(records)}, records: records}
+	arena := mem.NewArena(1 << 20)
+	d := mem.Direct{A: arena}
+	subset := make([]int, len(records))
+	for i := range subset {
+		subset[i] = i
+	}
+	app.adRoot = buildADTree(d, records, subset, 0, 2)
+	base := app.familyScore(d, 1, nil)
+	withParent := app.familyScore(d, 1, []int{0})
+	if withParent <= base {
+		t.Fatalf("true parent did not improve score: %v <= %v", withParent, base)
+	}
+}

@@ -1,0 +1,96 @@
+package genome
+
+// Rabin–Karp rolling hashes for the sequencer's overlap matching ("when
+// matching segments, Rabin-Karp string matching is used to speed up the
+// comparison"). A string hashes to the polynomial
+//
+//	H(x[0..L)) = Σ x[i]·b^i  (mod 2^64)
+//
+// with an odd base b, which is invertible modulo 2^64, so both rolling
+// directions the sequencer needs are O(1) per overlap round:
+//
+//   - the prefix of length L-1 drops the *last* character:
+//     H' = H − x[L−1]·b^(L−1)
+//   - the suffix of length L-1 drops the *first* character:
+//     H' = (H − x[0]) · b⁻¹
+//
+// Equal strings always hash equally (the sequencer still confirms matches
+// by comparing the actual strings, so collisions only cost a retry of the
+// lookup, never correctness).
+
+const (
+	rkBase = 0x100000001b3 // odd => invertible mod 2^64
+)
+
+// rkBaseInv is the multiplicative inverse of rkBase modulo 2^64, computed
+// by Newton iteration at package init (x_{n+1} = x_n(2 − b·x_n) doubles the
+// valid bits each step).
+var rkBaseInv = func() uint64 {
+	x := uint64(rkBase) // correct to 3 bits (odd)
+	for i := 0; i < 6; i++ {
+		x *= 2 - rkBase*x
+	}
+	return x
+}()
+
+// rkHash computes H(s) directly (used to seed the rollers and in tests).
+func rkHash(s string) uint64 {
+	var h, pow uint64 = 0, 1
+	for i := 0; i < len(s); i++ {
+		h += uint64(s[i]) * pow
+		pow *= rkBase
+	}
+	return h
+}
+
+// rkPow returns b^n mod 2^64.
+func rkPow(n int) uint64 {
+	pow := uint64(1)
+	for i := 0; i < n; i++ {
+		pow *= rkBase
+	}
+	return pow
+}
+
+// prefixRoller maintains H(seg[:L]) while L decreases one per round.
+type prefixRoller struct {
+	seg string
+	l   int
+	h   uint64
+	pow uint64 // b^(L-1)
+}
+
+func newPrefixRoller(seg string, l int) prefixRoller {
+	return prefixRoller{seg: seg, l: l, h: rkHash(seg[:l]), pow: rkPow(l - 1)}
+}
+
+// hash returns H(seg[:L]) for the current L.
+func (r *prefixRoller) hash() uint64 { return r.h }
+
+// shrink moves from L to L-1.
+func (r *prefixRoller) shrink() {
+	r.h -= uint64(r.seg[r.l-1]) * r.pow
+	r.pow *= rkBaseInv
+	r.l--
+}
+
+// suffixRoller maintains H(seg[len-L:]) while L decreases one per round.
+type suffixRoller struct {
+	seg string
+	l   int
+	h   uint64
+}
+
+func newSuffixRoller(seg string, l int) suffixRoller {
+	return suffixRoller{seg: seg, l: l, h: rkHash(seg[len(seg)-l:])}
+}
+
+// hash returns H(seg[len-L:]) for the current L.
+func (r *suffixRoller) hash() uint64 { return r.h }
+
+// shrink moves from L to L-1.
+func (r *suffixRoller) shrink() {
+	first := uint64(r.seg[len(r.seg)-r.l])
+	r.h = (r.h - first) * rkBaseInv
+	r.l--
+}

@@ -1,0 +1,83 @@
+package genome
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/stamp-go/stamp/internal/rng"
+)
+
+func TestRKBaseInverse(t *testing.T) {
+	if rkBase*rkBaseInv != 1 {
+		t.Fatalf("b·b⁻¹ = %#x, want 1", uint64(rkBase)*rkBaseInv)
+	}
+}
+
+func TestRKHashEqualStringsEqualHashes(t *testing.T) {
+	f := func(s []byte) bool {
+		a := string(s)
+		return rkHash(a) == rkHash(string(append([]byte(nil), a...)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefixRollerMatchesDirect(t *testing.T) {
+	r := rng.New(31)
+	for trial := 0; trial < 50; trial++ {
+		n := r.Intn(60) + 4
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = nucleotides[r.Intn(4)]
+		}
+		seg := string(buf)
+		pr := newPrefixRoller(seg, n-1)
+		for l := n - 1; l >= 1; l-- {
+			if pr.hash() != rkHash(seg[:l]) {
+				t.Fatalf("prefix roller diverged at L=%d for %q", l, seg)
+			}
+			if l > 1 {
+				pr.shrink()
+			}
+		}
+	}
+}
+
+func TestSuffixRollerMatchesDirect(t *testing.T) {
+	r := rng.New(37)
+	for trial := 0; trial < 50; trial++ {
+		n := r.Intn(60) + 4
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = nucleotides[r.Intn(4)]
+		}
+		seg := string(buf)
+		sr := newSuffixRoller(seg, n-1)
+		for l := n - 1; l >= 1; l-- {
+			if sr.hash() != rkHash(seg[n-l:]) {
+				t.Fatalf("suffix roller diverged at L=%d for %q", l, seg)
+			}
+			if l > 1 {
+				sr.shrink()
+			}
+		}
+	}
+}
+
+func TestOverlapHashesAgree(t *testing.T) {
+	// The sequencer's core property: seg A's suffix of length L equals seg
+	// B's prefix of length L iff the substring matches; hashes must agree
+	// exactly on real overlaps.
+	gene := "ACGTACGGTTACGATCGATTACG"
+	for L := 1; L < 8; L++ {
+		// b (the next 8-mer, shifted by 8-L) must fit inside the gene.
+		for i := 0; i+16-L <= len(gene); i++ {
+			a := gene[i : i+8]
+			b := gene[i+8-L : i+16-L]
+			if rkHash(a[8-L:]) != rkHash(b[:L]) {
+				t.Fatalf("overlap hash mismatch at i=%d L=%d", i, L)
+			}
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package apps_test
+
+import (
+	"testing"
+
+	"github.com/stamp-go/stamp/internal/apps"
+	"github.com/stamp-go/stamp/internal/apps/bayes"
+	"github.com/stamp-go/stamp/internal/apps/intruder"
+	"github.com/stamp-go/stamp/internal/apps/labyrinth"
+	"github.com/stamp-go/stamp/internal/apps/yada"
+	"github.com/stamp-go/stamp/internal/mem"
+	"github.com/stamp-go/stamp/internal/thread"
+)
+
+func TestIntruderAllSystems(t *testing.T) {
+	allSystems(t, func() apps.App {
+		return intruder.New(intruder.Config{
+			AttackPercent: 10, MaxPackets: 4, Flows: 512, Seed: 7,
+		})
+	}, 4)
+}
+
+func TestIntruderNoAttacks(t *testing.T) {
+	app := intruder.New(intruder.Config{AttackPercent: 0, MaxPackets: 3, Flows: 128, Seed: 8})
+	runOn(t, app, "stm-lazy", 2)
+}
+
+func TestIntruderAllAttacks(t *testing.T) {
+	app := intruder.New(intruder.Config{AttackPercent: 100, MaxPackets: 2, Flows: 64, Seed: 9})
+	runOn(t, app, "hybrid-lazy", 2)
+}
+
+func TestLabyrinthAllSystems(t *testing.T) {
+	allSystems(t, func() apps.App {
+		return labyrinth.New(labyrinth.Config{X: 16, Y: 16, Z: 3, Paths: 24, Seed: 10})
+	}, 4)
+}
+
+func TestLabyrinthRoutesMost(t *testing.T) {
+	app := labyrinth.New(labyrinth.Config{X: 32, Y: 32, Z: 3, Paths: 32, Seed: 11})
+	runOn(t, app, "stm-lazy", 4)
+	if app.Routed() < 24 {
+		t.Fatalf("only %d/32 paths routed on a roomy maze", app.Routed())
+	}
+}
+
+func TestBayesAllSystems(t *testing.T) {
+	allSystems(t, func() apps.App {
+		return bayes.New(bayes.Config{
+			Vars: 12, Records: 512, NumParent: 2, PercentParent: 20,
+			InsertPenalty: 2, MaxEdgeLearn: 2, Seed: 12,
+		})
+	}, 4)
+}
+
+func TestBayesLearnsSomething(t *testing.T) {
+	app := bayes.New(bayes.Config{
+		Vars: 16, Records: 1024, NumParent: 2, PercentParent: 20,
+		InsertPenalty: 2, MaxEdgeLearn: 2, Seed: 13,
+	})
+	arena := mem.NewArena(app.ArenaWords())
+	app.Setup(arena)
+	sysRun(t, app, arena, "stm-eager", 4)
+	if app.LearnedEdges(arena) == 0 {
+		t.Fatal("no edges learned")
+	}
+	if err := app.Verify(arena); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestYadaAllSystems(t *testing.T) {
+	allSystems(t, func() apps.App {
+		return yada.New(yada.Config{MinAngle: 20, Elements: 256, Seed: 14})
+	}, 4)
+}
+
+func TestYadaRefinesAndGrows(t *testing.T) {
+	app := yada.New(yada.Config{MinAngle: 20, Elements: 512, Seed: 15})
+	arena := mem.NewArena(app.ArenaWords())
+	app.Setup(arena)
+	sysRun(t, app, arena, "stm-lazy", 4)
+	if err := app.Verify(arena); err != nil {
+		t.Fatal(err)
+	}
+	if app.FinalPoints(arena) <= app.InitialElements()/2 {
+		t.Fatalf("mesh did not grow: %d points for %d initial elements",
+			app.FinalPoints(arena), app.InitialElements())
+	}
+}
+
+func TestYadaTightAngleStillConforming(t *testing.T) {
+	// A tighter bound forces far more refinement; conformity must hold even
+	// if the growth cap fires.
+	app := yada.New(yada.Config{MinAngle: 26, Elements: 128, Seed: 16, GrowthCap: 8})
+	arena := mem.NewArena(app.ArenaWords())
+	app.Setup(arena)
+	sysRun(t, app, arena, "stm-eager", 4)
+	if err := app.Verify(arena); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// sysRun is runOn without the fresh-arena staging (caller manages arena).
+func sysRun(t *testing.T, app apps.App, arena *mem.Arena, sysName string, threads int) {
+	t.Helper()
+	sys := mustSys(t, sysName, arena, threads)
+	app.Run(sys, thread.NewTeam(threads))
+}

@@ -1,0 +1,132 @@
+package apps_test
+
+import (
+	"testing"
+
+	"github.com/stamp-go/stamp/internal/apps"
+	"github.com/stamp-go/stamp/internal/apps/genome"
+	"github.com/stamp-go/stamp/internal/apps/kmeans"
+	"github.com/stamp-go/stamp/internal/apps/ssca2"
+	"github.com/stamp-go/stamp/internal/apps/vacation"
+	"github.com/stamp-go/stamp/internal/mem"
+	"github.com/stamp-go/stamp/internal/thread"
+	"github.com/stamp-go/stamp/internal/tm"
+	"github.com/stamp-go/stamp/internal/tm/factory"
+)
+
+// mustSys builds a TM system or fails the test.
+func mustSys(t *testing.T, sysName string, arena *mem.Arena, threads int) tm.System {
+	t.Helper()
+	sys, err := factory.New(sysName, tm.Config{
+		Arena: arena, Threads: threads, EnableEarlyRelease: true,
+	})
+	if err != nil {
+		t.Fatalf("factory.New(%s): %v", sysName, err)
+	}
+	return sys
+}
+
+// runOn stages and runs app on one system and checks its oracle.
+func runOn(t *testing.T, app apps.App, sysName string, threads int) {
+	t.Helper()
+	arena := mem.NewArena(app.ArenaWords())
+	app.Setup(arena)
+	sys := mustSys(t, sysName, arena, threads)
+	app.Run(sys, thread.NewTeam(threads))
+	if err := app.Verify(arena); err != nil {
+		t.Fatalf("%s on %s: %v", app.Name(), sysName, err)
+	}
+	st := sys.Stats()
+	if st.Total.Commits == 0 {
+		t.Fatalf("%s on %s: no transactions committed", app.Name(), sysName)
+	}
+}
+
+// allSystems runs the app constructor on every system at the given thread
+// count (a fresh instance per system so arena state never leaks).
+func allSystems(t *testing.T, mk func() apps.App, threads int) {
+	t.Helper()
+	for _, name := range factory.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			n := threads
+			if name == "seq" {
+				n = 1
+			}
+			runOn(t, mk(), name, n)
+		})
+	}
+}
+
+func TestKMeansAllSystems(t *testing.T) {
+	allSystems(t, func() apps.App {
+		return kmeans.New(kmeans.Config{
+			MinClusters: 8, MaxClusters: 8, Threshold: 0.05,
+			Points: 1024, Dims: 8, GenCenters: 8, Seed: 1,
+		})
+	}, 4)
+}
+
+func TestKMeansLowContention(t *testing.T) {
+	app := kmeans.New(kmeans.Config{
+		MinClusters: 24, MaxClusters: 24, Threshold: 0.05,
+		Points: 1024, Dims: 4, GenCenters: 8, Seed: 2,
+	})
+	runOn(t, app, "stm-lazy", 4)
+}
+
+func TestSSCA2AllSystems(t *testing.T) {
+	allSystems(t, func() apps.App {
+		return ssca2.New(ssca2.Config{
+			Scale: 8, ProbInter: 0.5, ProbUnidirect: 0.3,
+			MaxPathLen: 3, MaxParallel: 3, Seed: 3,
+		})
+	}, 4)
+}
+
+func TestSSCA2EdgeCountDeterminism(t *testing.T) {
+	a := ssca2.New(ssca2.Config{Scale: 6, ProbInter: 1, ProbUnidirect: 1, MaxPathLen: 2, MaxParallel: 2, Seed: 9})
+	b := ssca2.New(ssca2.Config{Scale: 6, ProbInter: 1, ProbUnidirect: 1, MaxPathLen: 2, MaxParallel: 2, Seed: 9})
+	if a.Edges() != b.Edges() || a.Edges() == 0 {
+		t.Fatalf("generator not deterministic: %d vs %d", a.Edges(), b.Edges())
+	}
+}
+
+func TestVacationAllSystems(t *testing.T) {
+	allSystems(t, func() apps.App {
+		return vacation.New(vacation.Config{
+			QueriesPerTx: 4, QueryRange: 60, PercentUser: 90,
+			Records: 256, Transactions: 1024, Seed: 4,
+		})
+	}, 4)
+}
+
+func TestVacationHighUpdateRate(t *testing.T) {
+	// Heavier table churn: more record creation/deletion paths.
+	app := vacation.New(vacation.Config{
+		QueriesPerTx: 2, QueryRange: 90, PercentUser: 40,
+		Records: 128, Transactions: 2048, Seed: 5,
+	})
+	runOn(t, app, "stm-eager", 4)
+}
+
+func TestGenomeAllSystems(t *testing.T) {
+	allSystems(t, func() apps.App {
+		return genome.New(genome.Config{
+			GeneLength: 256, SegmentLength: 16, Segments: 4096, Seed: 6,
+		})
+	}, 4)
+}
+
+func TestGenomeSeededReconstruction(t *testing.T) {
+	// Several seeds: the assembly oracle is exact (result == gene). Segment
+	// length stays >= 16 as in all Table IV configs; shorter segments make
+	// duplicate (s-1)-mers likely and assembly genuinely ambiguous.
+	for seed := uint64(10); seed < 16; seed++ {
+		app := genome.New(genome.Config{
+			GeneLength: 128, SegmentLength: 16, Segments: 1024, Seed: seed,
+		})
+		runOn(t, app, "seq", 1)
+	}
+}

@@ -1,0 +1,67 @@
+package intruder
+
+// Detector is the detection-phase substrate: Boyer–Moore–Horspool substring
+// matchers, one per attack signature, compiled once at generation time. The
+// detection phase is the non-transactional part of the pipeline (as in the
+// paper: capture and reassembly run under transactions, detection runs on
+// the privately owned reassembled flow), so a real matcher keeps the phase's
+// share of execution time honest.
+type Detector struct {
+	matchers []bmh
+}
+
+type bmh struct {
+	pattern string
+	shift   [256]int
+}
+
+// NewDetector compiles the signature dictionary.
+func NewDetector(signatures []string) *Detector {
+	d := &Detector{matchers: make([]bmh, 0, len(signatures))}
+	for _, sig := range signatures {
+		if sig == "" {
+			continue
+		}
+		m := bmh{pattern: sig}
+		for i := range m.shift {
+			m.shift[i] = len(sig)
+		}
+		for i := 0; i < len(sig)-1; i++ {
+			m.shift[sig[i]] = len(sig) - 1 - i
+		}
+		d.matchers = append(d.matchers, m)
+	}
+	return d
+}
+
+// Match reports whether any signature occurs in text.
+func (d *Detector) Match(text string) bool {
+	for i := range d.matchers {
+		if d.matchers[i].search(text) >= 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// search returns the first match index of the pattern in text, or -1.
+func (m *bmh) search(text string) int {
+	n, k := len(text), len(m.pattern)
+	if k == 0 || k > n {
+		return -1
+	}
+	i := 0
+	for i <= n-k {
+		if text[i+k-1] == m.pattern[k-1] {
+			j := 0
+			for j < k && text[i+j] == m.pattern[j] {
+				j++
+			}
+			if j == k {
+				return i
+			}
+		}
+		i += m.shift[text[i+k-1]]
+	}
+	return -1
+}

@@ -1,0 +1,86 @@
+package intruder
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/stamp-go/stamp/internal/rng"
+)
+
+func TestDetectorBasics(t *testing.T) {
+	d := NewDetector([]string{"ATTACK", "EXPLOIT"})
+	cases := []struct {
+		text string
+		want bool
+	}{
+		{"", false},
+		{"clean flow", false},
+		{"ATTACK", true},
+		{"xxATTACKyy", true},
+		{"xxEXPLOIT", true},
+		{"ATTAC", false},
+		{"aATTACk", false}, // case-sensitive
+		{"AATTACK", true},
+		{strings.Repeat("A", 1000) + "TTACK", true},
+	}
+	for _, c := range cases {
+		if got := d.Match(c.text); got != c.want {
+			t.Errorf("Match(%.20q...) = %v, want %v", c.text, got, c.want)
+		}
+	}
+}
+
+func TestDetectorEmptyDictionary(t *testing.T) {
+	d := NewDetector(nil)
+	if d.Match("anything") {
+		t.Fatal("empty dictionary matched")
+	}
+	d2 := NewDetector([]string{""})
+	if d2.Match("anything") {
+		t.Fatal("empty pattern matched")
+	}
+}
+
+func TestBMHMatchesStringsIndex(t *testing.T) {
+	f := func(hay []byte, needle []byte) bool {
+		if len(needle) == 0 || len(needle) > 24 {
+			return true
+		}
+		h, n := string(hay), string(needle)
+		m := bmh{pattern: n}
+		for i := range m.shift {
+			m.shift[i] = len(n)
+		}
+		for i := 0; i < len(n)-1; i++ {
+			m.shift[n[i]] = len(n) - 1 - i
+		}
+		return m.search(h) == strings.Index(h, n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBMHRandomEmbedded(t *testing.T) {
+	r := rng.New(77)
+	for trial := 0; trial < 200; trial++ {
+		pat := make([]byte, r.Intn(10)+2)
+		for i := range pat {
+			pat[i] = byte('A' + r.Intn(26))
+		}
+		body := make([]byte, r.Intn(200)+10)
+		for i := range body {
+			body[i] = byte('a' + r.Intn(26)) // disjoint alphabet from pattern
+		}
+		pos := r.Intn(len(body) - 1)
+		text := string(body[:pos]) + string(pat) + string(body[pos:])
+		d := NewDetector([]string{string(pat)})
+		if !d.Match(text) {
+			t.Fatalf("embedded pattern %q not found", pat)
+		}
+		if d.Match(string(body)) {
+			t.Fatalf("pattern %q found in disjoint-alphabet body", pat)
+		}
+	}
+}

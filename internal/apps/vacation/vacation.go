@@ -1,0 +1,360 @@
+// Package vacation implements STAMP's vacation benchmark: an online
+// transaction processing system emulating a travel reservation service
+// (the suite's analogue of SPECjbb2000). The database is a set of red-black
+// trees — one table per reservation type (car, flight, room) plus a
+// customer table — and every client session (reservation, cancellation, or
+// table update) executes as one coarse-grain transaction. Transactions are
+// of medium length with moderate read/write sets, most of the execution is
+// transactional, and contention is tuned by the -n/-q/-u parameters.
+package vacation
+
+import (
+	"fmt"
+
+	"github.com/stamp-go/stamp/internal/container"
+	"github.com/stamp-go/stamp/internal/mem"
+	"github.com/stamp-go/stamp/internal/rng"
+	"github.com/stamp-go/stamp/internal/thread"
+	"github.com/stamp-go/stamp/internal/tm"
+)
+
+// Config mirrors the Table IV arguments.
+type Config struct {
+	QueriesPerTx int // -n: items examined per session
+	QueryRange   int // -q: sessions span q% of the records
+	PercentUser  int // -u: % of sessions that reserve/cancel (rest update tables)
+	Records      int // -r: records per reservation table (and customers)
+	Transactions int // -t: total sessions
+	Seed         uint64
+}
+
+// Reservation record layout (arena): one per (table, id).
+const (
+	resID    = 0
+	resUsed  = 1
+	resFree  = 2
+	resTotal = 3
+	resPrice = 4
+	resWords = 5
+)
+
+// Reservation types.
+const (
+	typeCar = iota
+	typeFlight
+	typeRoom
+	numTypes
+)
+
+// App is one vacation instance.
+type App struct {
+	cfg Config
+
+	tables    [numTypes]container.RBTree // id -> reservation record addr
+	customers container.RBTree           // id -> customer record addr (reservation list header)
+
+	// Pre-generated per-session scripts so every system executes the same
+	// logical workload.
+	sessions []session
+}
+
+type session struct {
+	kind  int // 0 reserve, 1 delete customer, 2 update tables
+	cust  int
+	items []sessionItem
+}
+
+type sessionItem struct {
+	typ   int
+	id    int
+	add   bool // update sessions: add vs delete
+	num   int
+	price int
+}
+
+// New pre-generates the session scripts.
+func New(cfg Config) *App {
+	if cfg.QueriesPerTx < 1 {
+		cfg.QueriesPerTx = 1
+	}
+	if cfg.Records < 1 {
+		cfg.Records = 1
+	}
+	a := &App{cfg: cfg}
+	r := rng.New(cfg.Seed ^ 0x766163)
+	queryRange := cfg.Records * cfg.QueryRange / 100
+	if queryRange < 1 {
+		queryRange = 1
+	}
+	for s := 0; s < cfg.Transactions; s++ {
+		action := r.Intn(100)
+		var ses session
+		switch {
+		case action < cfg.PercentUser:
+			ses.kind = 0
+			ses.cust = r.Intn(queryRange) + 1
+			n := cfg.QueriesPerTx
+			for i := 0; i < n; i++ {
+				ses.items = append(ses.items, sessionItem{
+					typ: r.Intn(numTypes),
+					id:  r.Intn(queryRange) + 1,
+				})
+			}
+		case action < cfg.PercentUser+(100-cfg.PercentUser)/2:
+			ses.kind = 1
+			ses.cust = r.Intn(queryRange) + 1
+		default:
+			ses.kind = 2
+			for i := 0; i < cfg.QueriesPerTx; i++ {
+				ses.items = append(ses.items, sessionItem{
+					typ:   r.Intn(numTypes),
+					id:    r.Intn(queryRange) + 1,
+					add:   r.Intn(2) == 0,
+					num:   r.Intn(5) + 1,
+					price: r.Intn(450) + 50,
+				})
+			}
+		}
+		a.sessions = append(a.sessions, ses)
+	}
+	return a
+}
+
+// Name implements apps.App.
+func (a *App) Name() string { return "vacation" }
+
+// ArenaWords implements apps.App: trees, records, customer lists, and slack
+// for session-created records plus abort-retry allocation churn (the bump
+// allocator leaks aborted attempts' allocations, like STAMP's tmalloc).
+func (a *App) ArenaWords() int {
+	perRecord := resWords + 8 /* rb node */
+	perCustomer := 8 + 4      /* rb node + list header */
+	slack := a.cfg.Transactions * (a.cfg.QueriesPerTx + 2) * 40
+	return numTypes*a.cfg.Records*perRecord + a.cfg.Records*perCustomer + slack + 1<<16
+}
+
+// Setup implements apps.App: populates the four tables, as in
+// manager_initialize.
+func (a *App) Setup(ar *mem.Arena) {
+	d := mem.Direct{A: ar}
+	r := rng.New(a.cfg.Seed ^ 0x696e6974)
+	for t := 0; t < numTypes; t++ {
+		a.tables[t] = container.NewRBTree(d)
+		for id := 1; id <= a.cfg.Records; id++ {
+			rec := newReservation(d, id, r.Intn(300)+100, r.Intn(450)+50)
+			a.tables[t].Insert(d, uint64(id), uint64(rec))
+		}
+	}
+	a.customers = container.NewRBTree(d)
+	for id := 1; id <= a.cfg.Records; id++ {
+		a.customers.Insert(d, uint64(id), uint64(newCustomer(d)))
+	}
+}
+
+func newReservation(m tm.Mem, id, total, price int) mem.Addr {
+	rec := m.Alloc(resWords)
+	m.Store(rec+resID, uint64(id))
+	m.Store(rec+resUsed, 0)
+	m.Store(rec+resFree, uint64(total))
+	m.Store(rec+resTotal, uint64(total))
+	m.Store(rec+resPrice, uint64(price))
+	return rec
+}
+
+// newCustomer allocates a customer record: a list of (type<<32|id) ->
+// booked price.
+func newCustomer(m tm.Mem) mem.Addr {
+	return container.NewList(m).H
+}
+
+func itemKey(typ, id int) uint64 { return uint64(typ)<<32 | uint64(id) }
+
+// Run implements apps.App: threads split the session scripts and run each
+// session as one transaction.
+func (a *App) Run(sys tm.System, team *thread.Team) {
+	n := len(a.sessions)
+	team.Run(func(tid int) {
+		th := sys.Thread(tid)
+		lo, hi := tid*n/team.N(), (tid+1)*n/team.N()
+		for s := lo; s < hi; s++ {
+			ses := &a.sessions[s]
+			switch ses.kind {
+			case 0:
+				a.makeReservation(th, ses)
+			case 1:
+				a.deleteCustomer(th, ses)
+			case 2:
+				a.updateTables(th, ses)
+			}
+		}
+	})
+}
+
+// makeReservation queries the priced availability of the session's items
+// and books the highest-priced available item of each type for the
+// customer, inserting the customer if needed — the original's
+// CLIENT_DO_MAKE_RESERVATION in one transaction.
+func (a *App) makeReservation(th tm.Thread, ses *session) {
+	th.Atomic(func(tx tm.Tx) {
+		var bestID [numTypes]int
+		var bestPrice [numTypes]int64
+		for t := range bestPrice {
+			bestPrice[t] = -1
+			bestID[t] = -1
+		}
+		for _, it := range ses.items {
+			recA, ok := a.tables[it.typ].Get(tx, uint64(it.id))
+			if !ok {
+				continue
+			}
+			rec := mem.Addr(recA)
+			if tx.Load(rec+resFree) > 0 {
+				price := int64(tx.Load(rec + resPrice))
+				if price > bestPrice[it.typ] {
+					bestPrice[it.typ] = price
+					bestID[it.typ] = it.id
+				}
+			}
+		}
+		custKey := uint64(ses.cust)
+		custA, ok := a.customers.Get(tx, custKey)
+		if !ok {
+			custA = uint64(newCustomer(tx))
+			a.customers.Insert(tx, custKey, custA)
+		}
+		custList := container.List{H: mem.Addr(custA)}
+		for t := 0; t < numTypes; t++ {
+			if bestID[t] < 0 {
+				continue
+			}
+			recA, ok := a.tables[t].Get(tx, uint64(bestID[t]))
+			if !ok {
+				continue
+			}
+			rec := mem.Addr(recA)
+			free := tx.Load(rec + resFree)
+			if free == 0 {
+				continue
+			}
+			if !custList.Insert(tx, itemKey(t, bestID[t]), tx.Load(rec+resPrice)) {
+				continue // customer already holds this exact item
+			}
+			tx.Store(rec+resFree, free-1)
+			tx.Store(rec+resUsed, tx.Load(rec+resUsed)+1)
+		}
+	})
+}
+
+// deleteCustomer releases all of a customer's reservations and removes the
+// customer — one transaction.
+func (a *App) deleteCustomer(th tm.Thread, ses *session) {
+	th.Atomic(func(tx tm.Tx) {
+		custA, ok := a.customers.Get(tx, uint64(ses.cust))
+		if !ok {
+			return
+		}
+		custList := container.List{H: mem.Addr(custA)}
+		custList.Each(tx, func(k, v uint64) bool {
+			typ := int(k >> 32)
+			id := k & 0xffffffff
+			if recA, ok := a.tables[typ].Get(tx, id); ok {
+				rec := mem.Addr(recA)
+				tx.Store(rec+resFree, tx.Load(rec+resFree)+1)
+				tx.Store(rec+resUsed, tx.Load(rec+resUsed)-1)
+			}
+			return true
+		})
+		a.customers.Remove(tx, uint64(ses.cust))
+	})
+}
+
+// updateTables grows or shrinks the inventory — the original's
+// CLIENT_DO_UPDATE_TABLES in one transaction.
+func (a *App) updateTables(th tm.Thread, ses *session) {
+	th.Atomic(func(tx tm.Tx) {
+		for _, it := range ses.items {
+			recA, ok := a.tables[it.typ].Get(tx, uint64(it.id))
+			if it.add {
+				if ok {
+					rec := mem.Addr(recA)
+					tx.Store(rec+resFree, tx.Load(rec+resFree)+uint64(it.num))
+					tx.Store(rec+resTotal, tx.Load(rec+resTotal)+uint64(it.num))
+					tx.Store(rec+resPrice, uint64(it.price))
+				} else {
+					rec := newReservation(tx, it.id, it.num, it.price)
+					a.tables[it.typ].Insert(tx, uint64(it.id), uint64(rec))
+				}
+				continue
+			}
+			if !ok {
+				continue
+			}
+			rec := mem.Addr(recA)
+			free := tx.Load(rec + resFree)
+			if free < uint64(it.num) {
+				continue // cannot retire seats that are in use
+			}
+			tx.Store(rec+resFree, free-uint64(it.num))
+			tx.Store(rec+resTotal, tx.Load(rec+resTotal)-uint64(it.num))
+			if tx.Load(rec+resTotal) == 0 {
+				a.tables[it.typ].Remove(tx, uint64(it.id))
+			}
+		}
+	})
+}
+
+// Verify implements apps.App: per-record accounting (used + free == total),
+// cross-checked against a global recount of all customer reservation lists.
+func (a *App) Verify(ar *mem.Arena) error {
+	d := mem.Direct{A: ar}
+	// Recount bookings per (type, id) from the customer lists.
+	booked := map[uint64]uint64{}
+	custCount := 0
+	a.customers.Each(d, func(_, custA uint64) bool {
+		custCount++
+		l := container.List{H: mem.Addr(custA)}
+		l.Each(d, func(k, _ uint64) bool {
+			booked[k]++
+			return true
+		})
+		return true
+	})
+	for t := 0; t < numTypes; t++ {
+		var err error
+		seen := 0
+		a.tables[t].Each(d, func(id, recA uint64) bool {
+			seen++
+			rec := mem.Addr(recA)
+			used := d.Load(rec + resUsed)
+			free := d.Load(rec + resFree)
+			total := d.Load(rec + resTotal)
+			if used+free != total {
+				err = fmt.Errorf("vacation: table %d id %d: used %d + free %d != total %d",
+					t, id, used, free, total)
+				return false
+			}
+			if got := booked[itemKey(t, int(id))]; got != used {
+				err = fmt.Errorf("vacation: table %d id %d: used %d but %d customer bookings",
+					t, id, used, got)
+				return false
+			}
+			delete(booked, itemKey(t, int(id)))
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		if seen == 0 && a.cfg.Records > 0 {
+			return fmt.Errorf("vacation: table %d is empty", t)
+		}
+	}
+	// Any remaining booked entries reference deleted records: those bookings
+	// must be zero-count (cannot happen: updateTables only deletes records
+	// with total == 0, i.e. free == used == 0 given the invariant above).
+	for k, n := range booked {
+		if n != 0 {
+			return fmt.Errorf("vacation: %d bookings reference missing record %#x", n, k)
+		}
+	}
+	return nil
+}

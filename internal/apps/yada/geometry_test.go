@@ -1,0 +1,126 @@
+package yada
+
+import (
+	"math"
+	"testing"
+
+	"github.com/stamp-go/stamp/internal/rng"
+)
+
+func TestOrientSign(t *testing.T) {
+	a, b := Point{0, 0}, Point{1, 0}
+	if orient(a, b, Point{0, 1}) <= 0 {
+		t.Fatal("ccw triangle not positive")
+	}
+	if orient(a, b, Point{0, -1}) >= 0 {
+		t.Fatal("cw triangle not negative")
+	}
+	if orient(a, b, Point{2, 0}) != 0 {
+		t.Fatal("collinear not zero")
+	}
+}
+
+func TestCircumcenterEquidistant(t *testing.T) {
+	r := rng.New(3)
+	for trial := 0; trial < 200; trial++ {
+		a := Point{r.Float64(), r.Float64()}
+		b := Point{r.Float64(), r.Float64()}
+		c := Point{r.Float64(), r.Float64()}
+		if math.Abs(orient(a, b, c)) < 1e-6 {
+			continue
+		}
+		cc, ok := circumcenter(a, b, c)
+		if !ok {
+			t.Fatalf("circumcenter failed for non-degenerate triangle")
+		}
+		da, db, dc := dist(cc, a), dist(cc, b), dist(cc, c)
+		if math.Abs(da-db) > 1e-8 || math.Abs(da-dc) > 1e-8 {
+			t.Fatalf("not equidistant: %g %g %g", da, db, dc)
+		}
+	}
+}
+
+func TestCircumcenterDegenerate(t *testing.T) {
+	if _, ok := circumcenter(Point{0, 0}, Point{1, 1}, Point{2, 2}); ok {
+		t.Fatal("collinear points produced a circumcenter")
+	}
+}
+
+func TestInCircumcircle(t *testing.T) {
+	a, b, c := Point{0, 0}, Point{1, 0}, Point{0, 1} // ccw
+	if !inCircumcircle(a, b, c, Point{0.5, 0.5}) {
+		t.Fatal("interior point not in circumcircle")
+	}
+	if inCircumcircle(a, b, c, Point{5, 5}) {
+		t.Fatal("far point in circumcircle")
+	}
+}
+
+func TestMinAngleKnownTriangles(t *testing.T) {
+	// Equilateral: 60 degrees.
+	eq := minAngleDeg(Point{0, 0}, Point{1, 0}, Point{0.5, math.Sqrt(3) / 2})
+	if math.Abs(eq-60) > 1e-9 {
+		t.Fatalf("equilateral min angle = %v", eq)
+	}
+	// Right isoceles: 45.
+	ri := minAngleDeg(Point{0, 0}, Point{1, 0}, Point{0, 1})
+	if math.Abs(ri-45) > 1e-9 {
+		t.Fatalf("right isoceles min angle = %v", ri)
+	}
+	// Skinny: tiny.
+	sk := minAngleDeg(Point{0, 0}, Point{1, 0}, Point{0.5, 0.001})
+	if sk > 1 {
+		t.Fatalf("skinny triangle min angle = %v", sk)
+	}
+}
+
+func TestEncroaches(t *testing.T) {
+	a, b := Point{0, 0}, Point{2, 0}
+	if !encroaches(a, b, Point{1, 0.5}) {
+		t.Fatal("point inside diametral circle not flagged")
+	}
+	if encroaches(a, b, Point{1, 1.5}) {
+		t.Fatal("point outside diametral circle flagged")
+	}
+}
+
+func TestTriangulateProducesValidDelaunay(t *testing.T) {
+	r := rng.New(17)
+	pts := []Point{{0, 0}, {1, 0}, {0, 1}, {1, 1}}
+	for i := 0; i < 60; i++ {
+		pts = append(pts, Point{0.05 + 0.9*r.Float64(), 0.05 + 0.9*r.Float64()})
+	}
+	tris := triangulate(pts)
+	if len(tris) == 0 {
+		t.Fatal("no triangles")
+	}
+	// All ccw, and total area equals the unit square.
+	area := 0.0
+	for _, tr := range tris {
+		o := orient(pts[tr[0]], pts[tr[1]], pts[tr[2]])
+		if o <= 0 {
+			t.Fatalf("non-ccw triangle %v", tr)
+		}
+		area += o / 2
+	}
+	if math.Abs(area-1) > 1e-9 {
+		t.Fatalf("area = %v, want 1 (triangulation has holes/overlaps)", area)
+	}
+	// Delaunay property: no point strictly inside any circumcircle.
+	for _, tr := range tris {
+		for pi := range pts {
+			if int32(pi) == tr[0] || int32(pi) == tr[1] || int32(pi) == tr[2] {
+				continue
+			}
+			if inCircumcircle(pts[tr[0]], pts[tr[1]], pts[tr[2]], pts[pi]) {
+				t.Fatalf("Delaunay violated: point %d inside circumcircle of %v", pi, tr)
+			}
+		}
+	}
+}
+
+func TestTriangulateTooFewPoints(t *testing.T) {
+	if got := triangulate([]Point{{0, 0}, {1, 1}}); got != nil {
+		t.Fatal("triangulation of 2 points should be nil")
+	}
+}

@@ -1,0 +1,74 @@
+package container
+
+import (
+	"math/bits"
+
+	"github.com/stamp-go/stamp/internal/mem"
+	"github.com/stamp-go/stamp/internal/tm"
+)
+
+// Bitmap is a fixed-size bit array (the original suite's bitmap.c, used by
+// ssca2 and bayes). The handle addresses [nbits, data...] stored inline.
+type Bitmap struct{ H mem.Addr }
+
+const bmBits = 0
+const bmData = 1
+
+// NewBitmap allocates a bitmap of n bits, all clear.
+func NewBitmap(m tm.Mem, n int) Bitmap {
+	words := (n + 63) / 64
+	h := m.Alloc(1 + words)
+	m.Store(h+bmBits, uint64(n))
+	for i := 0; i < words; i++ {
+		m.Store(h+bmData+mem.Addr(i), 0)
+	}
+	return Bitmap{H: h}
+}
+
+// Bits returns the bitmap size in bits.
+func (b Bitmap) Bits(m tm.Mem) int { return int(m.Load(b.H + bmBits)) }
+
+// Set sets bit i, reporting whether it was previously clear.
+func (b Bitmap) Set(m tm.Mem, i int) bool {
+	w := b.H + bmData + mem.Addr(i/64)
+	old := m.Load(w)
+	bit := uint64(1) << uint(i%64)
+	if old&bit != 0 {
+		return false
+	}
+	m.Store(w, old|bit)
+	return true
+}
+
+// Clear clears bit i.
+func (b Bitmap) Clear(m tm.Mem, i int) {
+	w := b.H + bmData + mem.Addr(i/64)
+	m.Store(w, m.Load(w)&^(uint64(1)<<uint(i%64)))
+}
+
+// Test reports bit i.
+func (b Bitmap) Test(m tm.Mem, i int) bool {
+	return m.Load(b.H+bmData+mem.Addr(i/64))&(uint64(1)<<uint(i%64)) != 0
+}
+
+// Count returns the number of set bits.
+func (b Bitmap) Count(m tm.Mem) int {
+	n := b.Bits(m)
+	words := (n + 63) / 64
+	total := 0
+	for i := 0; i < words; i++ {
+		total += bits.OnesCount64(m.Load(b.H + bmData + mem.Addr(i)))
+	}
+	return total
+}
+
+// FindClear returns the index of the first clear bit at or after from, or -1.
+func (b Bitmap) FindClear(m tm.Mem, from int) int {
+	n := b.Bits(m)
+	for i := from; i < n; i++ {
+		if !b.Test(m, i) {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,524 @@
+package container
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/stamp-go/stamp/internal/mem"
+	"github.com/stamp-go/stamp/internal/rng"
+)
+
+func direct() mem.Direct { return mem.Direct{A: mem.NewArena(1 << 22)} }
+
+// --- List ---
+
+func TestListBasics(t *testing.T) {
+	m := direct()
+	l := NewList(m)
+	if l.Len(m) != 0 {
+		t.Fatal("new list not empty")
+	}
+	if !l.Insert(m, 5, 50) || !l.Insert(m, 3, 30) || !l.Insert(m, 7, 70) {
+		t.Fatal("insert failed")
+	}
+	if l.Insert(m, 5, 99) {
+		t.Fatal("duplicate insert succeeded")
+	}
+	if v, ok := l.Get(m, 5); !ok || v != 50 {
+		t.Fatalf("Get(5) = %d,%v", v, ok)
+	}
+	if l.Len(m) != 3 {
+		t.Fatalf("len = %d", l.Len(m))
+	}
+	var keys []uint64
+	l.Each(m, func(k, v uint64) bool { keys = append(keys, k); return true })
+	if len(keys) != 3 || keys[0] != 3 || keys[1] != 5 || keys[2] != 7 {
+		t.Fatalf("order = %v", keys)
+	}
+	if !l.Remove(m, 5) || l.Remove(m, 5) {
+		t.Fatal("remove semantics wrong")
+	}
+	if l.Len(m) != 2 || l.Contains(m, 5) {
+		t.Fatal("remove did not take effect")
+	}
+	if !l.Update(m, 3, 31) || l.Update(m, 99, 1) {
+		t.Fatal("update semantics wrong")
+	}
+	if v, _ := l.Get(m, 3); v != 31 {
+		t.Fatal("update lost")
+	}
+	if k, v, ok := l.First(m); !ok || k != 3 || v != 31 {
+		t.Fatalf("First = %d,%d,%v", k, v, ok)
+	}
+}
+
+func TestListEachStops(t *testing.T) {
+	m := direct()
+	l := NewList(m)
+	for i := uint64(0); i < 10; i++ {
+		l.Insert(m, i, i)
+	}
+	n := 0
+	l.Each(m, func(k, v uint64) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("visited %d", n)
+	}
+}
+
+func TestListModelProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		m := direct()
+		l := NewList(m)
+		model := map[uint64]uint64{}
+		for i, op := range ops {
+			k := uint64(op % 64)
+			switch i % 3 {
+			case 0:
+				inserted := l.Insert(m, k, uint64(i))
+				_, existed := model[k]
+				if inserted == existed {
+					return false
+				}
+				if !existed {
+					model[k] = uint64(i)
+				}
+			case 1:
+				removed := l.Remove(m, k)
+				_, existed := model[k]
+				if removed != existed {
+					return false
+				}
+				delete(model, k)
+			case 2:
+				v, ok := l.Get(m, k)
+				mv, mok := model[k]
+				if ok != mok || (ok && v != mv) {
+					return false
+				}
+			}
+		}
+		if l.Len(m) != len(model) {
+			return false
+		}
+		// sorted order check
+		var prev int64 = -1
+		sorted := true
+		l.Each(m, func(k, v uint64) bool {
+			if int64(k) <= prev {
+				sorted = false
+			}
+			prev = int64(k)
+			return true
+		})
+		return sorted
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- Queue ---
+
+func TestQueueFIFO(t *testing.T) {
+	m := direct()
+	q := NewQueue(m, 2)
+	for i := uint64(0); i < 100; i++ {
+		q.Push(m, i)
+	}
+	if q.Len(m) != 100 {
+		t.Fatalf("len = %d", q.Len(m))
+	}
+	for i := uint64(0); i < 100; i++ {
+		v, ok := q.Pop(m)
+		if !ok || v != i {
+			t.Fatalf("pop %d = %d,%v", i, v, ok)
+		}
+	}
+	if _, ok := q.Pop(m); ok {
+		t.Fatal("pop from empty succeeded")
+	}
+}
+
+func TestQueueInterleaved(t *testing.T) {
+	m := direct()
+	q := NewQueue(m, 2)
+	r := rng.New(5)
+	var model []uint64
+	for i := 0; i < 2000; i++ {
+		if r.Intn(3) != 0 {
+			v := r.Uint64()
+			q.Push(m, v)
+			model = append(model, v)
+		} else if len(model) > 0 {
+			v, ok := q.Pop(m)
+			if !ok || v != model[0] {
+				t.Fatalf("step %d: pop = %d,%v want %d", i, v, ok, model[0])
+			}
+			model = model[1:]
+		}
+	}
+	if q.Len(m) != len(model) {
+		t.Fatalf("len = %d want %d", q.Len(m), len(model))
+	}
+}
+
+// --- Vector ---
+
+func TestVectorPushAtSet(t *testing.T) {
+	m := direct()
+	v := NewVector(m, 1)
+	for i := uint64(0); i < 500; i++ {
+		v.PushBack(m, i*2)
+	}
+	if v.Len(m) != 500 {
+		t.Fatalf("len = %d", v.Len(m))
+	}
+	for i := 0; i < 500; i++ {
+		if v.At(m, i) != uint64(i*2) {
+			t.Fatalf("At(%d) = %d", i, v.At(m, i))
+		}
+	}
+	v.Set(m, 10, 999)
+	if v.At(m, 10) != 999 {
+		t.Fatal("Set lost")
+	}
+	if val, ok := v.PopBack(m); !ok || val != 998 {
+		t.Fatalf("PopBack = %d,%v", val, ok)
+	}
+	v.Clear(m)
+	if v.Len(m) != 0 {
+		t.Fatal("Clear failed")
+	}
+	if _, ok := v.PopBack(m); ok {
+		t.Fatal("PopBack on empty")
+	}
+}
+
+// --- Bitmap ---
+
+func TestBitmapSetTestClear(t *testing.T) {
+	m := direct()
+	b := NewBitmap(m, 300)
+	if b.Bits(m) != 300 {
+		t.Fatalf("bits = %d", b.Bits(m))
+	}
+	for i := 0; i < 300; i += 3 {
+		if !b.Set(m, i) {
+			t.Fatalf("Set(%d) reported already set", i)
+		}
+	}
+	if b.Set(m, 0) {
+		t.Fatal("double Set(0) reported newly set")
+	}
+	if b.Count(m) != 100 {
+		t.Fatalf("count = %d", b.Count(m))
+	}
+	for i := 0; i < 300; i++ {
+		if b.Test(m, i) != (i%3 == 0) {
+			t.Fatalf("Test(%d) wrong", i)
+		}
+	}
+	b.Clear(m, 0)
+	if b.Test(m, 0) {
+		t.Fatal("Clear(0) failed")
+	}
+	if got := b.FindClear(m, 0); got != 0 {
+		t.Fatalf("FindClear = %d", got)
+	}
+	if got := b.FindClear(m, 3); got != 4 {
+		t.Fatalf("FindClear(3) = %d", got)
+	}
+}
+
+func TestBitmapFindClearExhausted(t *testing.T) {
+	m := direct()
+	b := NewBitmap(m, 10)
+	for i := 0; i < 10; i++ {
+		b.Set(m, i)
+	}
+	if got := b.FindClear(m, 0); got != -1 {
+		t.Fatalf("FindClear on full = %d", got)
+	}
+}
+
+// --- Hashtable ---
+
+func TestHashtableBasics(t *testing.T) {
+	m := direct()
+	h := NewHashtable(m, 16)
+	for i := uint64(0); i < 1000; i++ {
+		if !h.Insert(m, i*7, i) {
+			t.Fatalf("insert %d failed", i)
+		}
+	}
+	if h.Len(m) != 1000 {
+		t.Fatalf("len = %d", h.Len(m))
+	}
+	if h.Insert(m, 7, 0) {
+		t.Fatal("duplicate insert succeeded")
+	}
+	for i := uint64(0); i < 1000; i++ {
+		if v, ok := h.Get(m, i*7); !ok || v != i {
+			t.Fatalf("Get(%d) = %d,%v", i*7, v, ok)
+		}
+	}
+	if h.Contains(m, 3) {
+		t.Fatal("phantom key")
+	}
+	if !h.Remove(m, 14) || h.Remove(m, 14) {
+		t.Fatal("remove semantics")
+	}
+	if h.Len(m) != 999 {
+		t.Fatalf("len after remove = %d", h.Len(m))
+	}
+	count := 0
+	h.Each(m, func(k, v uint64) bool { count++; return true })
+	if count != 999 {
+		t.Fatalf("Each visited %d", count)
+	}
+}
+
+func TestHashtableModelProperty(t *testing.T) {
+	f := func(keys []uint64) bool {
+		m := direct()
+		h := NewHashtable(m, 8)
+		model := map[uint64]uint64{}
+		for i, k := range keys {
+			switch i % 4 {
+			case 0, 1:
+				ins := h.Insert(m, k, uint64(i))
+				_, ex := model[k]
+				if ins == ex {
+					return false
+				}
+				if !ex {
+					model[k] = uint64(i)
+				}
+			case 2:
+				rm := h.Remove(m, k)
+				_, ex := model[k]
+				if rm != ex {
+					return false
+				}
+				delete(model, k)
+			case 3:
+				v, ok := h.Get(m, k)
+				mv, mok := model[k]
+				if ok != mok || (ok && v != mv) {
+					return false
+				}
+			}
+		}
+		return h.Len(m) == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- Heap ---
+
+func TestHeapOrdering(t *testing.T) {
+	m := direct()
+	h := NewHeap(m, 2)
+	r := rng.New(42)
+	var keys []uint64
+	for i := 0; i < 500; i++ {
+		k := r.Uint64() % 10000
+		keys = append(keys, k)
+		h.Push(m, k, k*10)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	if h.Len(m) != 500 {
+		t.Fatalf("len = %d", h.Len(m))
+	}
+	if k, _, ok := h.Peek(m); !ok || k != keys[0] {
+		t.Fatalf("peek = %d want %d", k, keys[0])
+	}
+	for i, want := range keys {
+		k, v, ok := h.Pop(m)
+		if !ok || k != want || v != k*10 {
+			t.Fatalf("pop %d = (%d,%d,%v) want key %d", i, k, v, ok, want)
+		}
+	}
+	if _, _, ok := h.Pop(m); ok {
+		t.Fatal("pop from empty")
+	}
+}
+
+func TestHeapProperty(t *testing.T) {
+	f := func(vals []uint64) bool {
+		m := direct()
+		h := NewHeap(m, 2)
+		for _, v := range vals {
+			h.Push(m, v, 0)
+		}
+		prev := uint64(0)
+		for range vals {
+			k, _, ok := h.Pop(m)
+			if !ok || k < prev {
+				return false
+			}
+			prev = k
+		}
+		return h.Len(m) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- RBTree ---
+
+func TestRBTreeBasics(t *testing.T) {
+	m := direct()
+	tr := NewRBTree(m)
+	for i := uint64(0); i < 200; i++ {
+		if !tr.Insert(m, i*3, i) {
+			t.Fatalf("insert %d", i)
+		}
+	}
+	if tr.Insert(m, 3, 0) {
+		t.Fatal("duplicate insert")
+	}
+	if tr.Len(m) != 200 {
+		t.Fatalf("len = %d", tr.Len(m))
+	}
+	if bh := tr.checkInvariants(m); bh < 0 {
+		t.Fatal("red-black invariants violated after inserts")
+	}
+	for i := uint64(0); i < 200; i++ {
+		if v, ok := tr.Get(m, i*3); !ok || v != i {
+			t.Fatalf("Get(%d) = %d,%v", i*3, v, ok)
+		}
+	}
+	if tr.Contains(m, 1) {
+		t.Fatal("phantom")
+	}
+	if k, v, ok := tr.Ceil(m, 4); !ok || k != 6 || v != 2 {
+		t.Fatalf("Ceil(4) = %d,%d,%v", k, v, ok)
+	}
+	if k, _, ok := tr.Ceil(m, 0); !ok || k != 0 {
+		t.Fatalf("Ceil(0) = %d", k)
+	}
+	if _, _, ok := tr.Ceil(m, 1000); ok {
+		t.Fatal("Ceil past max")
+	}
+	// ordered traversal
+	var prev int64 = -1
+	tr.Each(m, func(k, v uint64) bool {
+		if int64(k) <= prev {
+			t.Fatalf("out of order at %d", k)
+		}
+		prev = int64(k)
+		return true
+	})
+	// removals
+	for i := uint64(0); i < 200; i += 2 {
+		if !tr.Remove(m, i*3) {
+			t.Fatalf("remove %d", i*3)
+		}
+	}
+	if tr.Remove(m, 0) {
+		t.Fatal("double remove")
+	}
+	if tr.Len(m) != 100 {
+		t.Fatalf("len = %d", tr.Len(m))
+	}
+	if bh := tr.checkInvariants(m); bh < 0 {
+		t.Fatal("red-black invariants violated after removals")
+	}
+}
+
+func TestRBTreeUpdate(t *testing.T) {
+	m := direct()
+	tr := NewRBTree(m)
+	tr.Insert(m, 9, 1)
+	if !tr.Update(m, 9, 2) || tr.Update(m, 8, 2) {
+		t.Fatal("update semantics")
+	}
+	if v, _ := tr.Get(m, 9); v != 2 {
+		t.Fatal("update lost")
+	}
+}
+
+func TestRBTreeModelProperty(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		m := direct()
+		tr := NewRBTree(m)
+		model := map[uint64]uint64{}
+		r := rng.New(seed)
+		steps := int(n%512) + 64
+		for i := 0; i < steps; i++ {
+			k := uint64(r.Intn(128))
+			switch r.Intn(3) {
+			case 0:
+				ins := tr.Insert(m, k, uint64(i))
+				_, ex := model[k]
+				if ins == ex {
+					return false
+				}
+				if !ex {
+					model[k] = uint64(i)
+				}
+			case 1:
+				rm := tr.Remove(m, k)
+				_, ex := model[k]
+				if rm != ex {
+					return false
+				}
+				delete(model, k)
+			case 2:
+				v, ok := tr.Get(m, k)
+				mv, mok := model[k]
+				if ok != mok || (ok && v != mv) {
+					return false
+				}
+			}
+			if tr.checkInvariants(m) < 0 {
+				return false
+			}
+		}
+		if tr.Len(m) != len(model) {
+			return false
+		}
+		// Full content comparison.
+		got := map[uint64]uint64{}
+		tr.Each(m, func(k, v uint64) bool { got[k] = v; return true })
+		if len(got) != len(model) {
+			return false
+		}
+		for k, v := range model {
+			if got[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRBTreeLargeSequential(t *testing.T) {
+	m := direct()
+	tr := NewRBTree(m)
+	const n = 20000
+	for i := uint64(0); i < n; i++ {
+		tr.Insert(m, i, i)
+	}
+	if bh := tr.checkInvariants(m); bh < 0 {
+		t.Fatal("invariants violated on sequential inserts")
+	}
+	// A balanced tree of 20k nodes has black height around log2(n)/2..log2(n).
+	for i := uint64(0); i < n; i += 2 {
+		tr.Remove(m, i)
+	}
+	if bh := tr.checkInvariants(m); bh < 0 {
+		t.Fatal("invariants violated after deleting half")
+	}
+	if tr.Len(m) != n/2 {
+		t.Fatalf("len = %d", tr.Len(m))
+	}
+}

@@ -1,0 +1,79 @@
+package container
+
+import (
+	"github.com/stamp-go/stamp/internal/mem"
+	"github.com/stamp-go/stamp/internal/tm"
+)
+
+// Vector is a growable word array (the original suite's vector.c). The
+// handle addresses a 3-word header: [len, cap, dataPtr].
+type Vector struct{ H mem.Addr }
+
+const (
+	vLen  = 0
+	vCap  = 1
+	vData = 2
+)
+
+// NewVector allocates an empty vector with the given initial capacity.
+func NewVector(m tm.Mem, capacity int) Vector {
+	if capacity < 1 {
+		capacity = 1
+	}
+	h := m.Alloc(3)
+	data := m.Alloc(capacity)
+	m.Store(h+vLen, 0)
+	m.Store(h+vCap, uint64(capacity))
+	m.Store(h+vData, uint64(data))
+	return Vector{H: h}
+}
+
+// Len returns the element count.
+func (v Vector) Len(m tm.Mem) int { return int(m.Load(v.H + vLen)) }
+
+// At returns element i (caller guarantees i < Len).
+func (v Vector) At(m tm.Mem, i int) uint64 {
+	data := mem.Addr(m.Load(v.H + vData))
+	return m.Load(data + mem.Addr(i))
+}
+
+// Set overwrites element i (caller guarantees i < Len).
+func (v Vector) Set(m tm.Mem, i int, val uint64) {
+	data := mem.Addr(m.Load(v.H + vData))
+	m.Store(data+mem.Addr(i), val)
+}
+
+// PushBack appends val, growing if needed.
+func (v Vector) PushBack(m tm.Mem, val uint64) {
+	n := m.Load(v.H + vLen)
+	capa := m.Load(v.H + vCap)
+	data := mem.Addr(m.Load(v.H + vData))
+	if n == capa {
+		newCap := capa * 2
+		newData := m.Alloc(int(newCap))
+		for i := uint64(0); i < n; i++ {
+			m.Store(newData+mem.Addr(i), m.Load(data+mem.Addr(i)))
+		}
+		m.Free(data)
+		data = newData
+		m.Store(v.H+vCap, newCap)
+		m.Store(v.H+vData, uint64(data))
+	}
+	m.Store(data+mem.Addr(n), val)
+	m.Store(v.H+vLen, n+1)
+}
+
+// PopBack removes and returns the last element.
+func (v Vector) PopBack(m tm.Mem) (val uint64, ok bool) {
+	n := m.Load(v.H + vLen)
+	if n == 0 {
+		return 0, false
+	}
+	data := mem.Addr(m.Load(v.H + vData))
+	val = m.Load(data + mem.Addr(n-1))
+	m.Store(v.H+vLen, n-1)
+	return val, true
+}
+
+// Clear resets the length to zero (capacity is kept).
+func (v Vector) Clear(m tm.Mem) { m.Store(v.H+vLen, 0) }

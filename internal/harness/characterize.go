@@ -1,0 +1,165 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Characterization is one Table VI row, with the paper's "instructions per
+// transaction" replaced by two documented proxies (barriers per transaction
+// and sequential ns per transaction — see DESIGN.md substitution 2).
+type Characterization struct {
+	Variant string
+
+	TxCount     uint64  // committed transactions (seq run)
+	NsPerTx     float64 // mean wall ns per transaction on seq (instr proxy)
+	MeanLoads   float64 // read barriers per transaction
+	MeanStores  float64 // write barriers per transaction
+	ReadSetP90  int     // 90th pctile read set, 32-byte lines (lazy HTM)
+	WriteSetP90 int     // 90th pctile write set, 32-byte lines (lazy HTM)
+	TxTimePct   float64 // % of execution time in transactions (lazy HTM)
+
+	// Retries per transaction at the given thread count, per system.
+	Retries map[string]float64
+
+	ArenaWords int // workload footprint (working-set proxy)
+}
+
+// Characterize reproduces one Table VI row for a variant: the seq run
+// provides the barrier counts and the per-transaction time proxy, the lazy
+// HTM provides read/write sets and time-in-transactions (as in the paper),
+// and every TM system at retryThreads threads provides retries per
+// transaction (the paper uses 16).
+func Characterize(v Variant, scale float64, retryThreads int) (Characterization, error) {
+	c := Characterization{Variant: v.Name, Retries: map[string]float64{}}
+	app := v.Make(scale)
+	c.ArenaWords = app.ArenaWords()
+
+	seq, err := RunOne(app, v.Name, "seq", 1, true)
+	if err != nil {
+		return c, err
+	}
+	if seq.Verify != nil {
+		return c, fmt.Errorf("characterize %s: seq run failed verification: %w", v.Name, seq.Verify)
+	}
+	c.TxCount = seq.Stats.Total.Commits
+	if c.TxCount > 0 {
+		c.NsPerTx = float64(seq.Stats.Total.TxTimeNs) / float64(c.TxCount)
+	}
+	c.MeanLoads = seq.Stats.MeanLoads()
+	c.MeanStores = seq.Stats.MeanStores()
+
+	htm, err := RunOne(app, v.Name, "htm-lazy", 1, true)
+	if err != nil {
+		return c, err
+	}
+	if htm.Verify != nil {
+		return c, fmt.Errorf("characterize %s: htm-lazy run failed verification: %w", v.Name, htm.Verify)
+	}
+	c.ReadSetP90 = htm.Stats.ReadSetP90()
+	c.WriteSetP90 = htm.Stats.WriteSetP90()
+	c.TxTimePct = htm.TxTimeFraction() * 100
+
+	for _, sysName := range TMSystems() {
+		r, err := RunOne(app, v.Name, sysName, retryThreads, false)
+		if err != nil {
+			return c, err
+		}
+		if r.Verify != nil {
+			return c, fmt.Errorf("characterize %s: %s run failed verification: %w", v.Name, sysName, r.Verify)
+		}
+		c.Retries[sysName] = r.RetriesPerTx()
+	}
+	return c, nil
+}
+
+// TMSystems returns the six TM systems in the paper's Table VI column
+// order: HTM lazy/eager, STM lazy/eager (retry columns), with hybrids
+// included for completeness.
+func TMSystems() []string {
+	return []string{"htm-lazy", "htm-eager", "hybrid-lazy", "hybrid-eager", "stm-lazy", "stm-eager"}
+}
+
+// WriteTableVI renders characterization rows in the shape of Table VI.
+func WriteTableVI(w io.Writer, rows []Characterization) {
+	fmt.Fprintf(w, "%-16s %10s %12s %8s %8s %8s %8s %7s %8s %8s %8s %8s %8s %8s %10s\n",
+		"Application", "Txs", "ns/Tx(seq)", "RdBar", "WrBar", "RdSet90", "WrSet90", "TxTime",
+		"rHTMlz", "rHTMeg", "rHYBlz", "rHYBeg", "rSTMlz", "rSTMeg", "Footprint")
+	for _, c := range rows {
+		fmt.Fprintf(w, "%-16s %10d %12.0f %8.1f %8.1f %8d %8d %6.0f%% %8.2f %8.2f %8.2f %8.2f %8.2f %8.2f %9.1fMB\n",
+			c.Variant, c.TxCount, c.NsPerTx, c.MeanLoads, c.MeanStores,
+			c.ReadSetP90, c.WriteSetP90, c.TxTimePct,
+			c.Retries["htm-lazy"], c.Retries["htm-eager"],
+			c.Retries["hybrid-lazy"], c.Retries["hybrid-eager"],
+			c.Retries["stm-lazy"], c.Retries["stm-eager"],
+			float64(c.ArenaWords)*8/(1<<20))
+	}
+}
+
+// Qualitative is one Table III row derived from measured data.
+type Qualitative struct {
+	Variant    string
+	TxLength   string // Short / Medium / Long
+	RWSet      string // Small / Medium / Large
+	TxTime     string // Low / Medium / High
+	Contention string // Low / Medium / High
+}
+
+// Bucketize derives the paper's Table III qualitative labels from a
+// characterization row, using thresholds chosen so the paper's own numbers
+// land in the paper's own buckets.
+func Bucketize(c Characterization) Qualitative {
+	q := Qualitative{Variant: c.Variant}
+	switch {
+	case c.NsPerTx < 2000:
+		q.TxLength = "Short"
+	case c.NsPerTx < 40000:
+		q.TxLength = "Medium"
+	default:
+		q.TxLength = "Long"
+	}
+	set := c.ReadSetP90 + c.WriteSetP90
+	switch {
+	case set < 40:
+		q.RWSet = "Small"
+	case set < 300:
+		q.RWSet = "Medium"
+	default:
+		q.RWSet = "Large"
+	}
+	switch {
+	case c.TxTimePct < 25:
+		q.TxTime = "Low"
+	case c.TxTimePct < 70:
+		q.TxTime = "Medium"
+	default:
+		q.TxTime = "High"
+	}
+	worst := 0.0
+	for _, r := range c.Retries {
+		if r > worst {
+			worst = r
+		}
+	}
+	switch {
+	case worst < 0.3:
+		q.Contention = "Low"
+	case worst < 2:
+		q.Contention = "Medium"
+	default:
+		q.Contention = "High"
+	}
+	return q
+}
+
+// WriteTableIII renders qualitative rows in the shape of Table III.
+func WriteTableIII(w io.Writer, rows []Qualitative) {
+	fmt.Fprintf(w, "%-16s %-8s %-8s %-8s %-10s\n", "Application", "TxLen", "R/W Set", "TxTime", "Contention")
+	for _, q := range rows {
+		fmt.Fprintf(w, "%-16s %-8s %-8s %-8s %-10s\n", q.Variant, q.TxLength, q.RWSet, q.TxTime, q.Contention)
+	}
+}
+
+// FormatDuration pretty-prints a wall time for report output.
+func FormatDuration(d time.Duration) string { return d.Round(time.Millisecond).String() }

@@ -1,0 +1,158 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestVariantRegistryShape(t *testing.T) {
+	all := Variants()
+	if len(all) != 30 {
+		t.Fatalf("Table IV has 30 variants, registry has %d", len(all))
+	}
+	sim := SimVariants()
+	if len(sim) != 20 {
+		t.Fatalf("20 simulation variants expected, got %d", len(sim))
+	}
+	apps := map[string]int{}
+	names := map[string]bool{}
+	for _, v := range all {
+		if names[v.Name] {
+			t.Fatalf("duplicate variant %q", v.Name)
+		}
+		names[v.Name] = true
+		apps[v.App]++
+		if v.Args == "" {
+			t.Fatalf("variant %q missing Table IV args", v.Name)
+		}
+		if v.Make == nil {
+			t.Fatalf("variant %q missing constructor", v.Name)
+		}
+	}
+	if len(apps) != 8 {
+		t.Fatalf("8 applications expected, got %d: %v", len(apps), apps)
+	}
+	for _, app := range []string{"kmeans", "vacation"} {
+		if apps[app] != 6 {
+			t.Fatalf("%s should have 6 variants, has %d", app, apps[app])
+		}
+	}
+}
+
+func TestFindVariant(t *testing.T) {
+	v, err := FindVariant("kmeans-low+")
+	if err != nil || v.App != "kmeans" {
+		t.Fatalf("FindVariant: %v %v", v, err)
+	}
+	if _, err := FindVariant("nope"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestRunVariantSmoke(t *testing.T) {
+	for _, name := range []string{"genome", "kmeans-high", "ssca2", "vacation-low"} {
+		v, err := FindVariant(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := RunVariant(v, 0.05, "stm-lazy", 2, false)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if r.Verify != nil {
+			t.Fatalf("%s failed verification: %v", name, r.Verify)
+		}
+		if r.Stats.Total.Commits == 0 {
+			t.Fatalf("%s: no commits", name)
+		}
+	}
+}
+
+func TestCharacterizeSmoke(t *testing.T) {
+	v, err := FindVariant("kmeans-high")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Characterize(v, 0.1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.TxCount == 0 || c.MeanStores == 0 {
+		t.Fatalf("empty characterization: %+v", c)
+	}
+	if len(c.Retries) != 6 {
+		t.Fatalf("retries for %d systems, want 6", len(c.Retries))
+	}
+	// kmeans transactions write D+1 accumulator words ~ small write set.
+	if c.WriteSetP90 > 32 {
+		t.Fatalf("kmeans write set implausibly large: %d lines", c.WriteSetP90)
+	}
+	var buf bytes.Buffer
+	WriteTableVI(&buf, []Characterization{c})
+	if !strings.Contains(buf.String(), "kmeans-high") {
+		t.Fatal("table output missing row")
+	}
+	q := Bucketize(c)
+	if q.RWSet != "Small" {
+		t.Fatalf("kmeans bucketized as %q read/write set, want Small", q.RWSet)
+	}
+	var buf3 bytes.Buffer
+	WriteTableIII(&buf3, []Qualitative{q})
+	if !strings.Contains(buf3.String(), "kmeans-high") {
+		t.Fatal("table III output missing row")
+	}
+}
+
+func TestMeasureSpeedupSmoke(t *testing.T) {
+	v, err := FindVariant("ssca2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := MeasureSpeedup(v, 0.05, []int{1, 2}, []string{"stm-lazy", "htm-lazy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Baseline <= 0 {
+		t.Fatal("no baseline")
+	}
+	for _, sys := range []string{"stm-lazy", "htm-lazy"} {
+		if len(s.Wall[sys]) != 2 {
+			t.Fatalf("%s: %d samples", sys, len(s.Wall[sys]))
+		}
+		if s.Speedup(sys, 0) <= 0 {
+			t.Fatalf("%s: non-positive speedup", sys)
+		}
+	}
+	var buf bytes.Buffer
+	WriteFigure1(&buf, []SpeedupSeries{s})
+	if !strings.Contains(buf.String(), "ssca2") {
+		t.Fatal("figure output missing variant")
+	}
+	var csv bytes.Buffer
+	WriteFigure1CSV(&csv, []SpeedupSeries{s})
+	if !strings.Contains(csv.String(), "ssca2,stm-lazy,2") {
+		t.Fatal("csv output missing row")
+	}
+}
+
+func TestModelSpeedupOrdering(t *testing.T) {
+	// With identical measured stats, the model must rank HTM >= hybrid >=
+	// STM (hardware pays less per barrier).
+	base := Result{Wall: 1e9}
+	mk := func(sys string) Result {
+		r := Result{System: sys, Threads: 4, Wall: 5e8}
+		r.Stats.Total.Loads = 1e6
+		r.Stats.Total.Stores = 1e5
+		return r
+	}
+	htm := ModelSpeedup(base, mk("htm-lazy"))
+	hyb := ModelSpeedup(base, mk("hybrid-lazy"))
+	stm := ModelSpeedup(base, mk("stm-lazy"))
+	if !(htm >= hyb && hyb >= stm) {
+		t.Fatalf("model ordering broken: htm %.2f hybrid %.2f stm %.2f", htm, hyb, stm)
+	}
+	if htm <= 0 || stm <= 0 {
+		t.Fatal("model produced non-positive speedups")
+	}
+}

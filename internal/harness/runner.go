@@ -1,0 +1,73 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/stamp-go/stamp/internal/apps"
+	"github.com/stamp-go/stamp/internal/mem"
+	"github.com/stamp-go/stamp/internal/thread"
+	"github.com/stamp-go/stamp/internal/tm"
+	"github.com/stamp-go/stamp/internal/tm/factory"
+)
+
+// Result is the outcome of one app × system × thread-count run.
+type Result struct {
+	Variant string
+	System  string
+	Threads int
+
+	Wall   time.Duration // wall time of the parallel region (app.Run)
+	Stats  tm.Stats
+	Verify error
+}
+
+// RetriesPerTx is a convenience accessor.
+func (r Result) RetriesPerTx() float64 { return r.Stats.RetriesPerTx() }
+
+// TxTimeFraction estimates the share of execution time spent inside
+// transactions: summed per-thread transaction wall time over total thread
+// time (threads × region wall time).
+func (r Result) TxTimeFraction() float64 {
+	total := float64(r.Threads) * float64(r.Wall.Nanoseconds())
+	if total == 0 {
+		return 0
+	}
+	f := float64(r.Stats.Total.TxTimeNs) / total
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+// RunOne stages app into a fresh arena and executes it once.
+func RunOne(app apps.App, variant, sysName string, threads int, profile bool) (Result, error) {
+	arena := mem.NewArena(app.ArenaWords())
+	app.Setup(arena)
+	sys, err := factory.New(sysName, tm.Config{
+		Arena:              arena,
+		Threads:            threads,
+		EnableEarlyRelease: true,
+		ProfileSets:        profile,
+	})
+	if err != nil {
+		return Result{}, fmt.Errorf("harness: %w", err)
+	}
+	team := thread.NewTeam(threads)
+	start := time.Now()
+	app.Run(sys, team)
+	wall := time.Since(start)
+	return Result{
+		Variant: variant,
+		System:  sysName,
+		Threads: threads,
+		Wall:    wall,
+		Stats:   sys.Stats(),
+		Verify:  app.Verify(arena),
+	}, nil
+}
+
+// RunVariant constructs the variant at the given scale and runs it.
+func RunVariant(v Variant, scale float64, sysName string, threads int, profile bool) (Result, error) {
+	return RunOne(v.Make(scale), v.Name, sysName, threads, profile)
+}

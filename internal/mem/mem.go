@@ -1,0 +1,143 @@
+// Package mem provides the word-addressed shared-memory arena that hosts all
+// transactionally shared state in the suite.
+//
+// STAMP's transactional behaviours — cache-line-granularity conflict
+// detection, address signatures, early release, padding a datum to a full
+// line — only exist when shared data has addresses. The arena is a flat
+// array of 8-byte words; an Addr is a word index and a Line is a 32-byte
+// (4-word) cache line index, matching the line size of the paper's simulated
+// machine (Table V).
+//
+// All word accesses use sync/atomic so that concurrent transactional systems
+// built on top of the arena are free of Go data races even while they race
+// at the semantic level (that is what the TM layers arbitrate).
+package mem
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// WordsPerLine is the number of 8-byte words per simulated 32-byte cache
+// line (Table V: 32 B lines).
+const WordsPerLine = 4
+
+// LineShift converts a word address to a line index: Line = Addr >> LineShift.
+const LineShift = 2
+
+// Addr is a word index into an Arena. Address 0 is reserved as the nil
+// address; Alloc never returns it.
+type Addr uint32
+
+// Nil is the reserved null address.
+const Nil Addr = 0
+
+// Line is a 32-byte cache-line index (Addr >> LineShift).
+type Line uint32
+
+// LineOf returns the cache line containing a.
+func LineOf(a Addr) Line { return Line(a >> LineShift) }
+
+// LineStart returns the first word address of line l.
+func LineStart(l Line) Addr { return Addr(l) << LineShift }
+
+// Arena is a fixed-capacity, non-moving word arena. Allocation is a
+// lock-free bump pointer; there is no free list (mirroring STAMP's tmalloc,
+// where transactional frees are deferred and, in practice, most benchmark
+// allocations live for the whole run).
+type Arena struct {
+	words []uint64
+	next  atomic.Uint32 // next free word
+}
+
+// NewArena returns an arena with capacity for nWords 8-byte words.
+// Word 0 is reserved so that Addr 0 can serve as nil.
+func NewArena(nWords int) *Arena {
+	if nWords < WordsPerLine {
+		nWords = WordsPerLine
+	}
+	a := &Arena{words: make([]uint64, nWords)}
+	a.next.Store(WordsPerLine) // burn line 0 so Nil is never allocated
+	return a
+}
+
+// Cap returns the arena capacity in words.
+func (a *Arena) Cap() int { return len(a.words) }
+
+// Used returns the number of words allocated so far.
+func (a *Arena) Used() int { return int(a.next.Load()) }
+
+// Alloc bump-allocates n words and returns the address of the first.
+// It panics if the arena is exhausted: arenas are sized per workload by the
+// harness, so exhaustion is a configuration bug, not a runtime condition.
+func (a *Arena) Alloc(n int) Addr {
+	if n <= 0 {
+		n = 1
+	}
+	end := a.next.Add(uint32(n))
+	if int(end) > len(a.words) {
+		panic(fmt.Sprintf("mem: arena exhausted (cap %d words, need %d)", len(a.words), end))
+	}
+	return Addr(end - uint32(n))
+}
+
+// AllocLines allocates n words rounded up so the block starts on a line
+// boundary and occupies whole lines. Labyrinth pads every grid point to a
+// full line this way (the paper does the same so early release is sound at
+// line granularity).
+func (a *Arena) AllocLines(n int) Addr {
+	if n <= 0 {
+		n = 1
+	}
+	n = (n + WordsPerLine - 1) &^ (WordsPerLine - 1)
+	for {
+		cur := a.next.Load()
+		start := (cur + WordsPerLine - 1) &^ (WordsPerLine - 1)
+		end := start + uint32(n)
+		if int(end) > len(a.words) {
+			panic(fmt.Sprintf("mem: arena exhausted (cap %d words, need %d)", len(a.words), end))
+		}
+		if a.next.CompareAndSwap(cur, end) {
+			return Addr(start)
+		}
+	}
+}
+
+// Load atomically reads the word at addr.
+func (a *Arena) Load(addr Addr) uint64 { return atomic.LoadUint64(&a.words[addr]) }
+
+// Store atomically writes the word at addr.
+func (a *Arena) Store(addr Addr, v uint64) { atomic.StoreUint64(&a.words[addr], v) }
+
+// CompareAndSwap atomically CASes the word at addr.
+func (a *Arena) CompareAndSwap(addr Addr, old, new uint64) bool {
+	return atomic.CompareAndSwapUint64(&a.words[addr], old, new)
+}
+
+// Float helpers: several applications (kmeans, yada, bayes) store float64
+// values in arena words as IEEE-754 bit patterns.
+
+// F2W converts a float64 to its word representation.
+func F2W(f float64) uint64 { return math.Float64bits(f) }
+
+// W2F converts a word back to float64.
+func W2F(w uint64) float64 { return math.Float64frombits(w) }
+
+// Direct is a non-transactional accessor over an arena. It satisfies the
+// same read/write/alloc contract as a transaction (tm.Mem), which lets the
+// container library and application setup code run outside any transaction
+// — exactly like STAMP's sequential initialization phases.
+type Direct struct{ A *Arena }
+
+// Load reads the word at addr without any transactional bookkeeping.
+func (d Direct) Load(addr Addr) uint64 { return d.A.Load(addr) }
+
+// Store writes the word at addr without any transactional bookkeeping.
+func (d Direct) Store(addr Addr, v uint64) { d.A.Store(addr, v) }
+
+// Alloc allocates from the underlying arena.
+func (d Direct) Alloc(n int) Addr { return d.A.Alloc(n) }
+
+// Free is a no-op (bump allocator); present to satisfy the tm.Mem contract.
+func (d Direct) Free(Addr) {}

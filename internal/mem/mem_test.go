@@ -1,0 +1,149 @@
+package mem
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocNeverReturnsNil(t *testing.T) {
+	a := NewArena(1024)
+	for i := 0; i < 100; i++ {
+		if addr := a.Alloc(1); addr == Nil {
+			t.Fatalf("Alloc returned Nil at iteration %d", i)
+		}
+	}
+}
+
+func TestAllocDistinctRegions(t *testing.T) {
+	a := NewArena(1024)
+	x := a.Alloc(4)
+	y := a.Alloc(4)
+	if y < x+4 {
+		t.Fatalf("overlapping allocations: x=%d y=%d", x, y)
+	}
+}
+
+func TestAllocZeroOrNegativeGetsOneWord(t *testing.T) {
+	a := NewArena(64)
+	x := a.Alloc(0)
+	y := a.Alloc(-5)
+	if x == y {
+		t.Fatalf("zero-size allocations must still be distinct: %d %d", x, y)
+	}
+}
+
+func TestAllocExhaustionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on arena exhaustion")
+		}
+	}()
+	a := NewArena(8)
+	a.Alloc(100)
+}
+
+func TestAllocLinesAlignment(t *testing.T) {
+	a := NewArena(4096)
+	a.Alloc(3) // misalign the bump pointer
+	for i := 1; i <= 9; i++ {
+		addr := a.AllocLines(i)
+		if addr%WordsPerLine != 0 {
+			t.Fatalf("AllocLines(%d) = %d not line aligned", i, addr)
+		}
+	}
+}
+
+func TestAllocLinesWholeLines(t *testing.T) {
+	a := NewArena(4096)
+	x := a.AllocLines(1)
+	y := a.AllocLines(1)
+	if y-x != WordsPerLine {
+		t.Fatalf("AllocLines(1) blocks should be exactly one line apart: %d %d", x, y)
+	}
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	a := NewArena(128)
+	addr := a.Alloc(2)
+	a.Store(addr, 0xdeadbeefcafef00d)
+	if got := a.Load(addr); got != 0xdeadbeefcafef00d {
+		t.Fatalf("Load = %#x", got)
+	}
+	if got := a.Load(addr + 1); got != 0 {
+		t.Fatalf("adjacent word dirtied: %#x", got)
+	}
+}
+
+func TestCompareAndSwap(t *testing.T) {
+	a := NewArena(64)
+	addr := a.Alloc(1)
+	a.Store(addr, 7)
+	if a.CompareAndSwap(addr, 8, 9) {
+		t.Fatal("CAS with wrong old succeeded")
+	}
+	if !a.CompareAndSwap(addr, 7, 9) {
+		t.Fatal("CAS with right old failed")
+	}
+	if a.Load(addr) != 9 {
+		t.Fatalf("Load after CAS = %d", a.Load(addr))
+	}
+}
+
+func TestLineMapping(t *testing.T) {
+	if LineOf(0) != 0 || LineOf(3) != 0 || LineOf(4) != 1 || LineOf(7) != 1 || LineOf(8) != 2 {
+		t.Fatal("LineOf mapping wrong")
+	}
+	for l := Line(0); l < 16; l++ {
+		if LineOf(LineStart(l)) != l {
+			t.Fatalf("LineStart/LineOf mismatch at %d", l)
+		}
+	}
+}
+
+func TestF2WRoundTrip(t *testing.T) {
+	f := func(x float64) bool { return W2F(F2W(x)) == x || x != x } // NaN is fine either way
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentAllocDisjoint(t *testing.T) {
+	const (
+		goroutines = 8
+		perG       = 1000
+	)
+	a := NewArena(goroutines*perG*2 + 64)
+	var wg sync.WaitGroup
+	got := make([][]Addr, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				got[g] = append(got[g], a.Alloc(2))
+			}
+		}(g)
+	}
+	wg.Wait()
+	seen := map[Addr]bool{}
+	for _, list := range got {
+		for _, addr := range list {
+			if seen[addr] {
+				t.Fatalf("address %d allocated twice", addr)
+			}
+			seen[addr] = true
+		}
+	}
+}
+
+func TestDirectSatisfiesContract(t *testing.T) {
+	a := NewArena(64)
+	d := Direct{A: a}
+	addr := d.Alloc(1)
+	d.Store(addr, 42)
+	if d.Load(addr) != 42 {
+		t.Fatal("Direct round trip failed")
+	}
+	d.Free(addr) // no-op, must not panic
+}

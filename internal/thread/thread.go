@@ -1,0 +1,90 @@
+// Package thread provides the fork/join thread team and reusable barrier
+// that STAMP's applications are written against (the original suite uses a
+// small pthread wrapper with thread_startup/thread_start and thread_barrier).
+// A "thread" here is a goroutine with a stable id in [0, N).
+package thread
+
+import (
+	"sync"
+)
+
+// Team runs parallel phases over a fixed number of workers.
+type Team struct {
+	n       int
+	barrier *Barrier
+}
+
+// NewTeam returns a team of n workers (n >= 1).
+func NewTeam(n int) *Team {
+	if n < 1 {
+		n = 1
+	}
+	return &Team{n: n, barrier: NewBarrier(n)}
+}
+
+// N returns the team size.
+func (t *Team) N() int { return t.n }
+
+// Run invokes body(tid) on n goroutines with tid = 0..n-1 and waits for all
+// of them. Panics in workers are re-raised on the caller.
+func (t *Team) Run(body func(tid int)) {
+	var wg sync.WaitGroup
+	panics := make([]any, t.n)
+	for tid := 0; tid < t.n; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics[tid] = r
+				}
+			}()
+			body(tid)
+		}(tid)
+	}
+	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+}
+
+// Barrier returns the team's reusable barrier; workers call Wait between
+// phases, exactly like STAMP's thread_barrier.
+func (t *Team) Barrier() *Barrier { return t.barrier }
+
+// Barrier is a reusable (cyclic) barrier for a fixed party count.
+type Barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	parties int
+	waiting int
+	phase   uint64
+}
+
+// NewBarrier returns a barrier for n parties.
+func NewBarrier(n int) *Barrier {
+	b := &Barrier{parties: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Wait blocks until all parties have called Wait, then releases them all.
+// The barrier is immediately reusable for the next phase.
+func (b *Barrier) Wait() {
+	b.mu.Lock()
+	phase := b.phase
+	b.waiting++
+	if b.waiting == b.parties {
+		b.waiting = 0
+		b.phase++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for b.phase == phase {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}

@@ -1,0 +1,65 @@
+package thread
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestTeamRunsAllIDs(t *testing.T) {
+	team := NewTeam(8)
+	var mask atomic.Uint32
+	team.Run(func(tid int) { mask.Or(1 << uint(tid)) })
+	if mask.Load() != 0xff {
+		t.Fatalf("mask = %#x", mask.Load())
+	}
+}
+
+func TestTeamMinimumOne(t *testing.T) {
+	team := NewTeam(0)
+	if team.N() != 1 {
+		t.Fatalf("N = %d", team.N())
+	}
+	ran := false
+	team.Run(func(tid int) { ran = tid == 0 })
+	if !ran {
+		t.Fatal("body did not run with tid 0")
+	}
+}
+
+func TestTeamPropagatesPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic to propagate")
+		}
+	}()
+	NewTeam(4).Run(func(tid int) {
+		if tid == 2 {
+			panic("boom")
+		}
+	})
+}
+
+func TestBarrierPhases(t *testing.T) {
+	const n = 6
+	const phases = 50
+	team := NewTeam(n)
+	counters := make([]atomic.Int64, phases)
+	team.Run(func(tid int) {
+		for p := 0; p < phases; p++ {
+			counters[p].Add(1)
+			team.Barrier().Wait()
+			// After the barrier, every party must have bumped this phase.
+			if got := counters[p].Load(); got != n {
+				t.Errorf("phase %d: counter %d after barrier", p, got)
+			}
+			team.Barrier().Wait()
+		}
+	})
+}
+
+func TestBarrierSingleParty(t *testing.T) {
+	b := NewBarrier(1)
+	for i := 0; i < 10; i++ {
+		b.Wait() // must never block
+	}
+}

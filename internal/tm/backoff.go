@@ -1,0 +1,56 @@
+package tm
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"github.com/stamp-go/stamp/internal/rng"
+)
+
+// Backoff implements the contention-management delay the paper's STMs and
+// hybrids use: no delay for the first few aborts, then randomized linear
+// backoff (delay grows linearly with the abort count, with random jitter).
+type Backoff struct {
+	after int // aborts before backoff kicks in
+	r     *rng.Rand
+}
+
+// NewBackoff returns a policy that starts delaying after `after` aborts.
+func NewBackoff(after int, seed uint64) *Backoff {
+	if after < 0 {
+		after = 0
+	}
+	return &Backoff{after: after, r: rng.New(seed)}
+}
+
+// Wait applies the delay for the given abort count (1 = first abort).
+func (b *Backoff) Wait(aborts int) {
+	if aborts <= b.after {
+		return
+	}
+	// Randomized linear backoff: up to (aborts-after) * unit spin iterations.
+	n := b.r.Intn((aborts-b.after)*backoffUnit) + 1
+	Spin(n)
+}
+
+// backoffUnit is the spin-loop budget per abort past the threshold. Each
+// iteration is an atomic load (~a few ns), so the maximum delay stays in the
+// microsecond range for realistic abort counts, like the paper's scheme.
+const backoffUnit = 1500
+
+var spinSink atomic.Uint64
+
+// Spin busy-waits for roughly n atomic-load iterations. A busy wait (rather
+// than time.Sleep) models processor backoff: the thread burns cycles without
+// giving up its core, and sub-microsecond delays are actually achievable.
+// Every 1024 iterations it yields to the scheduler so that waiting makes
+// progress even when goroutines outnumber cores (notably single-CPU hosts,
+// where a pure busy wait would block the victim it is waiting for).
+func Spin(n int) {
+	for i := 0; i < n; i++ {
+		if i&1023 == 1023 {
+			runtime.Gosched()
+		}
+		_ = spinSink.Load()
+	}
+}

@@ -1,0 +1,514 @@
+package htmsim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/stamp-go/stamp/internal/mem"
+	"github.com/stamp-go/stamp/internal/tm"
+	"github.com/stamp-go/stamp/internal/tm/sig"
+)
+
+// Eager simulates the paper's LogTM-style eager HTM: data versioning is
+// eager (writes go to memory in place, old values to an undo log), conflict
+// detection is early (at access time, through a line-ownership directory
+// that models the coherence protocol), granularity is the 32-byte line, the
+// requester loses on conflict and restarts immediately with no backoff, a
+// transaction that has aborted PriorityAfter (32) times gains high priority
+// so others cannot abort it (the livelock escape), and capacity overflow
+// moves a transaction's addresses into a Bloom-filter signature whose false
+// positives cause the conservative extra aborts the paper observes.
+type Eager struct {
+	cfg     tm.Config
+	dir     *directory
+	threads []*eagerThread
+	txs     []*eagerTx
+}
+
+// NewEager constructs the LogTM-style HTM simulation.
+func NewEager(cfg tm.Config) (*Eager, error) {
+	cfg = cfg.Defaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Eager{cfg: cfg, dir: newDirectory()}
+	s.threads = make([]*eagerThread, cfg.Threads)
+	s.txs = make([]*eagerTx, cfg.Threads)
+	for i := range s.threads {
+		x := &eagerTx{
+			sys:        s,
+			slot:       i,
+			sets:       newSetTracker(cfg),
+			readLines:  make(map[mem.Line]struct{}),
+			writeLines: make(map[mem.Line]struct{}),
+			written:    make(map[mem.Addr]struct{}),
+		}
+		s.txs[i] = x
+		s.threads[i] = &eagerThread{id: i, sys: s, tx: x}
+	}
+	return s, nil
+}
+
+// Name implements tm.System.
+func (s *Eager) Name() string { return "htm-eager" }
+
+// Arena implements tm.System.
+func (s *Eager) Arena() *mem.Arena { return s.cfg.Arena }
+
+// NThreads implements tm.System.
+func (s *Eager) NThreads() int { return s.cfg.Threads }
+
+// Thread implements tm.System.
+func (s *Eager) Thread(id int) tm.Thread { return s.threads[id] }
+
+// Stats implements tm.System.
+func (s *Eager) Stats() tm.Stats {
+	per := make([]*tm.ThreadStats, len(s.threads))
+	for i, t := range s.threads {
+		per[i] = &t.stats
+	}
+	return tm.Aggregate(per)
+}
+
+type eagerThread struct {
+	id    int
+	sys   *Eager
+	stats tm.ThreadStats
+	tx    *eagerTx
+	timer tm.AtomicTimer
+}
+
+func (t *eagerThread) ID() int                { return t.id }
+func (t *eagerThread) Stats() *tm.ThreadStats { return &t.stats }
+
+func (t *eagerThread) Atomic(fn func(tm.Tx)) {
+	t.timer.BeginBlock()
+	t.stats.Starts++
+	aborts := 0
+	for {
+		t.tx.begin(aborts >= t.sys.cfg.PriorityAfter)
+		if tm.Attempt(t.tx, fn) && t.tx.commit() {
+			break
+		}
+		t.tx.rollback()
+		aborts++
+		t.stats.Aborts++
+		t.stats.Wasted += t.tx.loads + t.tx.stores
+		// Immediate restart, no backoff (Section IV); the undo-log replay
+		// itself is the only delay, as the paper notes.
+	}
+	t.stats.Commits++
+	t.stats.Loads += t.tx.loads
+	t.stats.Stores += t.tx.stores
+	t.stats.LoadsHist.Add(int(t.tx.loads))
+	t.stats.StoresHist.Add(int(t.tx.stores))
+	t.stats.ReadLinesHist.Add(len(t.tx.readLines))
+	t.stats.WriteLinesHist.Add(len(t.tx.writeLines))
+	t.stats.TxTimeNs += int64(t.timer.EndBlock())
+}
+
+type eagerTx struct {
+	sys  *Eager
+	slot int
+
+	active   atomic.Bool
+	aborted  atomic.Bool
+	priority atomic.Bool
+
+	readLines  map[mem.Line]struct{} // lines I hold reader marks on (or sig entries)
+	writeLines map[mem.Line]struct{} // lines I hold the writer mark on (or sig entries)
+	sets       *setTracker           // associativity model (Table V: 4-way)
+	undo       []undoRec
+	written    map[mem.Addr]struct{}
+
+	// Overflow mode: addresses past capacity live in signatures instead of
+	// the directory; other transactions test them conservatively.
+	overflowed atomic.Bool
+	readSig    sig.Signature
+	writeSig   sig.Signature
+
+	loads  uint64
+	stores uint64
+}
+
+type undoRec struct {
+	addr mem.Addr
+	old  uint64
+}
+
+func (x *eagerTx) begin(priority bool) {
+	x.loads, x.stores = 0, 0
+	clear(x.readLines)
+	clear(x.writeLines)
+	clear(x.written)
+	x.sets.reset()
+	x.undo = x.undo[:0]
+	x.aborted.Store(false)
+	x.priority.Store(priority)
+	x.readSig.Clear()
+	x.writeSig.Clear()
+	x.overflowed.Store(false)
+	x.active.Store(true)
+}
+
+// rollback restores memory from the undo log and withdraws all conflict-
+// detection state, then leaves the transaction inactive.
+func (x *eagerTx) rollback() {
+	for i := len(x.undo) - 1; i >= 0; i-- {
+		x.sys.cfg.Arena.Store(x.undo[i].addr, x.undo[i].old)
+	}
+	x.undo = x.undo[:0]
+	x.releaseMarks()
+	x.active.Store(false)
+}
+
+// commit publishes by withdrawing conflict-detection state; the data is
+// already in place.
+func (x *eagerTx) commit() bool {
+	// Eager conflict detection keeps running transactions disjoint, so no
+	// commit-time validation is needed; only a pending abort request (from a
+	// priority transaction) can invalidate us here.
+	if x.aborted.Load() {
+		return false
+	}
+	x.undo = x.undo[:0]
+	x.releaseMarks()
+	x.active.Store(false)
+	return true
+}
+
+func (x *eagerTx) releaseMarks() {
+	for l := range x.readLines {
+		x.sys.dir.dropReader(l, x.slot)
+	}
+	for l := range x.writeLines {
+		x.sys.dir.dropWriter(l, x.slot)
+	}
+	// Signatures are cleared only after memory is restored (rollback runs
+	// the undo log first), so a reader that raced past a cleared signature
+	// can only observe restored or committed data.
+	x.readSig.Clear()
+	x.writeSig.Clear()
+	x.overflowed.Store(false)
+}
+
+func (x *eagerTx) pollAbort() {
+	if x.aborted.Load() {
+		tm.Retry()
+	}
+}
+
+// conflictWith resolves a conflict against victim. Requester loses: the
+// caller aborts itself — unless it holds priority and outranks the victim,
+// in which case the victim is flagged and the caller waits for it to
+// withdraw (the paper's high-priority escape). When both hold priority the
+// lower slot wins, so priority conflicts always have a global winner and
+// cannot livelock. Returns only when the caller may retry the barrier.
+func (x *eagerTx) conflictWith(victim *eagerTx) {
+	if victim == nil {
+		tm.Retry()
+	}
+	win := x.priority.Load() && (!victim.priority.Load() || x.slot < victim.slot)
+	if !win {
+		tm.Retry() // requester loses
+	}
+	victim.aborted.Store(true)
+	for victim.active.Load() && victim.aborted.Load() {
+		x.pollAbort() // a cycle of priority waits resolves through flags
+		tm.Spin(64)
+		runtime.Gosched() // the victim may need our core to roll back
+	}
+}
+
+// checkOverflowSigs tests every other overflowed transaction's signatures
+// for line l. write=true also conflicts with readers. The caller has
+// already published its own mark (directory entry or signature bit), so of
+// two racing conflicting transactions at least one sees the other.
+func (x *eagerTx) checkOverflowSigs(l mem.Line, write bool) {
+	for _, other := range x.sys.txs {
+		if other.slot == x.slot {
+			continue
+		}
+		for other.active.Load() && other.overflowed.Load() &&
+			(other.writeSig.Test(uint32(l)) || (write && other.readSig.Test(uint32(l)))) {
+			x.conflictWith(other) // retries us, or waits out the victim
+		}
+	}
+}
+
+// trackCapacity accounts a newly acquired line in the capacity model and
+// reports whether the speculative buffer still holds everything (false
+// means the transaction must spill to signatures).
+func (x *eagerTx) trackCapacity(l mem.Line) bool {
+	if len(x.readLines)+len(x.writeLines) >= x.sys.cfg.CapacityLines {
+		return false
+	}
+	return x.sets.add(l)
+}
+
+// Load implements the eager read barrier.
+func (x *eagerTx) Load(a mem.Addr) uint64 {
+	x.loads++
+	x.pollAbort()
+	l := mem.LineOf(a)
+	if _, mine := x.readLines[l]; mine {
+		return x.sys.cfg.Arena.Load(a)
+	}
+	if _, mine := x.writeLines[l]; mine {
+		return x.sys.cfg.Arena.Load(a)
+	}
+	// Ordering matters: (1) publish our own access (signature bit when
+	// overflowed), (2) the directory operation (atomic publish+check for
+	// directory-tracked transactions), (3) probe other transactions'
+	// signatures, (4) touch memory. With every transaction publishing
+	// before it probes, at least one side of any race sees the other.
+	x.readLines[l] = struct{}{}
+	if !x.overflowed.Load() && !x.trackCapacity(l) {
+		x.spillToSignatures()
+	}
+	sigOnly := x.overflowed.Load()
+	if sigOnly {
+		x.readSig.Insert(uint32(l))
+	}
+	for {
+		x.pollAbort()
+		writer := x.sys.dir.addReader(l, x.slot, sigOnly)
+		if writer < 0 {
+			break
+		}
+		x.conflictWith(x.sys.txs[writer])
+	}
+	x.checkOverflowSigs(l, false)
+	return x.sys.cfg.Arena.Load(a)
+}
+
+// Store implements the eager write barrier: gain exclusive ownership, log
+// the old value, write in place.
+func (x *eagerTx) Store(a mem.Addr, v uint64) {
+	x.stores++
+	x.pollAbort()
+	l := mem.LineOf(a)
+	if _, mine := x.writeLines[l]; !mine {
+		// Publish-then-probe; see the ordering comment in Load.
+		x.writeLines[l] = struct{}{}
+		if _, alsoRead := x.readLines[l]; !alsoRead && !x.overflowed.Load() && !x.trackCapacity(l) {
+			x.spillToSignatures()
+		}
+		sigOnly := x.overflowed.Load()
+		if sigOnly {
+			x.writeSig.Insert(uint32(l))
+		}
+		for {
+			x.pollAbort()
+			writerVictim, readers := x.sys.dir.claimWriter(l, x.slot, sigOnly, x.priority.Load())
+			if writerVictim >= 0 {
+				x.conflictWith(x.sys.txs[writerVictim])
+				continue
+			}
+			if readers == 0 {
+				break
+			}
+			if !x.priority.Load() {
+				tm.Retry() // requester loses against the reader set
+			}
+			// Priority: the reservation above blocks new readers; flag the
+			// current ones and wait until each drops its mark.
+			for r := 0; r < 64; r++ {
+				if readers&(1<<uint(r)) == 0 {
+					continue
+				}
+				victim := x.sys.txs[r]
+				for x.sys.dir.hasReader(l, r) {
+					x.pollAbort()
+					if !victim.priority.Load() || x.slot < victim.slot {
+						victim.aborted.Store(true)
+					} else {
+						tm.Retry() // outranked; give way
+					}
+					tm.Spin(64)
+					runtime.Gosched()
+				}
+			}
+		}
+		x.checkOverflowSigs(l, true)
+	}
+	if _, seen := x.written[a]; !seen {
+		x.undo = append(x.undo, undoRec{addr: a, old: x.sys.cfg.Arena.Load(a)})
+		x.written[a] = struct{}{}
+	}
+	x.sys.cfg.Arena.Store(a, v)
+}
+
+// spillToSignatures enters overflow mode: current and future lines are
+// summarized in Bloom signatures that other transactions check
+// conservatively. Directory marks for already-held lines are kept (they are
+// precise and harmless); new lines stop acquiring directory marks.
+func (x *eagerTx) spillToSignatures() {
+	for l := range x.readLines {
+		x.readSig.Insert(uint32(l))
+	}
+	for l := range x.writeLines {
+		x.writeSig.Insert(uint32(l))
+	}
+	x.overflowed.Store(true)
+}
+
+func (x *eagerTx) Alloc(n int) mem.Addr { return x.sys.cfg.Arena.Alloc(n) }
+func (x *eagerTx) Free(mem.Addr)        {}
+
+// EarlyRelease drops the reader mark for a line ("the eager HTM cannot
+// perform early-release on addresses that hit in the Bloom filter", so in
+// overflow mode the signature entry stays and keeps generating conflicts —
+// the exact labyrinth+ behaviour from Section V).
+func (x *eagerTx) EarlyRelease(a mem.Addr) {
+	if !x.sys.cfg.EnableEarlyRelease {
+		return
+	}
+	l := mem.LineOf(a)
+	if _, mine := x.readLines[l]; !mine {
+		return
+	}
+	if _, alsoWrite := x.writeLines[l]; alsoWrite {
+		return
+	}
+	if x.overflowed.Load() {
+		return // cannot remove from a Bloom filter
+	}
+	x.sys.dir.dropReader(l, x.slot)
+	delete(x.readLines, l)
+}
+
+// Peek is an uninstrumented read (see the lazy HTM note).
+func (x *eagerTx) Peek(a mem.Addr) uint64 { return x.sys.cfg.Arena.Load(a) }
+
+// Restart implements tm.Tx.
+func (x *eagerTx) Restart() { tm.Retry() }
+
+// directory models the coherence-protocol side of conflict detection: for
+// each line touched by a running transaction it records the writing
+// transaction (exclusive) and the reader set (shared), sharded by line hash.
+type directory struct {
+	shards [256]dirShard
+}
+
+type dirShard struct {
+	mu sync.Mutex
+	m  map[mem.Line]lineOwn
+	_  [40]byte // pad shards apart
+}
+
+type lineOwn struct {
+	writer  int32 // slot, or -1
+	readers uint64
+}
+
+func newDirectory() *directory {
+	d := &directory{}
+	for i := range d.shards {
+		d.shards[i].m = make(map[mem.Line]lineOwn)
+	}
+	return d
+}
+
+func (d *directory) shard(l mem.Line) *dirShard {
+	return &d.shards[(uint32(l)*2654435761)>>24]
+}
+
+// addReader records slot as a reader of l unless another transaction holds
+// the writer mark; it returns that writer's slot, or -1 on success. In
+// overflow mode (sigOnly) the conflict check still happens but no mark is
+// recorded (the caller records a signature instead).
+func (d *directory) addReader(l mem.Line, slot int, sigOnly bool) int32 {
+	s := d.shard(l)
+	s.mu.Lock()
+	own, ok := s.m[l]
+	if !ok {
+		own = lineOwn{writer: -1}
+	}
+	if own.writer >= 0 && own.writer != int32(slot) {
+		w := own.writer
+		s.mu.Unlock()
+		return w
+	}
+	if !sigOnly {
+		own.readers |= 1 << uint(slot)
+		s.m[l] = own
+	}
+	s.mu.Unlock()
+	return -1
+}
+
+// claimWriter tries to make slot the exclusive writer of l.
+//
+// It returns (writerConflict, readerMask): writerConflict >= 0 names another
+// transaction holding the writer slot; otherwise readerMask holds the other
+// current readers (0 = success, the line is ours). With reserve set (the
+// high-priority escape), the writer slot is claimed even while readers
+// remain — the reservation blocks new readers so the priority transaction
+// can drain the existing ones instead of chasing rejoining readers forever
+// (LogTM's sticky-state trick; without it a priority writer livelocks
+// against a crowd of readers on a hot line).
+func (d *directory) claimWriter(l mem.Line, slot int, sigOnly, reserve bool) (int32, uint64) {
+	s := d.shard(l)
+	s.mu.Lock()
+	own, ok := s.m[l]
+	if !ok {
+		own = lineOwn{writer: -1}
+	}
+	if own.writer >= 0 && own.writer != int32(slot) {
+		w := own.writer
+		s.mu.Unlock()
+		return w, 0
+	}
+	others := own.readers &^ (1 << uint(slot))
+	switch {
+	case others == 0 && !sigOnly:
+		own.writer = int32(slot) // clean exclusive claim
+		s.m[l] = own
+	case others != 0 && reserve:
+		own.writer = int32(slot) // reservation: block new readers, drain old
+		s.m[l] = own
+	}
+	s.mu.Unlock()
+	return -1, others
+}
+
+// hasReader reports whether slot currently holds a reader mark on l.
+func (d *directory) hasReader(l mem.Line, slot int) bool {
+	s := d.shard(l)
+	s.mu.Lock()
+	own, ok := s.m[l]
+	s.mu.Unlock()
+	return ok && own.readers&(1<<uint(slot)) != 0
+}
+
+// dropReader removes slot's reader mark on l.
+func (d *directory) dropReader(l mem.Line, slot int) {
+	s := d.shard(l)
+	s.mu.Lock()
+	if own, ok := s.m[l]; ok {
+		own.readers &^= 1 << uint(slot)
+		if own.readers == 0 && own.writer < 0 {
+			delete(s.m, l)
+		} else {
+			s.m[l] = own
+		}
+	}
+	s.mu.Unlock()
+}
+
+// dropWriter removes slot's writer mark on l.
+func (d *directory) dropWriter(l mem.Line, slot int) {
+	s := d.shard(l)
+	s.mu.Lock()
+	if own, ok := s.m[l]; ok && own.writer == int32(slot) {
+		own.writer = -1
+		if own.readers == 0 {
+			delete(s.m, l)
+		} else {
+			s.m[l] = own
+		}
+	}
+	s.mu.Unlock()
+}

@@ -1,0 +1,325 @@
+package htmsim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/stamp-go/stamp/internal/mem"
+	"github.com/stamp-go/stamp/internal/tm"
+)
+
+// Lazy simulates the paper's TCC-style lazy HTM: speculative writes are
+// buffered, conflict detection happens at commit through the "coherence
+// protocol" (here: a commit arbiter that probes every active transaction's
+// line sets and aborts overlapping ones — committer wins), detection is at
+// 32-byte line granularity, aborted transactions restart immediately with no
+// backoff, and capacity overflow temporarily serializes transaction
+// execution, exactly as described in Section IV.
+//
+// Commit atomicity versus racing read barriers uses a seqlock-style epoch:
+// the arbiter makes the epoch odd while it probes victim sets and writes
+// back; a read barrier that overlaps an odd epoch (or observes the epoch
+// change under it) retries its insert+load, so a victim can never keep a
+// stale value without either being flagged or re-reading the committed one.
+type Lazy struct {
+	cfg      tm.Config
+	commitMu sync.Mutex
+	serialMu sync.RWMutex
+	epoch    atomic.Uint64
+	threads  []*lazyThread
+	txs      []*lazyTx
+}
+
+// NewLazy constructs the TCC-style HTM simulation.
+func NewLazy(cfg tm.Config) (*Lazy, error) {
+	cfg = cfg.Defaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Lazy{cfg: cfg}
+	s.threads = make([]*lazyThread, cfg.Threads)
+	s.txs = make([]*lazyTx, cfg.Threads)
+	for i := range s.threads {
+		x := &lazyTx{
+			sys:        s,
+			slot:       i,
+			readSet:    newLineSet(cfg.CapacityLines),
+			writeSet:   newLineSet(cfg.CapacityLines),
+			sets:       newSetTracker(cfg),
+			wbuf:       make(map[mem.Addr]uint64),
+			serialRead: make(map[mem.Line]struct{}),
+			serialWrit: make(map[mem.Line]struct{}),
+		}
+		s.txs[i] = x
+		s.threads[i] = &lazyThread{id: i, sys: s, tx: x}
+	}
+	return s, nil
+}
+
+// Name implements tm.System.
+func (s *Lazy) Name() string { return "htm-lazy" }
+
+// Arena implements tm.System.
+func (s *Lazy) Arena() *mem.Arena { return s.cfg.Arena }
+
+// NThreads implements tm.System.
+func (s *Lazy) NThreads() int { return s.cfg.Threads }
+
+// Thread implements tm.System.
+func (s *Lazy) Thread(id int) tm.Thread { return s.threads[id] }
+
+// Stats implements tm.System.
+func (s *Lazy) Stats() tm.Stats {
+	per := make([]*tm.ThreadStats, len(s.threads))
+	for i, t := range s.threads {
+		per[i] = &t.stats
+	}
+	return tm.Aggregate(per)
+}
+
+type lazyThread struct {
+	id    int
+	sys   *Lazy
+	stats tm.ThreadStats
+	tx    *lazyTx
+	timer tm.AtomicTimer
+}
+
+func (t *lazyThread) ID() int                { return t.id }
+func (t *lazyThread) Stats() *tm.ThreadStats { return &t.stats }
+
+func (t *lazyThread) Atomic(fn func(tm.Tx)) {
+	t.timer.BeginBlock()
+	t.stats.Starts++
+	for {
+		t.tx.begin()
+		ok := tm.Attempt(t.tx, fn) && t.tx.commit()
+		t.tx.end()
+		if ok {
+			break
+		}
+		t.stats.Aborts++
+		t.stats.Wasted += t.tx.loads + t.tx.stores
+		// No backoff: the lazy HTM restarts aborted transactions
+		// immediately (Section IV). Overflowed attempts retry in serial
+		// mode; that switch happens inside begin via tx.serial.
+	}
+	t.stats.Commits++
+	t.stats.Loads += t.tx.loads
+	t.stats.Stores += t.tx.stores
+	t.stats.LoadsHist.Add(int(t.tx.loads))
+	t.stats.StoresHist.Add(int(t.tx.stores))
+	t.stats.ReadLinesHist.Add(t.tx.readLineCount())
+	t.stats.WriteLinesHist.Add(t.tx.writeLineCount())
+	t.stats.TxTimeNs += int64(t.timer.EndBlock())
+	t.tx.serial = false
+}
+
+type lazyTx struct {
+	sys  *Lazy
+	slot int
+
+	active  atomic.Bool
+	aborted atomic.Bool
+
+	readSet  *lineSet
+	writeSet *lineSet
+	sets     *setTracker // associativity model (Table V: 4-way)
+	wbuf     map[mem.Addr]uint64
+	worder   []mem.Addr
+
+	// serial (overflow) mode: the transaction runs alone with direct memory
+	// access; plain maps suffice and have no capacity limit. serial selects
+	// the mode for the next attempt; heldSerial records which lock the
+	// current attempt actually took (overflow flips serial mid-attempt).
+	serial     bool
+	heldSerial bool
+	serialRead map[mem.Line]struct{}
+	serialWrit map[mem.Line]struct{}
+
+	loads  uint64
+	stores uint64
+}
+
+func (x *lazyTx) readLineCount() int {
+	if x.serial {
+		return len(x.serialRead)
+	}
+	return x.readSet.len()
+}
+
+func (x *lazyTx) writeLineCount() int {
+	if x.serial {
+		return len(x.serialWrit)
+	}
+	return x.writeSet.len()
+}
+
+func (x *lazyTx) begin() {
+	x.loads, x.stores = 0, 0
+	x.heldSerial = x.serial
+	if x.serial {
+		// Overflow: wait until we are the only transaction in the system,
+		// then execute non-speculatively ("temporarily serializes the
+		// execution of transactions").
+		x.sys.serialMu.Lock()
+		clear(x.serialRead)
+		clear(x.serialWrit)
+		return
+	}
+	x.sys.serialMu.RLock()
+	x.readSet.clear()
+	x.writeSet.clear()
+	x.sets.reset()
+	clear(x.wbuf)
+	x.worder = x.worder[:0]
+	x.aborted.Store(false)
+	x.active.Store(true)
+}
+
+// end releases begin's locks after a commit or an abort.
+func (x *lazyTx) end() {
+	if x.heldSerial {
+		x.sys.serialMu.Unlock()
+		return
+	}
+	x.active.Store(false)
+	x.sys.serialMu.RUnlock()
+}
+
+// overflow switches the next attempt to serial mode and aborts this one.
+func (x *lazyTx) overflow() {
+	x.serial = true
+	tm.Retry()
+}
+
+// Load implements the HTM read barrier (in hardware this is an implicit,
+// free cache access; the bookkeeping here is the simulation's price).
+func (x *lazyTx) Load(a mem.Addr) uint64 {
+	x.loads++
+	if x.serial {
+		x.serialRead[mem.LineOf(a)] = struct{}{}
+		return x.sys.cfg.Arena.Load(a)
+	}
+	if v, ok := x.wbuf[a]; ok {
+		return v
+	}
+	l := mem.LineOf(a)
+	for {
+		if x.aborted.Load() {
+			tm.Retry()
+		}
+		e := x.sys.epoch.Load()
+		if e&1 == 1 { // a commit is being arbitrated; wait like a snooping cache
+			runtime.Gosched()
+			continue
+		}
+		added, ok := x.readSet.insert(l)
+		if !ok || (added && x.readSet.len()+x.writeSet.len() > x.sys.cfg.CapacityLines) {
+			x.overflow()
+		}
+		if added && !x.writeSet.contains(l) && !x.sets.add(l) {
+			x.overflow() // associativity conflict in the speculative buffer
+		}
+		v := x.sys.cfg.Arena.Load(a)
+		if x.sys.epoch.Load() == e {
+			return v
+		}
+		// A commit overlapped this insert+load window; redo so the value is
+		// either pre-commit-with-visible-insert or the committed one.
+	}
+}
+
+// Store implements the HTM write barrier: buffer the word, track the line.
+func (x *lazyTx) Store(a mem.Addr, v uint64) {
+	x.stores++
+	if x.serial {
+		x.serialWrit[mem.LineOf(a)] = struct{}{}
+		x.sys.cfg.Arena.Store(a, v)
+		return
+	}
+	if x.aborted.Load() {
+		tm.Retry()
+	}
+	if _, ok := x.wbuf[a]; !ok {
+		x.worder = append(x.worder, a)
+	}
+	x.wbuf[a] = v
+	l := mem.LineOf(a)
+	added, ok := x.writeSet.insert(l)
+	if !ok || (added && x.readSet.len()+x.writeSet.len() > x.sys.cfg.CapacityLines) {
+		x.overflow()
+	}
+	if added && !x.readSet.contains(l) && !x.sets.add(l) {
+		x.overflow()
+	}
+}
+
+func (x *lazyTx) Alloc(n int) mem.Addr { return x.sys.cfg.Arena.Alloc(n) }
+func (x *lazyTx) Free(mem.Addr)        {}
+
+// EarlyRelease drops a line from the speculative read set so it no longer
+// raises conflicts — the labyrinth optimization. Lines also in the write set
+// stay tracked.
+func (x *lazyTx) EarlyRelease(a mem.Addr) {
+	if !x.sys.cfg.EnableEarlyRelease {
+		return
+	}
+	l := mem.LineOf(a)
+	if x.serial {
+		delete(x.serialRead, l)
+		return
+	}
+	if !x.writeSet.contains(l) {
+		if x.readSet.contains(l) {
+			x.sets.drop(l)
+		}
+		x.readSet.remove(l)
+	}
+}
+
+// Peek is an uninstrumented read. On a real HTM all accesses are implicitly
+// tracked, so STAMP only uses Peek on software/hybrid systems; it is still
+// provided here for API uniformity.
+func (x *lazyTx) Peek(a mem.Addr) uint64 { return x.sys.cfg.Arena.Load(a) }
+
+// Restart implements tm.Tx.
+func (x *lazyTx) Restart() { tm.Retry() }
+
+// commit arbitrates: flag every active transaction whose read or write set
+// overlaps our write set, then write back. Committer wins.
+func (x *lazyTx) commit() bool {
+	if x.serial {
+		return true // ran alone with direct stores
+	}
+	if len(x.worder) == 0 {
+		// Read-only: correctness is guaranteed by the abort flag (any
+		// conflicting committer flagged us before writing back).
+		return !x.aborted.Load()
+	}
+	x.sys.commitMu.Lock()
+	if x.aborted.Load() {
+		x.sys.commitMu.Unlock()
+		return false
+	}
+	x.sys.epoch.Add(1) // odd: commit in progress
+	for _, other := range x.sys.txs {
+		if other.slot == x.slot || !other.active.Load() {
+			continue
+		}
+		for _, wa := range x.worder {
+			l := mem.LineOf(wa)
+			if other.readSet.contains(l) || other.writeSet.contains(l) {
+				other.aborted.Store(true)
+				break
+			}
+		}
+	}
+	for _, wa := range x.worder {
+		x.sys.cfg.Arena.Store(wa, x.wbuf[wa])
+	}
+	x.sys.epoch.Add(1) // even: done
+	x.sys.commitMu.Unlock()
+	return true
+}

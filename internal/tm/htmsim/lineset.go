@@ -1,0 +1,123 @@
+// Package htmsim implements software simulations of the paper's two
+// hardware TM systems: a lazy-versioning TCC-style HTM and an eager-
+// versioning LogTM-style HTM. "Hardware" here means: conflict detection at
+// 32-byte cache-line granularity, a bounded speculative capacity with the
+// paper's overflow behaviours (serialized execution for the lazy HTM, Bloom
+// signatures with false conflicts for the eager HTM), implicit barriers
+// (early release actually matters), and no software read/write-buffer
+// overhead models beyond what the simulation itself costs.
+package htmsim
+
+import (
+	"sync/atomic"
+
+	"github.com/stamp-go/stamp/internal/mem"
+)
+
+const (
+	emptySlot     = 0          // line 0 is never allocated (word 0 is reserved)
+	tombstoneSlot = 0xffffffff // deleted marker (early release)
+)
+
+// lineSet is a fixed-capacity open-addressing hash set of cache lines with
+// single-writer / multi-reader atomicity: the owning transaction inserts and
+// removes, while committing transactions probe it concurrently during
+// conflict detection. All slot accesses are atomic, so probes are race-free;
+// a probe that overlaps an insert may miss it, which the lazy HTM's commit
+// epoch protocol compensates for (see lazy.go).
+type lineSet struct {
+	slots []atomic.Uint32
+	mask  uint32
+	count int // live entries; owner-only
+}
+
+func newLineSet(capacity int) *lineSet {
+	n := uint32(4)
+	for int(n) < 2*capacity {
+		n <<= 1
+	}
+	return &lineSet{slots: make([]atomic.Uint32, n), mask: n - 1}
+}
+
+func (s *lineSet) hash(l mem.Line) uint32 {
+	x := uint32(l) * 2654435761
+	return (x ^ x>>16) & s.mask
+}
+
+// insert adds l; reports whether it was new. Owner-only. Returns ok=false
+// when the set is full (capacity overflow).
+func (s *lineSet) insert(l mem.Line) (added, ok bool) {
+	i := s.hash(l)
+	free := uint32(0xffffffff) // first tombstone seen, if any
+	for probes := uint32(0); probes <= s.mask; probes++ {
+		v := s.slots[i].Load()
+		switch v {
+		case uint32(l):
+			return false, true
+		case emptySlot:
+			if free == 0xffffffff {
+				free = i
+			}
+			s.slots[free].Store(uint32(l))
+			s.count++
+			return true, true
+		case tombstoneSlot:
+			if free == 0xffffffff {
+				free = i
+			}
+		}
+		i = (i + 1) & s.mask
+	}
+	if free != 0xffffffff {
+		s.slots[free].Store(uint32(l))
+		s.count++
+		return true, true
+	}
+	return false, false
+}
+
+// contains probes for l. Safe for concurrent use against the owner.
+func (s *lineSet) contains(l mem.Line) bool {
+	i := s.hash(l)
+	for probes := uint32(0); probes <= s.mask; probes++ {
+		v := s.slots[i].Load()
+		switch v {
+		case uint32(l):
+			return true
+		case emptySlot:
+			return false
+		}
+		i = (i + 1) & s.mask
+	}
+	return false
+}
+
+// remove deletes l if present (early release). Owner-only.
+func (s *lineSet) remove(l mem.Line) {
+	i := s.hash(l)
+	for probes := uint32(0); probes <= s.mask; probes++ {
+		v := s.slots[i].Load()
+		switch v {
+		case uint32(l):
+			s.slots[i].Store(tombstoneSlot)
+			s.count--
+			return
+		case emptySlot:
+			return
+		}
+		i = (i + 1) & s.mask
+	}
+}
+
+// clear empties the set (including tombstones). Owner-only.
+func (s *lineSet) clear() {
+	for i := range s.slots {
+		if s.slots[i].Load() != emptySlot {
+			s.slots[i].Store(emptySlot)
+		}
+	}
+	s.count = 0
+}
+
+// len returns the number of live entries. Owner-only.
+func (s *lineSet) len() int { return s.count }

@@ -1,0 +1,133 @@
+package htmsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/stamp-go/stamp/internal/mem"
+)
+
+func TestLineSetInsertContains(t *testing.T) {
+	s := newLineSet(64)
+	for l := mem.Line(1); l <= 50; l++ {
+		added, ok := s.insert(l)
+		if !ok || !added {
+			t.Fatalf("insert %d: added=%v ok=%v", l, added, ok)
+		}
+	}
+	if s.len() != 50 {
+		t.Fatalf("len = %d", s.len())
+	}
+	for l := mem.Line(1); l <= 50; l++ {
+		if !s.contains(l) {
+			t.Fatalf("missing %d", l)
+		}
+	}
+	if s.contains(99) {
+		t.Fatal("phantom member")
+	}
+	// Duplicate insert.
+	if added, ok := s.insert(7); added || !ok {
+		t.Fatalf("duplicate insert: added=%v ok=%v", added, ok)
+	}
+}
+
+func TestLineSetRemoveTombstones(t *testing.T) {
+	s := newLineSet(32)
+	for l := mem.Line(1); l <= 30; l++ {
+		s.insert(l)
+	}
+	for l := mem.Line(1); l <= 30; l += 2 {
+		s.remove(l)
+	}
+	if s.len() != 15 {
+		t.Fatalf("len = %d", s.len())
+	}
+	for l := mem.Line(1); l <= 30; l++ {
+		want := l%2 == 0
+		if s.contains(l) != want {
+			t.Fatalf("contains(%d) = %v after removals", l, !want)
+		}
+	}
+	// Reinsertion through tombstones must not duplicate.
+	if added, _ := s.insert(2); added {
+		t.Fatal("existing member re-added through tombstone probe")
+	}
+	if added, _ := s.insert(1); !added {
+		t.Fatal("removed member not re-addable")
+	}
+}
+
+func TestLineSetClear(t *testing.T) {
+	s := newLineSet(16)
+	for l := mem.Line(1); l <= 10; l++ {
+		s.insert(l)
+	}
+	s.remove(3) // leave a tombstone
+	s.clear()
+	if s.len() != 0 {
+		t.Fatalf("len after clear = %d", s.len())
+	}
+	for l := mem.Line(1); l <= 10; l++ {
+		if s.contains(l) {
+			t.Fatalf("clear left %d", l)
+		}
+	}
+	if added, ok := s.insert(3); !added || !ok {
+		t.Fatal("insert after clear failed")
+	}
+}
+
+func TestLineSetFullReportsOverflow(t *testing.T) {
+	s := newLineSet(2) // 4 slots
+	inserted := 0
+	for l := mem.Line(1); l <= 10; l++ {
+		if _, ok := s.insert(l); ok {
+			inserted++
+		} else {
+			break
+		}
+	}
+	if inserted < 2 || inserted > 4 {
+		t.Fatalf("inserted %d before overflow, expected 2..4", inserted)
+	}
+}
+
+func TestLineSetModelProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		s := newLineSet(256)
+		model := map[mem.Line]bool{}
+		for i, op := range ops {
+			l := mem.Line(op%200 + 1)
+			switch i % 3 {
+			case 0, 1:
+				added, ok := s.insert(l)
+				if !ok {
+					return false // cannot overflow at this size
+				}
+				if added == model[l] {
+					return false
+				}
+				model[l] = true
+			case 2:
+				s.remove(l)
+				delete(model, l)
+			}
+			if s.contains(l) != model[l] {
+				return false
+			}
+		}
+		if s.len() != len(model) {
+			return false
+		}
+		for l := range model {
+			if !s.contains(l) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,226 @@
+package hybrid
+
+import (
+	"sync/atomic"
+
+	"github.com/stamp-go/stamp/internal/mem"
+	"github.com/stamp-go/stamp/internal/tm"
+	"github.com/stamp-go/stamp/internal/tm/sig"
+)
+
+// Eager is the eager SigTM variant: software undo log with in-place writes,
+// hardware signatures for conflict detection at encounter time. Conflicts
+// are detected by the requester (insert-then-probe: each barrier publishes
+// its own signature bit before probing everyone else's, so of two racing
+// conflicting transactions at least one sees the other) and resolved by the
+// requester aborting itself with randomized linear backoff — the policy mix
+// that makes this system livelock-prone on genome, exactly as the paper
+// reports.
+type Eager struct {
+	cfg     tm.Config
+	threads []*eagerThread
+	txs     []*eagerTx
+}
+
+// NewEager constructs the eager hybrid.
+func NewEager(cfg tm.Config) (*Eager, error) {
+	cfg = cfg.Defaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Eager{cfg: cfg}
+	s.threads = make([]*eagerThread, cfg.Threads)
+	s.txs = make([]*eagerTx, cfg.Threads)
+	for i := range s.threads {
+		x := &eagerTx{sys: s, slot: i, written: make(map[mem.Addr]struct{})}
+		if cfg.ProfileSets {
+			x.readLines = make(map[mem.Line]struct{})
+			x.writeLines = make(map[mem.Line]struct{})
+		}
+		s.txs[i] = x
+		s.threads[i] = &eagerThread{
+			id: i, sys: s, tx: x,
+			backoff: tm.NewBackoff(cfg.BackoffAfter, cfg.Seed+uint64(i)^0xeb1d),
+		}
+	}
+	return s, nil
+}
+
+// Name implements tm.System.
+func (s *Eager) Name() string { return "hybrid-eager" }
+
+// Arena implements tm.System.
+func (s *Eager) Arena() *mem.Arena { return s.cfg.Arena }
+
+// NThreads implements tm.System.
+func (s *Eager) NThreads() int { return s.cfg.Threads }
+
+// Thread implements tm.System.
+func (s *Eager) Thread(id int) tm.Thread { return s.threads[id] }
+
+// Stats implements tm.System.
+func (s *Eager) Stats() tm.Stats {
+	per := make([]*tm.ThreadStats, len(s.threads))
+	for i, t := range s.threads {
+		per[i] = &t.stats
+	}
+	return tm.Aggregate(per)
+}
+
+type eagerThread struct {
+	id      int
+	sys     *Eager
+	stats   tm.ThreadStats
+	tx      *eagerTx
+	backoff *tm.Backoff
+	timer   tm.AtomicTimer
+}
+
+func (t *eagerThread) ID() int                { return t.id }
+func (t *eagerThread) Stats() *tm.ThreadStats { return &t.stats }
+
+func (t *eagerThread) Atomic(fn func(tm.Tx)) {
+	t.timer.BeginBlock()
+	t.stats.Starts++
+	aborts := 0
+	for {
+		t.tx.begin()
+		if tm.Attempt(t.tx, fn) {
+			t.tx.commit()
+			break
+		}
+		t.tx.rollback()
+		aborts++
+		t.stats.Aborts++
+		t.stats.Wasted += t.tx.loads + t.tx.stores
+		t.backoff.Wait(aborts)
+	}
+	t.stats.Commits++
+	t.stats.Loads += t.tx.loads
+	t.stats.Stores += t.tx.stores
+	t.stats.LoadsHist.Add(int(t.tx.loads))
+	t.stats.StoresHist.Add(int(t.tx.stores))
+	if t.tx.readLines != nil {
+		t.stats.ReadLinesHist.Add(len(t.tx.readLines))
+		t.stats.WriteLinesHist.Add(len(t.tx.writeLines))
+	}
+	t.stats.TxTimeNs += int64(t.timer.EndBlock())
+}
+
+type eagerTx struct {
+	sys  *Eager
+	slot int
+
+	active atomic.Bool
+
+	readSig  sig.Signature
+	writeSig sig.Signature
+	undo     []undoRec
+	written  map[mem.Addr]struct{}
+
+	loads  uint64
+	stores uint64
+
+	readLines  map[mem.Line]struct{} // profiling only
+	writeLines map[mem.Line]struct{}
+}
+
+type undoRec struct {
+	addr mem.Addr
+	old  uint64
+}
+
+func (x *eagerTx) begin() {
+	x.loads, x.stores = 0, 0
+	x.readSig.Clear()
+	x.writeSig.Clear()
+	x.undo = x.undo[:0]
+	clear(x.written)
+	if x.readLines != nil {
+		clear(x.readLines)
+		clear(x.writeLines)
+	}
+	x.active.Store(true)
+}
+
+// rollback replays the undo log before clearing signatures, so a racing
+// reader that passes a cleared signature can only observe restored data.
+func (x *eagerTx) rollback() {
+	for i := len(x.undo) - 1; i >= 0; i-- {
+		x.sys.cfg.Arena.Store(x.undo[i].addr, x.undo[i].old)
+	}
+	x.undo = x.undo[:0]
+	x.readSig.Clear()
+	x.writeSig.Clear()
+	x.active.Store(false)
+}
+
+// commit needs no validation: a writer that would have invalidated one of
+// our reads saw our read signature and aborted itself instead.
+func (x *eagerTx) commit() {
+	x.undo = x.undo[:0]
+	x.readSig.Clear()
+	x.writeSig.Clear()
+	x.active.Store(false)
+}
+
+// Load publishes the line in the read signature, then probes every other
+// active transaction's write signature; a hit means that line may carry
+// in-place speculative data, so the requester loses and retries.
+func (x *eagerTx) Load(a mem.Addr) uint64 {
+	x.loads++
+	l := uint32(mem.LineOf(a))
+	x.readSig.Insert(l)
+	for _, other := range x.sys.txs {
+		if other.slot == x.slot || !other.active.Load() {
+			continue
+		}
+		if other.writeSig.Test(l) {
+			tm.Retry()
+		}
+	}
+	if x.readLines != nil {
+		x.readLines[mem.LineOf(a)] = struct{}{}
+	}
+	return x.sys.cfg.Arena.Load(a)
+}
+
+// Store publishes the line in the write signature, probes every other
+// active transaction's read and write signatures, then writes in place
+// under the undo log.
+func (x *eagerTx) Store(a mem.Addr, v uint64) {
+	x.stores++
+	l := uint32(mem.LineOf(a))
+	x.writeSig.Insert(l)
+	for _, other := range x.sys.txs {
+		if other.slot == x.slot || !other.active.Load() {
+			continue
+		}
+		if other.readSig.Test(l) || other.writeSig.Test(l) {
+			tm.Retry()
+		}
+	}
+	if _, seen := x.written[a]; !seen {
+		x.undo = append(x.undo, undoRec{addr: a, old: x.sys.cfg.Arena.Load(a)})
+		x.written[a] = struct{}{}
+	}
+	x.sys.cfg.Arena.Store(a, v)
+	if x.writeLines != nil {
+		x.writeLines[mem.LineOf(a)] = struct{}{}
+	}
+}
+
+func (x *eagerTx) Alloc(n int) mem.Addr { return x.sys.cfg.Arena.Alloc(n) }
+func (x *eagerTx) Free(mem.Addr)        {}
+
+// EarlyRelease is unsupported on signatures (no removal from a Bloom
+// filter); it is a no-op, as on the lazy hybrid.
+func (x *eagerTx) EarlyRelease(mem.Addr) {}
+
+// Peek is an uninstrumented read; with eager versioning it may observe
+// in-flight speculative data (see the eager STM note — the only sanctioned
+// use revalidates transactionally).
+func (x *eagerTx) Peek(a mem.Addr) uint64 { return x.sys.cfg.Arena.Load(a) }
+
+// Restart implements tm.Tx.
+func (x *eagerTx) Restart() { tm.Retry() }

@@ -1,0 +1,248 @@
+// Package hybrid implements the paper's two hybrid TM systems, modelled on
+// SigTM: data versioning stays in software (a write buffer for the lazy
+// variant, an undo log for the eager one) while conflict detection uses
+// per-transaction hardware signatures — 2048-bit Bloom filters over 32-byte
+// line addresses (Table V). Conflict detection is therefore at line
+// granularity and conservative (false positives), and isolation is strong
+// with respect to transactional peers. Contention management matches the
+// STMs: randomized linear backoff after three aborts.
+package hybrid
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/stamp-go/stamp/internal/mem"
+	"github.com/stamp-go/stamp/internal/tm"
+	"github.com/stamp-go/stamp/internal/tm/sig"
+)
+
+// Lazy is the SigTM-style lazy hybrid: software write buffer, read/write
+// signatures, committer-wins conflict detection at commit.
+type Lazy struct {
+	cfg      tm.Config
+	commitMu sync.Mutex
+	epoch    atomic.Uint64
+	threads  []*lazyThread
+	txs      []*lazyTx
+}
+
+// NewLazy constructs the lazy hybrid.
+func NewLazy(cfg tm.Config) (*Lazy, error) {
+	cfg = cfg.Defaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Lazy{cfg: cfg}
+	s.threads = make([]*lazyThread, cfg.Threads)
+	s.txs = make([]*lazyTx, cfg.Threads)
+	for i := range s.threads {
+		x := &lazyTx{sys: s, slot: i, wbuf: make(map[mem.Addr]uint64)}
+		if cfg.ProfileSets {
+			x.readLines = make(map[mem.Line]struct{})
+			x.writeLines = make(map[mem.Line]struct{})
+		}
+		s.txs[i] = x
+		s.threads[i] = &lazyThread{
+			id: i, sys: s, tx: x,
+			backoff: tm.NewBackoff(cfg.BackoffAfter, cfg.Seed+uint64(i)^0x11bad),
+		}
+	}
+	return s, nil
+}
+
+// Name implements tm.System.
+func (s *Lazy) Name() string { return "hybrid-lazy" }
+
+// Arena implements tm.System.
+func (s *Lazy) Arena() *mem.Arena { return s.cfg.Arena }
+
+// NThreads implements tm.System.
+func (s *Lazy) NThreads() int { return s.cfg.Threads }
+
+// Thread implements tm.System.
+func (s *Lazy) Thread(id int) tm.Thread { return s.threads[id] }
+
+// Stats implements tm.System.
+func (s *Lazy) Stats() tm.Stats {
+	per := make([]*tm.ThreadStats, len(s.threads))
+	for i, t := range s.threads {
+		per[i] = &t.stats
+	}
+	return tm.Aggregate(per)
+}
+
+type lazyThread struct {
+	id      int
+	sys     *Lazy
+	stats   tm.ThreadStats
+	tx      *lazyTx
+	backoff *tm.Backoff
+	timer   tm.AtomicTimer
+}
+
+func (t *lazyThread) ID() int                { return t.id }
+func (t *lazyThread) Stats() *tm.ThreadStats { return &t.stats }
+
+func (t *lazyThread) Atomic(fn func(tm.Tx)) {
+	t.timer.BeginBlock()
+	t.stats.Starts++
+	aborts := 0
+	for {
+		t.tx.begin()
+		ok := tm.Attempt(t.tx, fn) && t.tx.commit()
+		t.tx.end()
+		if ok {
+			break
+		}
+		aborts++
+		t.stats.Aborts++
+		t.stats.Wasted += t.tx.loads + t.tx.stores
+		t.backoff.Wait(aborts)
+	}
+	t.stats.Commits++
+	t.stats.Loads += t.tx.loads
+	t.stats.Stores += t.tx.stores
+	t.stats.LoadsHist.Add(int(t.tx.loads))
+	t.stats.StoresHist.Add(int(t.tx.stores))
+	if t.tx.readLines != nil {
+		t.stats.ReadLinesHist.Add(len(t.tx.readLines))
+		t.stats.WriteLinesHist.Add(len(t.tx.writeLines))
+	}
+	t.stats.TxTimeNs += int64(t.timer.EndBlock())
+}
+
+type lazyTx struct {
+	sys  *Lazy
+	slot int
+
+	active  atomic.Bool
+	aborted atomic.Bool
+
+	readSig  sig.Signature
+	writeSig sig.Signature
+	wbuf     map[mem.Addr]uint64
+	worder   []mem.Addr
+
+	loads  uint64
+	stores uint64
+
+	readLines  map[mem.Line]struct{} // profiling only
+	writeLines map[mem.Line]struct{}
+}
+
+func (x *lazyTx) begin() {
+	x.loads, x.stores = 0, 0
+	x.readSig.Clear()
+	x.writeSig.Clear()
+	clear(x.wbuf)
+	x.worder = x.worder[:0]
+	if x.readLines != nil {
+		clear(x.readLines)
+		clear(x.writeLines)
+	}
+	x.aborted.Store(false)
+	x.active.Store(true)
+}
+
+// end closes the conflict window: once active is clear, peers stop probing
+// these signatures, and clearing them keeps no stale conflict state between
+// transactions.
+func (x *lazyTx) end() {
+	x.active.Store(false)
+	x.readSig.Clear()
+	x.writeSig.Clear()
+}
+
+// Load: write-buffer lookup, then a signature-tracked read. The epoch
+// seqlock (see commit) guarantees a read that overlaps a commit is redone,
+// so doomed transactions never hold an inconsistent snapshot.
+func (x *lazyTx) Load(a mem.Addr) uint64 {
+	x.loads++
+	if v, ok := x.wbuf[a]; ok {
+		return v
+	}
+	l := mem.LineOf(a)
+	for {
+		if x.aborted.Load() {
+			tm.Retry()
+		}
+		e := x.sys.epoch.Load()
+		if e&1 == 1 {
+			runtime.Gosched()
+			continue
+		}
+		x.readSig.Insert(uint32(l))
+		v := x.sys.cfg.Arena.Load(a)
+		if x.sys.epoch.Load() == e {
+			if x.readLines != nil {
+				x.readLines[l] = struct{}{}
+			}
+			return v
+		}
+	}
+}
+
+// Store buffers the word and records the line in the write signature.
+func (x *lazyTx) Store(a mem.Addr, v uint64) {
+	x.stores++
+	if x.aborted.Load() {
+		tm.Retry()
+	}
+	if _, ok := x.wbuf[a]; !ok {
+		x.worder = append(x.worder, a)
+	}
+	x.wbuf[a] = v
+	x.writeSig.Insert(uint32(mem.LineOf(a)))
+	if x.writeLines != nil {
+		x.writeLines[mem.LineOf(a)] = struct{}{}
+	}
+}
+
+func (x *lazyTx) Alloc(n int) mem.Addr { return x.sys.cfg.Arena.Alloc(n) }
+func (x *lazyTx) Free(mem.Addr)        {}
+
+// EarlyRelease cannot remove a line from a Bloom filter; like SigTM, the
+// hybrid simply does not support it (labyrinth avoids needing it on hybrids
+// by using uninstrumented Peek reads, as the paper explains).
+func (x *lazyTx) EarlyRelease(mem.Addr) {}
+
+// Peek is an uninstrumented read; does not see own buffered writes.
+func (x *lazyTx) Peek(a mem.Addr) uint64 { return x.sys.cfg.Arena.Load(a) }
+
+// Restart implements tm.Tx.
+func (x *lazyTx) Restart() { tm.Retry() }
+
+// commit arbitrates exactly like the TCC HTM, but probes signatures instead
+// of precise line sets: flag every active transaction whose read or write
+// signature admits one of our write lines, then write back.
+func (x *lazyTx) commit() bool {
+	if len(x.worder) == 0 {
+		return !x.aborted.Load()
+	}
+	x.sys.commitMu.Lock()
+	if x.aborted.Load() {
+		x.sys.commitMu.Unlock()
+		return false
+	}
+	x.sys.epoch.Add(1)
+	for _, other := range x.sys.txs {
+		if other.slot == x.slot || !other.active.Load() {
+			continue
+		}
+		for _, wa := range x.worder {
+			l := uint32(mem.LineOf(wa))
+			if other.readSig.Test(l) || other.writeSig.Test(l) {
+				other.aborted.Store(true)
+				break
+			}
+		}
+	}
+	for _, wa := range x.worder {
+		x.sys.cfg.Arena.Store(wa, x.wbuf[wa])
+	}
+	x.sys.epoch.Add(1)
+	x.sys.commitMu.Unlock()
+	return true
+}

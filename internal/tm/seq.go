@@ -1,0 +1,142 @@
+package tm
+
+import (
+	"github.com/stamp-go/stamp/internal/mem"
+)
+
+// Seq is the sequential baseline system: no concurrency control at all.
+// It is the denominator of every Figure 1 speedup curve ("normalized to
+// sequential execution with code that does not have extra overhead from the
+// annotations") and, with ProfileSets, the measurement vehicle for the
+// per-transaction characterization proxies in Table VI.
+//
+// Seq supports any thread count so the harness can reuse the same driver
+// code, but correctness is only guaranteed at Threads == 1 (it performs no
+// synchronization, exactly like the original sequential builds).
+type Seq struct {
+	cfg     Config
+	threads []*seqThread
+}
+
+// NewSeq constructs the sequential system.
+func NewSeq(cfg Config) (*Seq, error) {
+	cfg = cfg.Defaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Seq{cfg: cfg}
+	s.threads = make([]*seqThread, cfg.Threads)
+	for i := range s.threads {
+		t := &seqThread{id: i, sys: s}
+		t.tx.t = t
+		if cfg.ProfileSets {
+			t.tx.readLines = make(map[mem.Line]struct{})
+			t.tx.writeLines = make(map[mem.Line]struct{})
+		}
+		s.threads[i] = t
+	}
+	return s, nil
+}
+
+// Name implements System.
+func (s *Seq) Name() string { return "seq" }
+
+// Arena implements System.
+func (s *Seq) Arena() *mem.Arena { return s.cfg.Arena }
+
+// NThreads implements System.
+func (s *Seq) NThreads() int { return s.cfg.Threads }
+
+// Thread implements System.
+func (s *Seq) Thread(id int) Thread { return s.threads[id] }
+
+// Stats implements System.
+func (s *Seq) Stats() Stats {
+	per := make([]*ThreadStats, len(s.threads))
+	for i, t := range s.threads {
+		per[i] = &t.stats
+	}
+	return Aggregate(per)
+}
+
+type seqThread struct {
+	id    int
+	sys   *Seq
+	stats ThreadStats
+	tx    seqTx
+	timer AtomicTimer
+}
+
+func (t *seqThread) ID() int             { return t.id }
+func (t *seqThread) Stats() *ThreadStats { return &t.stats }
+
+func (t *seqThread) Atomic(fn func(Tx)) {
+	t.timer.BeginBlock()
+	t.stats.Starts++
+	for {
+		t.tx.reset()
+		if Attempt(&t.tx, fn) {
+			break
+		}
+		// Only a user Restart can get here; sequential code has no
+		// conflicts, so a restart loop would be an application bug, but we
+		// honor the retry semantics anyway.
+		t.stats.Aborts++
+	}
+	t.stats.Commits++
+	t.stats.Loads += t.tx.loads
+	t.stats.Stores += t.tx.stores
+	t.stats.LoadsHist.Add(int(t.tx.loads))
+	t.stats.StoresHist.Add(int(t.tx.stores))
+	if t.tx.readLines != nil {
+		t.stats.ReadLinesHist.Add(len(t.tx.readLines))
+		t.stats.WriteLinesHist.Add(len(t.tx.writeLines))
+	}
+	t.stats.TxTimeNs += int64(t.timer.EndBlock())
+}
+
+// seqTx applies every barrier directly to the arena.
+type seqTx struct {
+	t          *seqThread
+	loads      uint64
+	stores     uint64
+	readLines  map[mem.Line]struct{} // nil unless profiling
+	writeLines map[mem.Line]struct{}
+}
+
+func (x *seqTx) reset() {
+	x.loads, x.stores = 0, 0
+	if x.readLines != nil {
+		clear(x.readLines)
+		clear(x.writeLines)
+	}
+}
+
+func (x *seqTx) Load(a mem.Addr) uint64 {
+	x.loads++
+	if x.readLines != nil {
+		x.readLines[mem.LineOf(a)] = struct{}{}
+	}
+	return x.t.sys.cfg.Arena.Load(a)
+}
+
+func (x *seqTx) Store(a mem.Addr, v uint64) {
+	x.stores++
+	if x.writeLines != nil {
+		x.writeLines[mem.LineOf(a)] = struct{}{}
+	}
+	x.t.sys.cfg.Arena.Store(a, v)
+}
+
+func (x *seqTx) Alloc(n int) mem.Addr { return x.t.sys.cfg.Arena.Alloc(n) }
+func (x *seqTx) Free(mem.Addr)        {}
+
+func (x *seqTx) EarlyRelease(a mem.Addr) {
+	if x.readLines != nil {
+		delete(x.readLines, mem.LineOf(a))
+	}
+}
+
+func (x *seqTx) Peek(a mem.Addr) uint64 { return x.t.sys.cfg.Arena.Load(a) }
+
+func (x *seqTx) Restart() { Retry() }

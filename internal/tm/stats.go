@@ -1,0 +1,160 @@
+package tm
+
+// Hist is a simple exact histogram over small non-negative integers, used
+// for per-transaction read/write-set sizes and barrier counts (Table VI
+// reports means and 90th percentiles of these distributions).
+type Hist struct {
+	counts   []uint64
+	overflow uint64 // values >= histCap
+	n        uint64
+	sum      uint64
+}
+
+// histCap bounds histogram memory; transactional set sizes beyond this are
+// folded into the overflow bucket (still counted in mean as histCap).
+const histCap = 1 << 16
+
+// Add records one observation.
+func (h *Hist) Add(v int) {
+	if v < 0 {
+		v = 0
+	}
+	h.n++
+	h.sum += uint64(v)
+	if v >= histCap {
+		h.overflow++
+		return
+	}
+	if v >= len(h.counts) {
+		grow := make([]uint64, v+1)
+		copy(grow, h.counts)
+		h.counts = grow
+	}
+	h.counts[v]++
+}
+
+// N returns the number of observations.
+func (h *Hist) N() uint64 { return h.n }
+
+// Mean returns the arithmetic mean (0 for an empty histogram).
+func (h *Hist) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// Percentile returns the smallest value v such that at least p (0..1) of the
+// observations are <= v. Overflowed observations report histCap.
+func (h *Hist) Percentile(p float64) int {
+	if h.n == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	target := uint64(p * float64(h.n))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for v, c := range h.counts {
+		cum += c
+		if cum >= target {
+			return v
+		}
+	}
+	return histCap
+}
+
+// Merge folds o into h.
+func (h *Hist) Merge(o *Hist) {
+	h.n += o.n
+	h.sum += o.sum
+	h.overflow += o.overflow
+	if len(o.counts) > len(h.counts) {
+		grow := make([]uint64, len(o.counts))
+		copy(grow, h.counts)
+		h.counts = grow
+	}
+	for v, c := range o.counts {
+		h.counts[v] += c
+	}
+}
+
+// ThreadStats accumulates one worker's transactional statistics. Workers
+// update their own record without synchronization; records are merged after
+// the team joins.
+type ThreadStats struct {
+	Starts  uint64 // atomic blocks entered
+	Commits uint64 // atomic blocks committed (== Starts after completion)
+	Aborts  uint64 // failed attempts (retries)
+
+	Loads  uint64 // read barriers in committed attempts
+	Stores uint64 // write barriers in committed attempts
+	Wasted uint64 // barriers in aborted attempts (lost work proxy)
+
+	TxTimeNs int64 // wall time inside Atomic, all attempts
+
+	// Per committed transaction distributions.
+	LoadsHist      Hist // read barriers
+	StoresHist     Hist // write barriers
+	ReadLinesHist  Hist // unique 32-byte lines read
+	WriteLinesHist Hist // unique 32-byte lines written
+
+	_ [64]byte // pad against false sharing between worker slots
+}
+
+// merge folds o into s (used for aggregation only).
+func (s *ThreadStats) merge(o *ThreadStats) {
+	s.Starts += o.Starts
+	s.Commits += o.Commits
+	s.Aborts += o.Aborts
+	s.Loads += o.Loads
+	s.Stores += o.Stores
+	s.Wasted += o.Wasted
+	s.TxTimeNs += o.TxTimeNs
+	s.LoadsHist.Merge(&o.LoadsHist)
+	s.StoresHist.Merge(&o.StoresHist)
+	s.ReadLinesHist.Merge(&o.ReadLinesHist)
+	s.WriteLinesHist.Merge(&o.WriteLinesHist)
+}
+
+// Stats is the aggregate view over all worker slots of a system.
+type Stats struct {
+	Total   ThreadStats
+	Threads int
+}
+
+// Aggregate merges per-thread records into a Stats value.
+func Aggregate(per []*ThreadStats) Stats {
+	var s Stats
+	s.Threads = len(per)
+	for _, t := range per {
+		s.Total.merge(t)
+	}
+	return s
+}
+
+// RetriesPerTx returns mean aborts per committed transaction.
+func (s Stats) RetriesPerTx() float64 {
+	if s.Total.Commits == 0 {
+		return 0
+	}
+	return float64(s.Total.Aborts) / float64(s.Total.Commits)
+}
+
+// MeanLoads returns mean read barriers per committed transaction.
+func (s Stats) MeanLoads() float64 { return s.Total.LoadsHist.Mean() }
+
+// MeanStores returns mean write barriers per committed transaction.
+func (s Stats) MeanStores() float64 { return s.Total.StoresHist.Mean() }
+
+// ReadSetP90 returns the 90th percentile read-set size in 32-byte lines.
+func (s Stats) ReadSetP90() int { return s.Total.ReadLinesHist.Percentile(0.90) }
+
+// WriteSetP90 returns the 90th percentile write-set size in 32-byte lines.
+func (s Stats) WriteSetP90() int { return s.Total.WriteLinesHist.Percentile(0.90) }

@@ -1,0 +1,260 @@
+package tl2
+
+import (
+	"sync/atomic"
+
+	"github.com/stamp-go/stamp/internal/mem"
+	"github.com/stamp-go/stamp/internal/tm"
+)
+
+// Eager is the paper's eager variant of TL2: writes acquire the stripe lock
+// at encounter time, update memory in place, and log the old value in an
+// undo log that is replayed on abort. Locks are held until commit, so a
+// conflicting transaction fails fast (early conflict detection) — which is
+// exactly the behaviour that livelocks on genome in the paper. Read
+// barriers are shorter than the lazy STM's (no write-buffer lookup), which
+// is why the eager STM wins on read-heavy kmeans.
+type Eager struct {
+	cfg     tm.Config
+	locks   *lockTable
+	clock   atomic.Uint64
+	threads []*eagerThread
+}
+
+// NewEager constructs the eager STM.
+func NewEager(cfg tm.Config) (*Eager, error) {
+	cfg = cfg.Defaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Eager{cfg: cfg, locks: newLockTable()}
+	s.threads = make([]*eagerThread, cfg.Threads)
+	for i := range s.threads {
+		t := &eagerThread{id: i, sys: s, backoff: tm.NewBackoff(cfg.BackoffAfter, cfg.Seed+uint64(i)^0xeea6e5)}
+		t.tx = &eagerTx{sys: s, slot: uint64(i), th: t, written: make(map[mem.Addr]struct{})}
+		if cfg.ProfileSets {
+			t.tx.readLines = make(map[mem.Line]struct{})
+			t.tx.writeLines = make(map[mem.Line]struct{})
+		}
+		s.threads[i] = t
+	}
+	return s, nil
+}
+
+// Name implements tm.System.
+func (s *Eager) Name() string { return "stm-eager" }
+
+// Arena implements tm.System.
+func (s *Eager) Arena() *mem.Arena { return s.cfg.Arena }
+
+// NThreads implements tm.System.
+func (s *Eager) NThreads() int { return s.cfg.Threads }
+
+// Thread implements tm.System.
+func (s *Eager) Thread(id int) tm.Thread { return s.threads[id] }
+
+// Stats implements tm.System.
+func (s *Eager) Stats() tm.Stats {
+	per := make([]*tm.ThreadStats, len(s.threads))
+	for i, t := range s.threads {
+		per[i] = &t.stats
+	}
+	return tm.Aggregate(per)
+}
+
+type eagerThread struct {
+	id      int
+	sys     *Eager
+	stats   tm.ThreadStats
+	tx      *eagerTx
+	backoff *tm.Backoff
+	timer   tm.AtomicTimer
+}
+
+func (t *eagerThread) ID() int                { return t.id }
+func (t *eagerThread) Stats() *tm.ThreadStats { return &t.stats }
+
+func (t *eagerThread) Atomic(fn func(tm.Tx)) {
+	t.timer.BeginBlock()
+	t.stats.Starts++
+	aborts := 0
+	for {
+		t.tx.begin()
+		if tm.Attempt(t.tx, fn) && t.tx.commit() {
+			break
+		}
+		t.tx.rollback()
+		aborts++
+		t.stats.Aborts++
+		t.stats.Wasted += t.tx.loads + t.tx.stores
+		t.backoff.Wait(aborts)
+	}
+	t.stats.Commits++
+	t.stats.Loads += t.tx.loads
+	t.stats.Stores += t.tx.stores
+	t.stats.LoadsHist.Add(int(t.tx.loads))
+	t.stats.StoresHist.Add(int(t.tx.stores))
+	if t.tx.readLines != nil {
+		t.stats.ReadLinesHist.Add(len(t.tx.readLines))
+		t.stats.WriteLinesHist.Add(len(t.tx.writeLines))
+	}
+	t.stats.TxTimeNs += int64(t.timer.EndBlock())
+}
+
+type eagerTx struct {
+	sys  *Eager
+	th   *eagerThread
+	slot uint64
+
+	rv       uint64
+	reads    []uint32
+	acquired []lockRec
+	undo     []undoRec
+	written  map[mem.Addr]struct{} // addresses already undo-logged
+
+	loads  uint64
+	stores uint64
+
+	readLines  map[mem.Line]struct{}
+	writeLines map[mem.Line]struct{}
+}
+
+func (x *eagerTx) begin() {
+	x.rv = x.sys.clock.Load()
+	x.reads = x.reads[:0]
+	x.acquired = x.acquired[:0]
+	x.undo = x.undo[:0]
+	clear(x.written)
+	x.loads, x.stores = 0, 0
+	if x.readLines != nil {
+		clear(x.readLines)
+		clear(x.writeLines)
+	}
+}
+
+// rollback replays the undo log (newest first) and releases the stripe
+// locks, restoring their pre-acquisition entries.
+func (x *eagerTx) rollback() {
+	for i := len(x.undo) - 1; i >= 0; i-- {
+		x.sys.cfg.Arena.Store(x.undo[i].addr, x.undo[i].old)
+	}
+	x.undo = x.undo[:0]
+	for i := len(x.acquired) - 1; i >= 0; i-- {
+		x.sys.locks.store(x.acquired[i].idx, x.acquired[i].old)
+	}
+	x.acquired = x.acquired[:0]
+}
+
+// Load implements the eager read barrier: no write-buffer lookup; stripes
+// locked by this transaction read their in-place value directly.
+func (x *eagerTx) Load(a mem.Addr) uint64 {
+	x.loads++
+	idx := x.sys.locks.index(a)
+	e1 := x.sys.locks.load(idx)
+	if owner, locked := lockedBy(e1); locked {
+		if owner == x.slot {
+			return x.sys.cfg.Arena.Load(a)
+		}
+		tm.Retry() // early conflict detection: fail fast on a held stripe
+	}
+	if versionOf(e1) > x.rv {
+		tm.Retry()
+	}
+	v := x.sys.cfg.Arena.Load(a)
+	if x.sys.locks.load(idx) != e1 {
+		tm.Retry()
+	}
+	x.reads = append(x.reads, idx)
+	if x.readLines != nil {
+		x.readLines[mem.LineOf(a)] = struct{}{}
+	}
+	return v
+}
+
+// Store implements the eager write barrier: acquire the stripe lock, log the
+// old value, write in place.
+func (x *eagerTx) Store(a mem.Addr, v uint64) {
+	x.stores++
+	idx := x.sys.locks.index(a)
+	e := x.sys.locks.load(idx)
+	owner, locked := lockedBy(e)
+	switch {
+	case locked && owner == x.slot:
+		// stripe already held
+	case locked:
+		tm.Retry()
+	default:
+		if versionOf(e) > x.rv {
+			tm.Retry() // stripe committed past our snapshot; keep it simple and retry
+		}
+		if !x.sys.locks.cas(idx, e, x.slot<<1|1) {
+			tm.Retry()
+		}
+		x.acquired = append(x.acquired, lockRec{idx: idx, old: e})
+	}
+	if _, seen := x.written[a]; !seen {
+		x.undo = append(x.undo, undoRec{addr: a, old: x.sys.cfg.Arena.Load(a)})
+		x.written[a] = struct{}{}
+	}
+	x.sys.cfg.Arena.Store(a, v)
+	if x.writeLines != nil {
+		x.writeLines[mem.LineOf(a)] = struct{}{}
+	}
+}
+
+func (x *eagerTx) Alloc(n int) mem.Addr { return x.sys.cfg.Arena.Alloc(n) }
+func (x *eagerTx) Free(mem.Addr)        {}
+
+// EarlyRelease is a no-op for the STM, as in the paper.
+func (x *eagerTx) EarlyRelease(mem.Addr) {}
+
+// Peek is an uninstrumented read. With eager versioning it may observe
+// another transaction's in-place speculative value; the only sanctioned use
+// (labyrinth privatization) tolerates stale or in-flight grid data by
+// revalidating inside the transaction, exactly as the paper describes.
+func (x *eagerTx) Peek(a mem.Addr) uint64 { return x.sys.cfg.Arena.Load(a) }
+
+// Restart implements tm.Tx.
+func (x *eagerTx) Restart() { tm.Retry() }
+
+// commit validates the read set and publishes by releasing locks at the new
+// version; data is already in place.
+func (x *eagerTx) commit() bool {
+	if len(x.acquired) == 0 && len(x.undo) == 0 {
+		return true // read-only
+	}
+	wv := x.sys.clock.Add(1)
+	if wv != x.rv+1 {
+		for _, idx := range x.reads {
+			e := x.sys.locks.load(idx)
+			if owner, locked := lockedBy(e); locked {
+				if owner != x.slot {
+					x.failCommit()
+					return false
+				}
+			} else if versionOf(e) > x.rv {
+				x.failCommit()
+				return false
+			}
+		}
+	}
+	for i := range x.acquired {
+		x.sys.locks.store(x.acquired[i].idx, wv<<1)
+	}
+	x.acquired = x.acquired[:0]
+	x.undo = x.undo[:0]
+	return true
+}
+
+// failCommit rolls back in-place writes and releases locks after a failed
+// commit-time validation.
+func (x *eagerTx) failCommit() {
+	for i := len(x.undo) - 1; i >= 0; i-- {
+		x.sys.cfg.Arena.Store(x.undo[i].addr, x.undo[i].old)
+	}
+	x.undo = x.undo[:0]
+	for i := len(x.acquired) - 1; i >= 0; i-- {
+		x.sys.locks.store(x.acquired[i].idx, x.acquired[i].old)
+	}
+	x.acquired = x.acquired[:0]
+}

@@ -1,0 +1,58 @@
+// Package tl2 implements the two software TM systems of the paper: a lazy
+// STM that is a port of TL2 (Dice, Shalev, Shavit — "Transactional Locking
+// II"), and the paper's eager variant of TL2 (undo log plus encounter-time
+// write locks). Both detect conflicts at word granularity, which is the
+// property that lets the STMs beat the line-granularity HTMs on bayes and
+// vacation in the paper.
+package tl2
+
+import (
+	"sync/atomic"
+
+	"github.com/stamp-go/stamp/internal/mem"
+)
+
+// lockTableBits sizes the versioned-lock array (stripes). One stripe per
+// word up to 2^20 stripes; beyond that, addresses hash onto stripes, which
+// only introduces (rare, harmless) false conflicts.
+const lockTableBits = 20
+
+// A lock entry encodes either a version (unlocked) or an owner (locked):
+//
+//	unlocked: version<<1 | 0
+//	locked:   owner<<1   | 1
+type lockTable struct {
+	entries []atomic.Uint64
+	mask    uint32
+}
+
+func newLockTable() *lockTable {
+	n := uint32(1) << lockTableBits
+	return &lockTable{entries: make([]atomic.Uint64, n), mask: n - 1}
+}
+
+// index maps a word address to its stripe (word granularity).
+func (t *lockTable) index(a mem.Addr) uint32 {
+	// Knuth multiplicative mix spreads structured address patterns.
+	return (uint32(a) * 2654435761) & t.mask
+}
+
+func (t *lockTable) load(idx uint32) uint64     { return t.entries[idx].Load() }
+func (t *lockTable) store(idx uint32, v uint64) { t.entries[idx].Store(v) }
+func (t *lockTable) cas(idx uint32, o, n uint64) bool {
+	return t.entries[idx].CompareAndSwap(o, n)
+}
+
+func lockedBy(e uint64) (owner uint64, locked bool) { return e >> 1, e&1 == 1 }
+
+func versionOf(e uint64) uint64 { return e >> 1 }
+
+type lockRec struct {
+	idx uint32
+	old uint64 // entry value before acquisition (restored on abort)
+}
+
+type undoRec struct {
+	addr mem.Addr
+	old  uint64
+}

@@ -1,0 +1,149 @@
+package tl2
+
+import (
+	"testing"
+
+	"github.com/stamp-go/stamp/internal/mem"
+	"github.com/stamp-go/stamp/internal/tm"
+)
+
+func TestLockEntryEncoding(t *testing.T) {
+	// unlocked: version<<1; locked: owner<<1|1.
+	if owner, locked := lockedBy(0); locked || owner != 0 {
+		t.Fatal("zero entry must be unlocked version 0")
+	}
+	if v := versionOf(42 << 1); v != 42 {
+		t.Fatalf("version = %d", v)
+	}
+	if owner, locked := lockedBy(7<<1 | 1); !locked || owner != 7 {
+		t.Fatalf("owner = %d locked = %v", owner, locked)
+	}
+}
+
+func TestLockTableIndexStable(t *testing.T) {
+	lt := newLockTable()
+	for _, a := range []mem.Addr{0, 1, 4, 1 << 20, 1<<31 - 1} {
+		if lt.index(a) != lt.index(a) {
+			t.Fatal("index not deterministic")
+		}
+		if lt.index(a) > lt.mask {
+			t.Fatal("index out of range")
+		}
+	}
+}
+
+func TestLazyReadOnlyCommitsWithoutClockTick(t *testing.T) {
+	arena := mem.NewArena(1 << 10)
+	a := arena.Alloc(1)
+	sys, err := NewLazy(tm.Config{Arena: arena, Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := sys.clock.Load()
+	sys.Thread(0).Atomic(func(tx tm.Tx) { tx.Load(a) })
+	if sys.clock.Load() != before {
+		t.Fatal("read-only transaction advanced the global clock")
+	}
+}
+
+func TestLazyWriteAdvancesClock(t *testing.T) {
+	arena := mem.NewArena(1 << 10)
+	a := arena.Alloc(1)
+	sys, _ := NewLazy(tm.Config{Arena: arena, Threads: 1})
+	before := sys.clock.Load()
+	sys.Thread(0).Atomic(func(tx tm.Tx) { tx.Store(a, 1) })
+	if sys.clock.Load() != before+1 {
+		t.Fatalf("clock moved %d, want 1", sys.clock.Load()-before)
+	}
+}
+
+func TestLazyLocksReleasedAfterCommit(t *testing.T) {
+	arena := mem.NewArena(1 << 10)
+	a := arena.Alloc(1)
+	sys, _ := NewLazy(tm.Config{Arena: arena, Threads: 1})
+	sys.Thread(0).Atomic(func(tx tm.Tx) { tx.Store(a, 9) })
+	e := sys.locks.load(sys.locks.index(a))
+	if _, locked := lockedBy(e); locked {
+		t.Fatal("stripe still locked after commit")
+	}
+	if versionOf(e) == 0 {
+		t.Fatal("stripe version not published")
+	}
+}
+
+func TestEagerLocksReleasedAfterAbortAndCommit(t *testing.T) {
+	arena := mem.NewArena(1 << 10)
+	a := arena.Alloc(1)
+	arena.Store(a, 5)
+	sys, _ := NewEager(tm.Config{Arena: arena, Threads: 1})
+	first := true
+	sys.Thread(0).Atomic(func(tx tm.Tx) {
+		tx.Store(a, 6)
+		if first {
+			first = false
+			// Mid-transaction the stripe must be encounter-locked.
+			if _, locked := lockedBy(sys.locks.load(sys.locks.index(a))); !locked {
+				t.Error("stripe not locked at encounter time")
+			}
+			tx.Restart()
+		}
+	})
+	e := sys.locks.load(sys.locks.index(a))
+	if _, locked := lockedBy(e); locked {
+		t.Fatal("stripe still locked after commit")
+	}
+	if arena.Load(a) != 6 {
+		t.Fatalf("final value %d", arena.Load(a))
+	}
+}
+
+func TestEagerUndoRestoresOnAbort(t *testing.T) {
+	arena := mem.NewArena(1 << 10)
+	a := arena.Alloc(1)
+	b := arena.Alloc(1)
+	arena.Store(a, 10)
+	arena.Store(b, 20)
+	sys, _ := NewEager(tm.Config{Arena: arena, Threads: 1})
+	attempt := 0
+	sys.Thread(0).Atomic(func(tx tm.Tx) {
+		attempt++
+		if attempt == 1 {
+			tx.Store(a, 11)
+			tx.Store(b, 21)
+			tx.Store(a, 12) // second write to a: only one undo entry
+			tx.Restart()
+		}
+		// After rollback both must read their originals.
+		if tx.Load(a) != 10 || tx.Load(b) != 20 {
+			t.Errorf("rollback incomplete: a=%d b=%d", tx.Load(a), tx.Load(b))
+		}
+	})
+	if attempt != 2 {
+		t.Fatalf("attempts = %d", attempt)
+	}
+}
+
+func TestLazyStripeCollisionSelfCompatible(t *testing.T) {
+	// Two addresses mapping to the same stripe within one transaction must
+	// not deadlock or double-acquire at commit.
+	arena := mem.NewArena(1 << 22)
+	sys, _ := NewLazy(tm.Config{Arena: arena, Threads: 1})
+	// Find two addresses sharing a stripe.
+	var a1, a2 mem.Addr
+	a1 = arena.Alloc(1)
+	idx := sys.locks.index(a1)
+	for {
+		c := arena.Alloc(1)
+		if sys.locks.index(c) == idx {
+			a2 = c
+			break
+		}
+	}
+	sys.Thread(0).Atomic(func(tx tm.Tx) {
+		tx.Store(a1, 1)
+		tx.Store(a2, 2)
+	})
+	if arena.Load(a1) != 1 || arena.Load(a2) != 2 {
+		t.Fatal("colliding-stripe writes lost")
+	}
+}

@@ -1,0 +1,228 @@
+// Package tm defines the portable transactional-memory API that every STAMP
+// application in this suite is written against, mirroring the C macro layer
+// of the original benchmark (TM_BEGIN / TM_SHARED_READ / TM_SHARED_WRITE /
+// TM_EARLY_RELEASE / TM_RESTART). The same application code runs unchanged
+// on all seven runtimes:
+//
+//	seq           sequential baseline (no concurrency control; speedup denominator)
+//	stm-lazy      TL2-style lazy STM (write buffer, commit-time locking, word granularity)
+//	stm-eager     eager TL2 variant (undo log, encounter-time locking, word granularity)
+//	htm-lazy      simulated TCC-style HTM (lazy versioning, commit arbitration,
+//	              line granularity, capacity overflow => serialized execution)
+//	htm-eager     simulated LogTM-style HTM (eager versioning, directory conflict
+//	              detection, requester loses, priority after 32 aborts, Bloom overflow)
+//	hybrid-lazy   simulated SigTM (software write buffer + hardware signatures)
+//	hybrid-eager  eager SigTM variant (software undo log + hardware signatures)
+//
+// Transactional data lives in a mem.Arena; Tx.Load and Tx.Store are the read
+// and write barriers. Conflicts abort the current attempt by panicking with
+// a private signal that Thread.Atomic recovers from before retrying, so an
+// atomic block may execute any number of times. The one rule applications
+// must follow (the same rule the C suite follows implicitly via setjmp):
+// any non-arena state mutated inside the block must be reset at block entry.
+package tm
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/stamp-go/stamp/internal/mem"
+)
+
+// Mem is the minimal read/write/allocate contract shared by transactions and
+// by the non-transactional mem.Direct accessor. The container library is
+// written against Mem so the same data-structure code serves transactional
+// and setup/verification phases.
+type Mem interface {
+	Load(a mem.Addr) uint64
+	Store(a mem.Addr, v uint64)
+	Alloc(n int) mem.Addr
+	Free(a mem.Addr)
+}
+
+// Tx is the per-attempt transactional context handed to atomic blocks.
+type Tx interface {
+	Mem
+
+	// EarlyRelease removes a previously read address from the transaction's
+	// read set so it no longer generates conflicts (Herlihy et al.; used by
+	// labyrinth exactly as in the paper). Systems without early release
+	// treat it as a no-op, which is always safe.
+	EarlyRelease(a mem.Addr)
+
+	// Peek performs an uninstrumented read, modelling an access the compiler
+	// did not wrap in a barrier. On lazy-versioning systems it does not see
+	// the transaction's own buffered writes. Labyrinth uses Peek for its
+	// grid privatization on the software and hybrid systems, as the paper
+	// describes.
+	Peek(a mem.Addr) uint64
+
+	// Restart aborts the current attempt and retries the atomic block
+	// (TM_RESTART). It never returns.
+	Restart()
+}
+
+// Thread is a per-worker handle bound to one TM system instance. Thread
+// values are not safe for concurrent use; each worker goroutine owns one.
+type Thread interface {
+	// ID returns the worker id in [0, System.NThreads()).
+	ID() int
+	// Atomic executes fn as one transaction, retrying until it commits.
+	Atomic(fn func(Tx))
+	// Stats returns this worker's statistics record.
+	Stats() *ThreadStats
+}
+
+// System is one TM runtime instance bound to an arena and a fixed thread
+// count.
+type System interface {
+	// Name returns the registry name (e.g. "stm-lazy").
+	Name() string
+	// Arena returns the arena all transactional data lives in.
+	Arena() *mem.Arena
+	// NThreads returns the number of worker slots.
+	NThreads() int
+	// Thread returns the worker handle for slot id. Each slot must be used
+	// by at most one goroutine at a time.
+	Thread(id int) Thread
+	// Stats returns the aggregated statistics across all worker slots.
+	Stats() Stats
+}
+
+// Config carries the knobs shared by the runtime implementations; the zero
+// value is completed by Defaults.
+type Config struct {
+	Arena   *mem.Arena
+	Threads int
+
+	// CapacityLines is the speculative-buffer capacity of the simulated
+	// HTMs, in 32-byte lines. Table V's machine has a 64 KB L1 with 32 B
+	// lines => 2048 lines.
+	CapacityLines int
+
+	// CapacityAssoc is the associativity of the speculative buffer
+	// (Table V: 4-way). A transaction overflows when more than
+	// CapacityAssoc of its lines map to one of the CapacityLines /
+	// CapacityAssoc sets — which is how the paper's bayes and labyrinth+
+	// footprints (~450-780 lines) overflow a 2048-line L1 long before
+	// filling it. Set to 0 to model a fully associative buffer.
+	CapacityAssoc int
+
+	// BackoffAfter is the abort count after which STMs and hybrids apply
+	// randomized linear backoff (the paper uses 3).
+	BackoffAfter int
+
+	// PriorityAfter is the abort count after which the eager HTM grants a
+	// transaction high priority so others cannot abort it (the paper's
+	// livelock escape, 32).
+	PriorityAfter int
+
+	// EnableEarlyRelease controls whether EarlyRelease has any effect on the
+	// HTM simulators ("since early-release is not available on all TM
+	// systems, its use can be disabled").
+	EnableEarlyRelease bool
+
+	// ProfileSets makes the sequential system track read/write line sets for
+	// characterization (the concurrent systems track them anyway).
+	ProfileSets bool
+
+	// Seed seeds per-thread backoff jitter.
+	Seed uint64
+}
+
+// Defaults fills unset fields with the paper's parameters.
+func (c Config) Defaults() Config {
+	if c.Threads <= 0 {
+		c.Threads = 1
+	}
+	if c.CapacityLines == 0 {
+		c.CapacityLines = 2048
+		if c.CapacityAssoc == 0 {
+			c.CapacityAssoc = 4
+		}
+	}
+	if c.BackoffAfter == 0 {
+		c.BackoffAfter = 3
+	}
+	if c.PriorityAfter == 0 {
+		c.PriorityAfter = 32
+	}
+	if c.Seed == 0 {
+		c.Seed = 0x5742757374616d70
+	}
+	return c
+}
+
+// Validate reports configuration errors a constructor should reject.
+func (c Config) Validate() error {
+	if c.Arena == nil {
+		return fmt.Errorf("tm: config needs an arena")
+	}
+	if c.Threads < 1 {
+		return fmt.Errorf("tm: config needs at least one thread, got %d", c.Threads)
+	}
+	if c.Threads > 64 {
+		return fmt.Errorf("tm: at most 64 threads supported (reader masks), got %d", c.Threads)
+	}
+	return nil
+}
+
+// RetrySignal is the panic value used to unwind an aborted attempt. It is
+// exported so runtime subpackages (tl2, htmsim, hybrid) can raise it; the
+// application-facing way to raise it is Tx.Restart.
+type RetrySignal struct{}
+
+// Retry aborts the current attempt. It never returns.
+func Retry() { panic(RetrySignal{}) }
+
+// Attempt runs fn(tx), converting a retry panic into ok=false. Any other
+// panic propagates.
+func Attempt(tx Tx, fn func(Tx)) (ok bool) {
+	defer func() {
+		r := recover()
+		switch {
+		case r == nil:
+			ok = true
+		case isRetry(r):
+			ok = false
+		default:
+			panic(r)
+		}
+	}()
+	fn(tx)
+	return true
+}
+
+func isRetry(r any) bool {
+	_, ok := r.(RetrySignal)
+	return ok
+}
+
+// Float helpers over the Mem contract: several applications store float64
+// bit patterns in arena words.
+
+// LoadF64 reads a float64 stored at a.
+func LoadF64(m Mem, a mem.Addr) float64 { return mem.W2F(m.Load(a)) }
+
+// StoreF64 writes a float64 at a.
+func StoreF64(m Mem, a mem.Addr, f float64) { m.Store(a, mem.F2W(f)) }
+
+// LoadInt reads a signed integer stored at a.
+func LoadInt(m Mem, a mem.Addr) int64 { return int64(m.Load(a)) }
+
+// StoreInt writes a signed integer at a.
+func StoreInt(m Mem, a mem.Addr, v int64) { m.Store(a, uint64(v)) }
+
+// AtomicTimer wraps the common bookkeeping every runtime performs around an
+// atomic block: attempt loop timing and commit/abort accounting. Runtime
+// implementations call Begin/Commit once per block and Abort per failed
+// attempt.
+type AtomicTimer struct {
+	start time.Time
+}
+
+// BeginBlock starts timing an atomic block.
+func (t *AtomicTimer) BeginBlock() { t.start = time.Now() }
+
+// EndBlock returns the elapsed wall time of the block.
+func (t *AtomicTimer) EndBlock() time.Duration { return time.Since(t.start) }

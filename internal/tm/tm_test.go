@@ -1,0 +1,238 @@
+package tm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/stamp-go/stamp/internal/mem"
+)
+
+func TestHistMeanAndPercentile(t *testing.T) {
+	var h Hist
+	for v := 1; v <= 100; v++ {
+		h.Add(v)
+	}
+	if h.N() != 100 {
+		t.Fatalf("N = %d", h.N())
+	}
+	if mean := h.Mean(); mean != 50.5 {
+		t.Fatalf("mean = %v", mean)
+	}
+	if p := h.Percentile(0.90); p != 90 {
+		t.Fatalf("p90 = %d", p)
+	}
+	if p := h.Percentile(1.0); p != 100 {
+		t.Fatalf("p100 = %d", p)
+	}
+	if p := h.Percentile(0.0); p != 1 {
+		t.Fatalf("p0 = %d", p)
+	}
+}
+
+func TestHistEmpty(t *testing.T) {
+	var h Hist
+	if h.Mean() != 0 || h.Percentile(0.9) != 0 || h.N() != 0 {
+		t.Fatal("empty histogram not zeroed")
+	}
+}
+
+func TestHistNegativeClamped(t *testing.T) {
+	var h Hist
+	h.Add(-5)
+	if h.Percentile(1) != 0 {
+		t.Fatal("negative observation not clamped to 0")
+	}
+}
+
+func TestHistOverflowBucket(t *testing.T) {
+	var h Hist
+	h.Add(histCap + 100)
+	if p := h.Percentile(0.99); p != histCap {
+		t.Fatalf("overflow percentile = %d, want %d", p, histCap)
+	}
+}
+
+func TestHistMerge(t *testing.T) {
+	var a, b Hist
+	for i := 0; i < 10; i++ {
+		a.Add(1)
+		b.Add(3)
+	}
+	a.Merge(&b)
+	if a.N() != 20 || a.Mean() != 2 {
+		t.Fatalf("merge: N=%d mean=%v", a.N(), a.Mean())
+	}
+}
+
+func TestHistPercentileMatchesExact(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var h Hist
+		counts := make([]int, 256)
+		for _, v := range raw {
+			h.Add(int(v))
+			counts[v]++
+		}
+		// exact p90: smallest v with cumulative >= ceil-ish target
+		target := int(0.9 * float64(len(raw)))
+		if target == 0 {
+			target = 1
+		}
+		cum, exact := 0, 255
+		for v, c := range counts {
+			cum += c
+			if cum >= target {
+				exact = v
+				break
+			}
+		}
+		return h.Percentile(0.9) == exact
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	a := &ThreadStats{Starts: 3, Commits: 3, Aborts: 1, Loads: 10, Stores: 5}
+	b := &ThreadStats{Starts: 2, Commits: 2, Aborts: 3, Loads: 4, Stores: 1}
+	s := Aggregate([]*ThreadStats{a, b})
+	if s.Threads != 2 || s.Total.Commits != 5 || s.Total.Aborts != 4 {
+		t.Fatalf("aggregate wrong: %+v", s.Total)
+	}
+	if r := s.RetriesPerTx(); r != 0.8 {
+		t.Fatalf("retries/tx = %v", r)
+	}
+}
+
+func TestRetriesPerTxEmpty(t *testing.T) {
+	var s Stats
+	if s.RetriesPerTx() != 0 {
+		t.Fatal("empty stats retries != 0")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.Defaults()
+	if c.Threads != 1 || c.CapacityLines != 2048 || c.BackoffAfter != 3 || c.PriorityAfter != 32 {
+		t.Fatalf("defaults wrong: %+v", c)
+	}
+	// Explicit values survive.
+	c2 := Config{Threads: 7, CapacityLines: 16}.Defaults()
+	if c2.Threads != 7 || c2.CapacityLines != 16 {
+		t.Fatalf("explicit values overwritten: %+v", c2)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{Threads: 1}).Validate(); err == nil {
+		t.Fatal("nil arena accepted")
+	}
+	a := mem.NewArena(64)
+	if err := (Config{Arena: a, Threads: 0}).Validate(); err == nil {
+		t.Fatal("zero threads accepted")
+	}
+	if err := (Config{Arena: a, Threads: 65}).Validate(); err == nil {
+		t.Fatal("65 threads accepted")
+	}
+	if err := (Config{Arena: a, Threads: 16}).Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestBackoffThreshold(t *testing.T) {
+	b := NewBackoff(3, 1)
+	// Below or at threshold: returns immediately (nothing to assert beyond
+	// not hanging); above: also returns, bounded by the linear budget.
+	for aborts := 1; aborts <= 6; aborts++ {
+		b.Wait(aborts)
+	}
+}
+
+func TestSpinReturns(t *testing.T) {
+	Spin(0)
+	Spin(10_000)
+}
+
+func TestAttemptConvertsRetry(t *testing.T) {
+	arena := mem.NewArena(64)
+	s, err := NewSeq(Config{Arena: arena, Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := s.threads[0]
+	th.tx.reset()
+	if ok := Attempt(&th.tx, func(Tx) { Retry() }); ok {
+		t.Fatal("retry reported as success")
+	}
+	if ok := Attempt(&th.tx, func(Tx) {}); !ok {
+		t.Fatal("clean attempt reported as failure")
+	}
+}
+
+func TestAttemptPropagatesRealPanic(t *testing.T) {
+	arena := mem.NewArena(64)
+	s, _ := NewSeq(Config{Arena: arena, Threads: 1})
+	th := s.threads[0]
+	defer func() {
+		if recover() == nil {
+			t.Fatal("application panic swallowed")
+		}
+	}()
+	Attempt(&th.tx, func(Tx) { panic("app bug") })
+}
+
+func TestSeqProfileSets(t *testing.T) {
+	arena := mem.NewArena(1 << 10)
+	s, err := NewSeq(Config{Arena: arena, Threads: 1, ProfileSets: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := arena.AllocLines(3 * mem.WordsPerLine)
+	th := s.Thread(0)
+	th.Atomic(func(tx Tx) {
+		tx.Load(base)                        // line 1
+		tx.Load(base + 1)                    // same line
+		tx.Load(base + mem.WordsPerLine)     // line 2
+		tx.Store(base+2*mem.WordsPerLine, 1) // line 3
+	})
+	st := s.Stats()
+	if got := st.ReadSetP90(); got != 2 {
+		t.Fatalf("read lines = %d, want 2", got)
+	}
+	if got := st.WriteSetP90(); got != 1 {
+		t.Fatalf("write lines = %d, want 1", got)
+	}
+	if st.MeanLoads() != 3 || st.MeanStores() != 1 {
+		t.Fatalf("barrier means = %v/%v", st.MeanLoads(), st.MeanStores())
+	}
+}
+
+func TestSeqEarlyReleaseDropsProfiledLine(t *testing.T) {
+	arena := mem.NewArena(1 << 10)
+	s, _ := NewSeq(Config{Arena: arena, Threads: 1, ProfileSets: true})
+	base := arena.AllocLines(mem.WordsPerLine)
+	s.Thread(0).Atomic(func(tx Tx) {
+		tx.Load(base)
+		tx.EarlyRelease(base)
+	})
+	if got := s.Stats().ReadSetP90(); got != 0 {
+		t.Fatalf("read lines after release = %d", got)
+	}
+}
+
+func TestFloatHelpers(t *testing.T) {
+	arena := mem.NewArena(64)
+	d := mem.Direct{A: arena}
+	a := arena.Alloc(1)
+	StoreF64(d, a, -3.25)
+	if got := LoadF64(d, a); got != -3.25 {
+		t.Fatalf("LoadF64 = %v", got)
+	}
+	StoreInt(d, a, -42)
+	if got := LoadInt(d, a); got != -42 {
+		t.Fatalf("LoadInt = %v", got)
+	}
+}

@@ -1,0 +1,150 @@
+package stamp
+
+import (
+	"github.com/stamp-go/stamp/internal/container"
+	"github.com/stamp-go/stamp/internal/harness"
+	"github.com/stamp-go/stamp/internal/mem"
+	"github.com/stamp-go/stamp/internal/thread"
+	"github.com/stamp-go/stamp/internal/tm"
+	"github.com/stamp-go/stamp/internal/tm/factory"
+)
+
+// Core transactional-memory types (see the tm package docs on each).
+type (
+	// Arena is the word-addressed shared memory all transactional data
+	// lives in.
+	Arena = mem.Arena
+	// Addr is a word index into an Arena; Nil (0) is the null address.
+	Addr = mem.Addr
+	// Direct is a non-transactional accessor over an Arena, for setup and
+	// verification phases.
+	Direct = mem.Direct
+	// Mem is the load/store/alloc contract shared by Tx and Direct.
+	Mem = tm.Mem
+	// Tx is the per-attempt transactional context passed to atomic blocks.
+	Tx = tm.Tx
+	// Thread is a per-worker handle bound to one TM system.
+	Thread = tm.Thread
+	// System is one TM runtime instance.
+	System = tm.System
+	// Config carries runtime construction knobs.
+	Config = tm.Config
+	// Stats is the aggregate transactional statistics of a run.
+	Stats = tm.Stats
+	// Team is the fork/join worker group with a reusable barrier.
+	Team = thread.Team
+)
+
+// Container types (arena-resident, usable inside and outside transactions).
+type (
+	// List is a sorted singly-linked list with unique uint64 keys.
+	List = container.List
+	// Queue is a growable circular-buffer FIFO.
+	Queue = container.Queue
+	// Hashtable is a fixed-bucket chained hash map.
+	Hashtable = container.Hashtable
+	// RBTree is a red-black tree map.
+	RBTree = container.RBTree
+	// Heap is a binary min-heap of (key, value) pairs.
+	Heap = container.Heap
+	// Vector is a growable word array.
+	Vector = container.Vector
+	// Bitmap is a fixed-size bit array.
+	Bitmap = container.Bitmap
+)
+
+// Benchmark-suite types.
+type (
+	// Variant is one Table IV configuration row.
+	Variant = harness.Variant
+	// Result is the outcome of one app × system × threads run.
+	Result = harness.Result
+	// Characterization is one Table VI row.
+	Characterization = harness.Characterization
+	// SpeedupSeries is one Figure 1 panel.
+	SpeedupSeries = harness.SpeedupSeries
+)
+
+// NilAddr is the null arena address.
+const NilAddr = mem.Nil
+
+// NewArena returns an arena with capacity for nWords 8-byte words.
+func NewArena(nWords int) *Arena { return mem.NewArena(nWords) }
+
+// NewSystem constructs a TM runtime by name: "seq", "stm-lazy", "stm-eager",
+// "htm-lazy", "htm-eager", "hybrid-lazy", or "hybrid-eager".
+func NewSystem(name string, cfg Config) (System, error) { return factory.New(name, cfg) }
+
+// Systems returns every runtime name, including the sequential baseline.
+func Systems() []string { return factory.Names() }
+
+// TMSystems returns the six transactional systems of the paper's
+// evaluation.
+func TMSystems() []string { return harness.TMSystems() }
+
+// NewTeam returns a fork/join team of n workers.
+func NewTeam(n int) *Team { return thread.NewTeam(n) }
+
+// NewList allocates an empty sorted list in m.
+func NewList(m Mem) List { return container.NewList(m) }
+
+// NewQueue allocates an empty FIFO with the given initial capacity.
+func NewQueue(m Mem, capacity int) Queue { return container.NewQueue(m, capacity) }
+
+// NewHashtable allocates a hash map with nBuckets chains.
+func NewHashtable(m Mem, nBuckets int) Hashtable { return container.NewHashtable(m, nBuckets) }
+
+// NewRBTree allocates an empty red-black tree.
+func NewRBTree(m Mem) RBTree { return container.NewRBTree(m) }
+
+// NewHeap allocates an empty min-heap with room for capacity entries.
+func NewHeap(m Mem, capacity int) Heap { return container.NewHeap(m, capacity) }
+
+// NewVector allocates an empty vector with the given initial capacity.
+func NewVector(m Mem, capacity int) Vector { return container.NewVector(m, capacity) }
+
+// NewBitmap allocates an n-bit bitmap, all clear.
+func NewBitmap(m Mem, n int) Bitmap { return container.NewBitmap(m, n) }
+
+// LoadF64 reads a float64 stored at a through m.
+func LoadF64(m Mem, a Addr) float64 { return tm.LoadF64(m, a) }
+
+// StoreF64 writes a float64 at a through m.
+func StoreF64(m Mem, a Addr, f float64) { tm.StoreF64(m, a, f) }
+
+// Variants returns all 30 Table IV configurations.
+func Variants() []Variant { return harness.Variants() }
+
+// SimVariants returns the 20 simulation-scale (non-'++') variants.
+func SimVariants() []Variant { return harness.SimVariants() }
+
+// FindVariant looks a variant up by name (e.g. "vacation-high+").
+func FindVariant(name string) (Variant, error) { return harness.FindVariant(name) }
+
+// Run executes one variant at the given scale (1 = the paper's
+// configuration) on the named system.
+func Run(variantName string, scale float64, system string, threads int) (Result, error) {
+	v, err := harness.FindVariant(variantName)
+	if err != nil {
+		return Result{}, err
+	}
+	return harness.RunVariant(v, scale, system, threads, false)
+}
+
+// Characterize regenerates one Table VI row for a variant.
+func Characterize(variantName string, scale float64, retryThreads int) (Characterization, error) {
+	v, err := harness.FindVariant(variantName)
+	if err != nil {
+		return Characterization{}, err
+	}
+	return harness.Characterize(v, scale, retryThreads)
+}
+
+// MeasureSpeedup runs one Figure 1 panel for a variant.
+func MeasureSpeedup(variantName string, scale float64, threads []int, systems []string) (SpeedupSeries, error) {
+	v, err := harness.FindVariant(variantName)
+	if err != nil {
+		return SpeedupSeries{}, err
+	}
+	return harness.MeasureSpeedup(v, scale, threads, systems)
+}

@@ -1,0 +1,141 @@
+package stamp_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/stamp-go/stamp"
+)
+
+func TestSystemsListsAllSeven(t *testing.T) {
+	got := stamp.Systems()
+	if len(got) != 7 {
+		t.Fatalf("Systems() = %v", got)
+	}
+	tm := stamp.TMSystems()
+	if len(tm) != 6 {
+		t.Fatalf("TMSystems() = %v", tm)
+	}
+	for _, name := range tm {
+		if name == "seq" {
+			t.Fatal("seq listed as a TM system")
+		}
+	}
+}
+
+func TestPublicAtomicRoundTrip(t *testing.T) {
+	arena := stamp.NewArena(1 << 10)
+	a := arena.Alloc(1)
+	for _, name := range stamp.Systems() {
+		sys, err := stamp.NewSystem(name, stamp.Config{Arena: arena, Threads: 1})
+		if err != nil {
+			t.Fatalf("NewSystem(%s): %v", name, err)
+		}
+		sys.Thread(0).Atomic(func(tx stamp.Tx) {
+			tx.Store(a, tx.Load(a)+1)
+		})
+	}
+	if got := arena.Load(a); got != uint64(len(stamp.Systems())) {
+		t.Fatalf("counter = %d", got)
+	}
+}
+
+func TestPublicContainers(t *testing.T) {
+	arena := stamp.NewArena(1 << 16)
+	d := stamp.Direct{A: arena}
+	l := stamp.NewList(d)
+	l.Insert(d, 1, 10)
+	q := stamp.NewQueue(d, 4)
+	q.Push(d, 7)
+	h := stamp.NewHashtable(d, 8)
+	h.Insert(d, 9, 90)
+	tr := stamp.NewRBTree(d)
+	tr.Insert(d, 3, 30)
+	hp := stamp.NewHeap(d, 4)
+	hp.Push(d, 2, 20)
+	vec := stamp.NewVector(d, 4)
+	vec.PushBack(d, 5)
+	bm := stamp.NewBitmap(d, 64)
+	bm.Set(d, 10)
+	if v, _ := l.Get(d, 1); v != 10 {
+		t.Fatal("list")
+	}
+	if v, _ := q.Pop(d); v != 7 {
+		t.Fatal("queue")
+	}
+	if v, _ := h.Get(d, 9); v != 90 {
+		t.Fatal("hashtable")
+	}
+	if v, _ := tr.Get(d, 3); v != 30 {
+		t.Fatal("rbtree")
+	}
+	if _, v, _ := hp.Pop(d); v != 20 {
+		t.Fatal("heap")
+	}
+	if vec.At(d, 0) != 5 {
+		t.Fatal("vector")
+	}
+	if !bm.Test(d, 10) {
+		t.Fatal("bitmap")
+	}
+	addr := arena.Alloc(1)
+	stamp.StoreF64(d, addr, 1.5)
+	if stamp.LoadF64(d, addr) != 1.5 {
+		t.Fatal("float helpers")
+	}
+}
+
+func TestPublicRunVariant(t *testing.T) {
+	res, err := stamp.Run("ssca2", 0.05, "stm-eager", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verify != nil {
+		t.Fatalf("verification failed: %v", res.Verify)
+	}
+	if res.Stats.Total.Commits == 0 {
+		t.Fatal("no transactions")
+	}
+	if _, err := stamp.Run("no-such-variant", 1, "seq", 1); err == nil {
+		t.Fatal("unknown variant accepted")
+	}
+	if _, err := stamp.Run("ssca2", 0.05, "no-such-system", 1); err == nil {
+		t.Fatal("unknown system accepted")
+	}
+}
+
+func TestTableIVArgsPinned(t *testing.T) {
+	// Guard the Table IV argument strings against silent drift: spot-check
+	// rows exactly as printed in the paper.
+	want := map[string]string{
+		"bayes":           "-v32 -r1024 -n2 -p20 -i2 -e2",
+		"bayes++":         "-v32 -r4096 -n10 -p40 -i2 -e8 -s1",
+		"genome++":        "-g16384 -s64 -n16777216",
+		"kmeans-high++":   "-m15 -n15 -t0.00001 -i random-n65536-d32-c16",
+		"labyrinth+":      "-i random-x48-y48-z3-n64",
+		"ssca2+":          "-s14 -i1.0 -u1.0 -l9 -p9",
+		"vacation-low++":  "-n2 -q90 -u98 -r1048576 -t4194304",
+		"vacation-high":   "-n4 -q60 -u90 -r16384 -t4096",
+		"yada":            "-a20 -i 633.2",
+		"yada++":          "-a15 -i ttimeu1000000.2",
+	}
+	for name, args := range want {
+		v, err := stamp.FindVariant(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if v.Args != args {
+			t.Fatalf("%s args = %q, want %q", name, v.Args, args)
+		}
+	}
+	// Every variant's app must be derivable from its name.
+	for _, v := range stamp.Variants() {
+		base := strings.TrimRight(v.Name, "+")
+		if idx := strings.IndexByte(base, '-'); idx >= 0 {
+			base = base[:idx]
+		}
+		if base != v.App {
+			t.Fatalf("variant %q maps to app %q", v.Name, v.App)
+		}
+	}
+}
