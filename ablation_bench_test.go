@@ -166,6 +166,41 @@ func BenchmarkAblationGranularity(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationSTMProtocol: the same read-dominated vacation workload
+// across the STM concurrency-control protocols — TL2 lazy/eager
+// (ownership-record table, per-read version checks) vs NOrec (single
+// sequence lock, value-based validation) with and without the read-only
+// commit fast path. This is the lock-table-pressure vs revalidation-cost
+// trade the NOrec paper argues, measured as wall time and retries/tx.
+func BenchmarkAblationSTMProtocol(b *testing.B) {
+	for _, sysName := range []string{"stm-lazy", "stm-eager", "stm-norec", "stm-norec-ro"} {
+		b.Run(sysName, func(b *testing.B) {
+			app := vacation.New(vacation.Config{
+				QueriesPerTx: 4, QueryRange: 60, PercentUser: 90,
+				Records: 1024, Transactions: 4096, Seed: 11,
+			})
+			var aborts, commits uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				arena := mem.NewArena(app.ArenaWords())
+				app.Setup(arena)
+				sys, err := factory.New(sysName, tm.Config{Arena: arena, Threads: 4})
+				if err != nil {
+					b.Fatal(err)
+				}
+				app.Run(sys, thread.NewTeam(4))
+				if err := app.Verify(arena); err != nil {
+					b.Fatal(err)
+				}
+				st := sys.Stats()
+				aborts += st.Total.Aborts
+				commits += st.Total.Commits
+			}
+			b.ReportMetric(float64(aborts)/float64(max(commits, 1)), "retries/tx")
+		})
+	}
+}
+
 // BenchmarkAblationHTMCapacity sweeps the lazy HTM's speculative capacity
 // on labyrinth-style transactions, locating the serialization cliff.
 func BenchmarkAblationHTMCapacity(b *testing.B) {

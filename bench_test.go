@@ -76,11 +76,18 @@ func BenchmarkTableVI(b *testing.B) {
 	}
 }
 
+// figureSystems is the paper's six evaluated systems plus the NOrec
+// runtimes, giving every benchmark the protocol-comparison axis beyond the
+// paper's roster.
+func figureSystems() []string {
+	return append(harness.TMSystems(), "stm-norec", "stm-norec-ro")
+}
+
 // BenchmarkFigure1 runs every simulation variant on every TM system at 4
 // threads — one cell of each Figure 1 panel, with retries/tx reported.
 func BenchmarkFigure1(b *testing.B) {
 	for _, v := range stamp.SimVariants() {
-		for _, sys := range harness.TMSystems() {
+		for _, sys := range figureSystems() {
 			b.Run(fmt.Sprintf("%s/%s", v.Name, sys), func(b *testing.B) {
 				benchRun(b, v, sys, 4)
 			})
@@ -99,7 +106,7 @@ func BenchmarkFigure1Scaling(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		for _, sys := range harness.TMSystems() {
+		for _, sys := range figureSystems() {
 			// Three representative points of the paper's 1..16 sweep keep
 			// the full matrix tractable; cmd/speedup runs the full sweep.
 			for _, threads := range []int{1, 4, 16} {

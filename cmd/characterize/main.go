@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	characterize [-scale 0.25] [-retry-threads 16] [-variants genome,kmeans-high] [-qualitative]
+//	characterize [-scale 0.25] [-retry-threads 16] [-variants genome,kmeans-high]
+//	             [-systems stm-norec,stm-norec-ro] [-qualitative]
 package main
 
 import (
@@ -22,9 +23,30 @@ func main() {
 		scale       = flag.Float64("scale", 0.25, "workload scale (1 = the paper's configuration)")
 		retry       = flag.Int("retry-threads", 16, "thread count for the retries-per-transaction columns (paper: 16)")
 		only        = flag.String("variants", "", "comma-separated variant subset (default: all 20 simulation variants)")
+		sysFlag     = flag.String("systems", "", "comma-separated extra retry-column systems beyond the paper's six (see stamp -list-systems)")
 		qualitative = flag.Bool("qualitative", false, "also print the derived Table III buckets")
 	)
 	flag.Parse()
+
+	var extraSystems []string
+	if *sysFlag != "" {
+		parsed, err := stamp.ParseSystems(*sysFlag, false)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "characterize:", err)
+			os.Exit(2)
+		}
+		paper := make(map[string]bool)
+		for _, name := range stamp.TMSystems() {
+			paper[name] = true
+		}
+		for _, name := range parsed {
+			if paper[name] {
+				fmt.Fprintf(os.Stderr, "characterize: %s is already a Table VI retry column; -systems is for runtimes beyond the paper's six\n", name)
+				os.Exit(2)
+			}
+			extraSystems = append(extraSystems, name)
+		}
+	}
 
 	var selected []stamp.Variant
 	if *only != "" {
@@ -43,7 +65,7 @@ func main() {
 	var rows []stamp.Characterization
 	for _, v := range selected {
 		fmt.Fprintf(os.Stderr, "characterizing %s (scale %g)...\n", v.Name, *scale)
-		c, err := harness.Characterize(v, *scale, *retry)
+		c, err := harness.Characterize(v, *scale, *retry, extraSystems...)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "characterize:", err)
 			os.Exit(1)

@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	speedup [-scale 0.25] [-threads 1,2,4,8,16] [-variants genome,intruder] [-csv]
+//	speedup [-scale 0.25] [-threads 1,2,4,8,16] [-variants genome,intruder]
+//	        [-systems stm-lazy,stm-norec] [-csv]
 package main
 
 import (
@@ -22,9 +23,22 @@ func main() {
 		scale   = flag.Float64("scale", 0.25, "workload scale (1 = the paper's configuration)")
 		threads = flag.String("threads", "1,2,4,8,16", "comma-separated thread counts")
 		only    = flag.String("variants", "", "comma-separated variant subset (default: all 20 simulation variants)")
+		sysFlag = flag.String("systems", "", "comma-separated TM systems (default: the paper's six; see stamp -list-systems)")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
 	)
 	flag.Parse()
+
+	var systems []string
+	if *sysFlag != "" {
+		var err error
+		// seq is already the baseline of every panel; sweeping it at
+		// multiple threads would corrupt the workload, so reject it.
+		systems, err = stamp.ParseSystems(*sysFlag, false)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "speedup:", err)
+			os.Exit(2)
+		}
+	}
 
 	var ts []int
 	for _, s := range strings.Split(*threads, ",") {
@@ -52,7 +66,7 @@ func main() {
 	var series []stamp.SpeedupSeries
 	for _, v := range selected {
 		fmt.Fprintf(os.Stderr, "measuring %s (scale %g)...\n", v.Name, *scale)
-		s, err := harness.MeasureSpeedup(v, *scale, ts, nil)
+		s, err := harness.MeasureSpeedup(v, *scale, ts, systems)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "speedup:", err)
 			os.Exit(1)

@@ -1,10 +1,12 @@
-// Command stamp runs one STAMP variant on one TM system, the equivalent of
-// invoking an original benchmark binary linked against a TM library.
+// Command stamp runs one STAMP variant on one or more TM systems, the
+// equivalent of invoking an original benchmark binary linked against a TM
+// library.
 //
 // Usage:
 //
 //	stamp -list
-//	stamp -variant vacation-low -sys stm-lazy -threads 8 [-scale 1]
+//	stamp -list-systems
+//	stamp -variant vacation-low -systems stm-lazy,stm-norec -threads 8 [-scale 1]
 package main
 
 import (
@@ -17,11 +19,12 @@ import (
 
 func main() {
 	var (
-		list    = flag.Bool("list", false, "list all Table IV variants and exit")
-		variant = flag.String("variant", "", "variant name (see -list)")
-		sysName = flag.String("sys", "stm-lazy", "TM system: seq, stm-lazy, stm-eager, htm-lazy, htm-eager, hybrid-lazy, hybrid-eager")
-		threads = flag.Int("threads", 4, "worker threads")
-		scale   = flag.Float64("scale", 1.0, "workload scale (1 = the paper's configuration)")
+		list     = flag.Bool("list", false, "list all Table IV variants and exit")
+		listSys  = flag.Bool("list-systems", false, "list all registered TM systems and exit")
+		variant  = flag.String("variant", "", "variant name (see -list)")
+		sysNames = flag.String("systems", "stm-lazy", "comma-separated TM systems (see -list-systems)")
+		threads  = flag.Int("threads", 4, "worker threads")
+		scale    = flag.Float64("scale", 1.0, "workload scale (1 = the paper's configuration)")
 	)
 	flag.Parse()
 
@@ -32,27 +35,53 @@ func main() {
 		}
 		return
 	}
+	if *listSys {
+		for _, name := range stamp.Systems() {
+			fmt.Println(name)
+		}
+		return
+	}
 	if *variant == "" {
 		fmt.Fprintln(os.Stderr, "stamp: -variant is required (use -list to enumerate)")
 		os.Exit(2)
 	}
-	res, err := stamp.Run(*variant, *scale, *sysName, *threads)
+	systems, err := stamp.ParseSystems(*sysNames, true)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "stamp:", err)
+		os.Exit(2)
+	}
+
+	failed := false
+	for i, sysName := range systems {
+		if i > 0 {
+			fmt.Println()
+		}
+		n := *threads
+		if sysName == "seq" {
+			n = 1 // seq has no concurrency control; >1 thread corrupts the run
+		}
+		res, err := stamp.Run(*variant, *scale, sysName, n)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stamp:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("variant      %s\n", res.Variant)
+		fmt.Printf("system       %s\n", res.System)
+		fmt.Printf("threads      %d\n", res.Threads)
+		fmt.Printf("wall time    %v\n", res.Wall)
+		fmt.Printf("transactions %d\n", res.Stats.Total.Commits)
+		fmt.Printf("aborts       %d (%.3f retries/tx)\n", res.Stats.Total.Aborts, res.RetriesPerTx())
+		fmt.Printf("barriers     %d loads, %d stores (%d wasted in aborted attempts)\n",
+			res.Stats.Total.Loads, res.Stats.Total.Stores, res.Stats.Total.Wasted)
+		fmt.Printf("tx time      %.1f%% of thread time\n", res.TxTimeFraction()*100)
+		if res.Verify != nil {
+			fmt.Printf("VERIFY       FAILED: %v\n", res.Verify)
+			failed = true
+			continue
+		}
+		fmt.Printf("verify       ok\n")
+	}
+	if failed {
 		os.Exit(1)
 	}
-	fmt.Printf("variant      %s\n", res.Variant)
-	fmt.Printf("system       %s\n", res.System)
-	fmt.Printf("threads      %d\n", res.Threads)
-	fmt.Printf("wall time    %v\n", res.Wall)
-	fmt.Printf("transactions %d\n", res.Stats.Total.Commits)
-	fmt.Printf("aborts       %d (%.3f retries/tx)\n", res.Stats.Total.Aborts, res.RetriesPerTx())
-	fmt.Printf("barriers     %d loads, %d stores (%d wasted in aborted attempts)\n",
-		res.Stats.Total.Loads, res.Stats.Total.Stores, res.Stats.Total.Wasted)
-	fmt.Printf("tx time      %.1f%% of thread time\n", res.TxTimeFraction()*100)
-	if res.Verify != nil {
-		fmt.Printf("VERIFY       FAILED: %v\n", res.Verify)
-		os.Exit(1)
-	}
-	fmt.Printf("verify       ok\n")
 }

@@ -1,15 +1,19 @@
 // Package stamp is a from-scratch Go reproduction of STAMP — the Stanford
 // Transactional Applications for Multi-Processing benchmark suite (Cao Minh,
-// Chung, Kozyrakis, Olukotun; IISWC 2008) — together with the seven
-// transactional-memory runtimes it is evaluated on.
+// Chung, Kozyrakis, Olukotun; IISWC 2008) — together with nine
+// transactional-memory runtimes: the seven the paper evaluates plus two
+// NOrec STM variants that extend the comparison axis.
 //
 // The package exposes three layers:
 //
 //   - A portable transactional-memory API (System, Thread, Tx) over a
-//     word-addressed shared-memory Arena, with seven interchangeable
+//     word-addressed shared-memory Arena, with nine interchangeable
 //     runtimes: a sequential baseline, TL2-style lazy and eager STMs,
-//     simulated TCC-style (lazy) and LogTM-style (eager) HTMs, and
-//     SigTM-style lazy and eager hybrids.
+//     NOrec STMs with value-based validation ("stm-norec", and
+//     "stm-norec-ro" with the read-only commit fast path), simulated
+//     TCC-style (lazy) and LogTM-style (eager) HTMs, and SigTM-style lazy
+//     and eager hybrids. TMSystems() stays the paper's six evaluated
+//     systems; Systems() lists everything registered.
 //   - A transactional container library (sorted list, FIFO queue, hash
 //     table, red-black tree, binary heap, vector, bitmap) that works both
 //     inside transactions and with the non-transactional Direct accessor.

@@ -1,0 +1,3 @@
+module github.com/stamp-go/stamp
+
+go 1.24

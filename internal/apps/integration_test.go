@@ -1,6 +1,7 @@
 package apps_test
 
 import (
+	"strings"
 	"testing"
 
 	"github.com/stamp-go/stamp/internal/apps"
@@ -43,12 +44,18 @@ func runOn(t *testing.T, app apps.App, sysName string, threads int) {
 }
 
 // allSystems runs the app constructor on every system at the given thread
-// count (a fresh instance per system so arena state never leaks).
+// count (a fresh instance per system so arena state never leaks). In short
+// mode the simulated-hardware systems are skipped: their per-line
+// bookkeeping is an order of magnitude slower under the race detector, and
+// they remain covered by the full run and the factory conformance suite.
 func allSystems(t *testing.T, mk func() apps.App, threads int) {
 	t.Helper()
 	for _, name := range factory.Names() {
 		name := name
 		t.Run(name, func(t *testing.T) {
+			if testing.Short() && (strings.HasPrefix(name, "htm") || strings.HasPrefix(name, "hybrid")) {
+				t.Skip("simulated-hardware system skipped in short mode")
+			}
 			t.Parallel()
 			n := threads
 			if name == "seq" {

@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"io"
+	"sort"
 	"time"
 )
 
@@ -30,8 +31,9 @@ type Characterization struct {
 // provides the barrier counts and the per-transaction time proxy, the lazy
 // HTM provides read/write sets and time-in-transactions (as in the paper),
 // and every TM system at retryThreads threads provides retries per
-// transaction (the paper uses 16).
-func Characterize(v Variant, scale float64, retryThreads int) (Characterization, error) {
+// transaction (the paper uses 16). extraSystems adds retry columns for
+// runtimes beyond the paper's six (e.g. "stm-norec").
+func Characterize(v Variant, scale float64, retryThreads int, extraSystems ...string) (Characterization, error) {
 	c := Characterization{Variant: v.Name, Retries: map[string]float64{}}
 	app := v.Make(scale)
 	c.ArenaWords = app.ArenaWords()
@@ -61,7 +63,7 @@ func Characterize(v Variant, scale float64, retryThreads int) (Characterization,
 	c.WriteSetP90 = htm.Stats.WriteSetP90()
 	c.TxTimePct = htm.TxTimeFraction() * 100
 
-	for _, sysName := range TMSystems() {
+	for _, sysName := range append(TMSystems(), extraSystems...) {
 		r, err := RunOne(app, v.Name, sysName, retryThreads, false)
 		if err != nil {
 			return c, err
@@ -81,19 +83,51 @@ func TMSystems() []string {
 	return []string{"htm-lazy", "htm-eager", "hybrid-lazy", "hybrid-eager", "stm-lazy", "stm-eager"}
 }
 
-// WriteTableVI renders characterization rows in the shape of Table VI.
-func WriteTableVI(w io.Writer, rows []Characterization) {
-	fmt.Fprintf(w, "%-16s %10s %12s %8s %8s %8s %8s %7s %8s %8s %8s %8s %8s %8s %10s\n",
-		"Application", "Txs", "ns/Tx(seq)", "RdBar", "WrBar", "RdSet90", "WrSet90", "TxTime",
-		"rHTMlz", "rHTMeg", "rHYBlz", "rHYBeg", "rSTMlz", "rSTMeg", "Footprint")
+// extraRetrySystems collects retry-column systems beyond the paper's six
+// present in any row, sorted, so Table VI grows columns instead of dropping
+// measurements.
+func extraRetrySystems(rows []Characterization) []string {
+	paper := make(map[string]bool)
+	for _, sys := range TMSystems() {
+		paper[sys] = true
+	}
+	seen := make(map[string]bool)
+	var extra []string
 	for _, c := range rows {
-		fmt.Fprintf(w, "%-16s %10d %12.0f %8.1f %8.1f %8d %8d %6.0f%% %8.2f %8.2f %8.2f %8.2f %8.2f %8.2f %9.1fMB\n",
+		for sys := range c.Retries {
+			if !paper[sys] && !seen[sys] {
+				seen[sys] = true
+				extra = append(extra, sys)
+			}
+		}
+	}
+	sort.Strings(extra)
+	return extra
+}
+
+// WriteTableVI renders characterization rows in the shape of Table VI. Any
+// retry measurements beyond the paper's six systems are appended as extra
+// columns headed by the system name.
+func WriteTableVI(w io.Writer, rows []Characterization) {
+	extra := extraRetrySystems(rows)
+	fmt.Fprintf(w, "%-16s %10s %12s %8s %8s %8s %8s %7s %8s %8s %8s %8s %8s %8s",
+		"Application", "Txs", "ns/Tx(seq)", "RdBar", "WrBar", "RdSet90", "WrSet90", "TxTime",
+		"rHTMlz", "rHTMeg", "rHYBlz", "rHYBeg", "rSTMlz", "rSTMeg")
+	for _, sys := range extra {
+		fmt.Fprintf(w, " %14s", "r:"+sys)
+	}
+	fmt.Fprintf(w, " %10s\n", "Footprint")
+	for _, c := range rows {
+		fmt.Fprintf(w, "%-16s %10d %12.0f %8.1f %8.1f %8d %8d %6.0f%% %8.2f %8.2f %8.2f %8.2f %8.2f %8.2f",
 			c.Variant, c.TxCount, c.NsPerTx, c.MeanLoads, c.MeanStores,
 			c.ReadSetP90, c.WriteSetP90, c.TxTimePct,
 			c.Retries["htm-lazy"], c.Retries["htm-eager"],
 			c.Retries["hybrid-lazy"], c.Retries["hybrid-eager"],
-			c.Retries["stm-lazy"], c.Retries["stm-eager"],
-			float64(c.ArenaWords)*8/(1<<20))
+			c.Retries["stm-lazy"], c.Retries["stm-eager"])
+		for _, sys := range extra {
+			fmt.Fprintf(w, " %14.2f", c.Retries[sys])
+		}
+		fmt.Fprintf(w, " %9.1fMB\n", float64(c.ArenaWords)*8/(1<<20))
 	}
 }
 

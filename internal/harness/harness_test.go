@@ -69,6 +69,35 @@ func TestRunVariantSmoke(t *testing.T) {
 	}
 }
 
+// TestRunVariantNOrec drives the NOrec runtimes through the harness on the
+// workloads the NOrec paper argues about (read-dominated genome/vacation,
+// tiny-transaction kmeans): results must verify and every started block
+// must eventually commit at 4 threads.
+func TestRunVariantNOrec(t *testing.T) {
+	for _, sysName := range []string{"stm-norec", "stm-norec-ro"} {
+		for _, name := range []string{"genome", "vacation-low", "kmeans-high"} {
+			v, err := FindVariant(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := RunVariant(v, 0.05, sysName, 4, false)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", name, sysName, err)
+			}
+			if r.Verify != nil {
+				t.Fatalf("%s on %s failed verification: %v", name, sysName, r.Verify)
+			}
+			if r.Stats.Total.Commits == 0 {
+				t.Fatalf("%s on %s: no commits", name, sysName)
+			}
+			if r.Stats.Total.Starts != r.Stats.Total.Commits {
+				t.Fatalf("%s on %s: starts %d != commits %d", name, sysName,
+					r.Stats.Total.Starts, r.Stats.Total.Commits)
+			}
+		}
+	}
+}
+
 func TestCharacterizeSmoke(t *testing.T) {
 	v, err := FindVariant("kmeans-high")
 	if err != nil {

@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 )
 
@@ -73,6 +74,28 @@ func (s SpeedupSeries) Speedup(sys string, i int) float64 {
 	return s.Baseline / w[i]
 }
 
+// seriesSystems returns the systems measured in s: the paper's six first
+// (Figure 1 legend order), then any extra runtimes (e.g. stm-norec) sorted
+// by name, so non-paper systems still render in the text output.
+func seriesSystems(s SpeedupSeries) []string {
+	seen := make(map[string]bool)
+	var systems []string
+	for _, sys := range TMSystems() {
+		if _, ok := s.Wall[sys]; ok {
+			systems = append(systems, sys)
+			seen[sys] = true
+		}
+	}
+	var extra []string
+	for sys := range s.Wall {
+		if !seen[sys] {
+			extra = append(extra, sys)
+		}
+	}
+	sort.Strings(extra)
+	return append(systems, extra...)
+}
+
 // WriteFigure1 renders the series as aligned text (one block per variant,
 // like one panel of Figure 1). Model speedups are shown in parentheses.
 func WriteFigure1(w io.Writer, series []SpeedupSeries) {
@@ -83,10 +106,7 @@ func WriteFigure1(w io.Writer, series []SpeedupSeries) {
 			fmt.Fprintf(w, "%16d", t)
 		}
 		fmt.Fprintln(w)
-		for _, sys := range TMSystems() {
-			if _, ok := s.Wall[sys]; !ok {
-				continue
-			}
+		for _, sys := range seriesSystems(s) {
 			fmt.Fprintf(w, "%-14s", sys)
 			for i := range s.Threads {
 				fmt.Fprintf(w, "%8.2f (%4.1f)", s.Speedup(sys, i), s.ModelSpeedup[sys][i])

@@ -10,10 +10,26 @@ import (
 	"github.com/stamp-go/stamp/internal/tm"
 )
 
-// concurrent lists the systems that must be correct under concurrency (all
-// but seq).
+// concurrentNames lists the systems that must be correct under concurrency:
+// every registered runtime except the sequential baseline. Deriving the
+// list from Names() means any newly registered runtime is picked up by the
+// whole cross-system conformance suite automatically.
 func concurrentNames() []string {
-	return []string{"stm-lazy", "stm-eager", "htm-lazy", "htm-eager", "hybrid-lazy", "hybrid-eager"}
+	var names []string
+	for _, n := range Names() {
+		if n != "seq" {
+			names = append(names, n)
+		}
+	}
+	return names
+}
+
+// eagerInPlace lists the runtimes whose speculative writes go to memory in
+// place (undo-log systems); everything else is assumed to buffer writes
+// (redo-log systems). New registrations default to the buffered branch of
+// the Peek semantics test — an in-place runtime must be added here.
+var eagerInPlace = map[string]bool{
+	"stm-eager": true, "htm-eager": true, "hybrid-eager": true,
 }
 
 func newSys(t *testing.T, name string, arena *mem.Arena, threads int) tm.System {
@@ -28,6 +44,7 @@ func newSys(t *testing.T, name string, arena *mem.Arena, threads int) tm.System 
 func TestNamesComplete(t *testing.T) {
 	want := map[string]bool{
 		"seq": true, "stm-lazy": true, "stm-eager": true,
+		"stm-norec": true, "stm-norec-ro": true,
 		"htm-lazy": true, "htm-eager": true, "hybrid-lazy": true, "hybrid-eager": true,
 	}
 	got := Names()
@@ -424,10 +441,9 @@ func TestEarlyReleaseAllowsConcurrentCommit(t *testing.T) {
 	}
 }
 
-// TestPeekSemantics documents Peek: lazy systems do not show own buffered
-// writes; eager systems do (in-place).
+// TestPeekSemantics documents Peek: buffered (redo-log) systems do not show
+// own speculative writes; in-place (undo-log) systems do.
 func TestPeekSemantics(t *testing.T) {
-	lazyLike := map[string]bool{"stm-lazy": true, "htm-lazy": true, "hybrid-lazy": true}
 	for _, name := range concurrentNames() {
 		t.Run(name, func(t *testing.T) {
 			arena := mem.NewArena(1 << 10)
@@ -437,11 +453,11 @@ func TestPeekSemantics(t *testing.T) {
 			sys.Thread(0).Atomic(func(tx tm.Tx) {
 				tx.Store(a, 6)
 				got := tx.Peek(a)
-				if lazyLike[name] && got != 5 {
-					t.Errorf("lazy Peek saw buffered write: %d", got)
+				if !eagerInPlace[name] && got != 5 {
+					t.Errorf("buffered Peek saw speculative write: %d", got)
 				}
-				if !lazyLike[name] && got != 6 {
-					t.Errorf("eager Peek missed in-place write: %d", got)
+				if eagerInPlace[name] && got != 6 {
+					t.Errorf("in-place Peek missed speculative write: %d", got)
 				}
 			})
 		})

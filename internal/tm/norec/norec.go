@@ -1,0 +1,301 @@
+// Package norec implements the NOrec STM (Dalessandro, Spear & Scott,
+// "NOrec: Streamlining STM by Abolishing Ownership Records", PPoPP 2010):
+// a lazy-versioning STM whose only global metadata is a single sequence
+// lock. There is no per-location lock table at all — conflicts are found by
+// value-based validation of the read set, so the runtime trades TL2's
+// lock-table cache pressure for revalidation work whenever the global clock
+// moves. That trade wins exactly where the paper says it does: low thread
+// counts and read-dominated workloads whose read sets rarely change value
+// (vacation, genome), and it loses under heavy write commit rates, because
+// every writeback is serialized through the one lock.
+//
+// The sequence lock protocol:
+//
+//   - seq even: no writeback in progress (quiescent).
+//   - seq odd: exactly one committer holds the lock and is writing back.
+//
+// A transaction snapshots an even seq at begin. Every Load rechecks seq
+// after reading memory; if it moved, the whole read set is revalidated by
+// value against a new quiescent snapshot (mismatch => abort, match =>
+// adopt the newer snapshot and continue). A writer commits by CAS-ing
+// seq from its snapshot to snapshot+1 (acquiring the lock), writing its
+// redo log back, and releasing with snapshot+2. Read-set validity at the
+// moment the CAS succeeds follows from seq not having moved since the last
+// validation, which gives opacity without any per-read version check.
+//
+// Two registered variants expose the cost of the read-only commit rule as
+// a comparison axis:
+//
+//	stm-norec     read-only transactions also serialize through the
+//	              sequence lock at commit (every commit ticks the clock)
+//	stm-norec-ro  the paper's read-only fast path: a transaction with an
+//	              empty write set commits immediately, with no lock
+//	              acquisition and no clock tick
+package norec
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"github.com/stamp-go/stamp/internal/mem"
+	"github.com/stamp-go/stamp/internal/tm"
+)
+
+// System is one NOrec runtime instance. The entire shared state of the
+// algorithm is the seq word; everything else is per-thread.
+type System struct {
+	cfg    tm.Config
+	name   string
+	roFast bool // read-only commit fast path (the stm-norec-ro variant)
+
+	// seq is the global sequence lock: even = quiescent, odd = a committer
+	// is writing back. It doubles as the version clock transactions
+	// snapshot at begin.
+	seq atomic.Uint64
+
+	// lockAcquires counts successful sequence-lock acquisitions, the test
+	// hook that lets callers assert the read-only fast path never takes
+	// the lock.
+	lockAcquires atomic.Uint64
+
+	threads []*norecThread
+}
+
+// New constructs the plain NOrec runtime ("stm-norec").
+func New(cfg tm.Config) (*System, error) { return newSystem(cfg, "stm-norec", false) }
+
+// NewRO constructs the NOrec runtime with the read-only commit fast path
+// ("stm-norec-ro").
+func NewRO(cfg tm.Config) (*System, error) { return newSystem(cfg, "stm-norec-ro", true) }
+
+func newSystem(cfg tm.Config, name string, roFast bool) (*System, error) {
+	cfg = cfg.Defaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &System{cfg: cfg, name: name, roFast: roFast}
+	s.threads = make([]*norecThread, cfg.Threads)
+	for i := range s.threads {
+		t := &norecThread{id: i, sys: s, backoff: tm.NewBackoff(cfg.BackoffAfter, cfg.Seed+uint64(i)^0x0ec5)}
+		t.tx = &norecTx{sys: s, th: t, wbuf: make(map[mem.Addr]uint64)}
+		if cfg.ProfileSets {
+			t.tx.readLines = make(map[mem.Line]struct{})
+			t.tx.writeLines = make(map[mem.Line]struct{})
+		}
+		s.threads[i] = t
+	}
+	return s, nil
+}
+
+// Name implements tm.System.
+func (s *System) Name() string { return s.name }
+
+// Arena implements tm.System.
+func (s *System) Arena() *mem.Arena { return s.cfg.Arena }
+
+// NThreads implements tm.System.
+func (s *System) NThreads() int { return s.cfg.Threads }
+
+// Thread implements tm.System.
+func (s *System) Thread(id int) tm.Thread { return s.threads[id] }
+
+// Stats implements tm.System.
+func (s *System) Stats() tm.Stats {
+	per := make([]*tm.ThreadStats, len(s.threads))
+	for i, t := range s.threads {
+		per[i] = &t.stats
+	}
+	return tm.Aggregate(per)
+}
+
+// Seq returns the current sequence-lock value (even = quiescent).
+func (s *System) Seq() uint64 { return s.seq.Load() }
+
+// LockAcquires returns how many commits acquired the sequence lock. With
+// the read-only fast path, read-only transactions never contribute here.
+func (s *System) LockAcquires() uint64 { return s.lockAcquires.Load() }
+
+// waitQuiescent spins until seq is even and returns it. It yields to the
+// scheduler periodically so a committer that holds the lock can finish its
+// writeback even when goroutines outnumber cores.
+func (s *System) waitQuiescent() uint64 {
+	for spins := 0; ; spins++ {
+		if v := s.seq.Load(); v&1 == 0 {
+			return v
+		}
+		if spins&127 == 127 {
+			runtime.Gosched()
+		}
+	}
+}
+
+type norecThread struct {
+	id      int
+	sys     *System
+	stats   tm.ThreadStats
+	tx      *norecTx
+	backoff *tm.Backoff
+	timer   tm.AtomicTimer
+}
+
+func (t *norecThread) ID() int                { return t.id }
+func (t *norecThread) Stats() *tm.ThreadStats { return &t.stats }
+
+func (t *norecThread) Atomic(fn func(tm.Tx)) {
+	t.timer.BeginBlock()
+	t.stats.Starts++
+	aborts := 0
+	for {
+		t.tx.begin()
+		if tm.Attempt(t.tx, fn) && t.tx.commit() {
+			break
+		}
+		aborts++
+		t.stats.Aborts++
+		t.stats.Wasted += t.tx.loads + t.tx.stores
+		t.backoff.Wait(aborts)
+	}
+	t.stats.Commits++
+	t.stats.Loads += t.tx.loads
+	t.stats.Stores += t.tx.stores
+	t.stats.LoadsHist.Add(int(t.tx.loads))
+	t.stats.StoresHist.Add(int(t.tx.stores))
+	if t.tx.readLines != nil {
+		t.stats.ReadLinesHist.Add(len(t.tx.readLines))
+		t.stats.WriteLinesHist.Add(len(t.tx.writeLines))
+	}
+	t.stats.TxTimeNs += int64(t.timer.EndBlock())
+}
+
+// readRec is one read-set entry: the address and the value observed there.
+// NOrec validates by value — a concurrent commit that stores the same value
+// back (a silent store) does not abort readers.
+type readRec struct {
+	addr mem.Addr
+	val  uint64
+}
+
+type norecTx struct {
+	sys *System
+	th  *norecThread
+
+	snapshot uint64 // even seq value the read set is known valid at
+	rset     []readRec
+	wbuf     map[mem.Addr]uint64
+	worder   []mem.Addr // write-set addresses in first-store order
+
+	loads  uint64
+	stores uint64
+
+	readLines  map[mem.Line]struct{} // profiling only
+	writeLines map[mem.Line]struct{}
+}
+
+func (x *norecTx) begin() {
+	x.snapshot = x.sys.waitQuiescent()
+	x.rset = x.rset[:0]
+	x.worder = x.worder[:0]
+	clear(x.wbuf)
+	x.loads, x.stores = 0, 0
+	if x.readLines != nil {
+		clear(x.readLines)
+		clear(x.writeLines)
+	}
+}
+
+// Load implements the NOrec read barrier: write-buffer lookup, then a read
+// that is consistent with the snapshot. If the global clock moved since the
+// snapshot, the whole read set is revalidated by value before the read is
+// retried, so a doomed transaction can never observe a mixed-epoch state
+// (opacity).
+func (x *norecTx) Load(a mem.Addr) uint64 {
+	x.loads++
+	if v, ok := x.wbuf[a]; ok {
+		return v
+	}
+	v := x.sys.cfg.Arena.Load(a)
+	for x.sys.seq.Load() != x.snapshot {
+		s, ok := x.revalidate()
+		if !ok {
+			tm.Retry()
+		}
+		x.snapshot = s
+		v = x.sys.cfg.Arena.Load(a)
+	}
+	x.rset = append(x.rset, readRec{addr: a, val: v})
+	if x.readLines != nil {
+		x.readLines[mem.LineOf(a)] = struct{}{}
+	}
+	return v
+}
+
+// revalidate is NOrec's value-based validation: wait for a quiescent seq,
+// re-read every read-set address, and succeed only if all values still
+// match and seq did not move during the pass. On success the returned seq
+// becomes the transaction's new snapshot.
+func (x *norecTx) revalidate() (uint64, bool) {
+	for {
+		t := x.sys.waitQuiescent()
+		for _, r := range x.rset {
+			if x.sys.cfg.Arena.Load(r.addr) != r.val {
+				return 0, false
+			}
+		}
+		if x.sys.seq.Load() == t {
+			return t, true
+		}
+	}
+}
+
+// Store implements the lazy write barrier: buffer the value.
+func (x *norecTx) Store(a mem.Addr, v uint64) {
+	x.stores++
+	if _, ok := x.wbuf[a]; !ok {
+		x.worder = append(x.worder, a)
+	}
+	x.wbuf[a] = v
+	if x.writeLines != nil {
+		x.writeLines[mem.LineOf(a)] = struct{}{}
+	}
+}
+
+func (x *norecTx) Alloc(n int) mem.Addr { return x.sys.cfg.Arena.Alloc(n) }
+func (x *norecTx) Free(mem.Addr)        {}
+
+// EarlyRelease is a no-op: there is no per-location metadata to release,
+// and dropping a readRec would only skip one value comparison. Keeping the
+// entry is always safe (value-based validation never manufactures false
+// conflicts at word granularity).
+func (x *norecTx) EarlyRelease(mem.Addr) {}
+
+// Peek is an uninstrumented read; with lazy versioning it does not see the
+// transaction's own buffered writes (documented on tm.Tx).
+func (x *norecTx) Peek(a mem.Addr) uint64 { return x.sys.cfg.Arena.Load(a) }
+
+// Restart implements tm.Tx.
+func (x *norecTx) Restart() { tm.Retry() }
+
+// commit acquires the sequence lock (CAS even -> odd), writes the redo log
+// back, and releases (snapshot+2). A failed CAS means some other commit
+// ticked the clock, so the read set is revalidated and the CAS retried from
+// the newer snapshot. With the read-only fast path enabled, an empty write
+// set commits immediately: every Load already validated against a quiescent
+// snapshot, so the read set was atomically valid at that snapshot.
+func (x *norecTx) commit() bool {
+	if len(x.worder) == 0 && x.sys.roFast {
+		return true
+	}
+	for !x.sys.seq.CompareAndSwap(x.snapshot, x.snapshot+1) {
+		s, ok := x.revalidate()
+		if !ok {
+			return false
+		}
+		x.snapshot = s
+	}
+	x.sys.lockAcquires.Add(1)
+	for _, a := range x.worder {
+		x.sys.cfg.Arena.Store(a, x.wbuf[a])
+	}
+	x.sys.seq.Store(x.snapshot + 2)
+	return true
+}

@@ -2,17 +2,25 @@
 // application in this suite is written against, mirroring the C macro layer
 // of the original benchmark (TM_BEGIN / TM_SHARED_READ / TM_SHARED_WRITE /
 // TM_EARLY_RELEASE / TM_RESTART). The same application code runs unchanged
-// on all seven runtimes:
+// on all nine runtimes:
 //
 //	seq           sequential baseline (no concurrency control; speedup denominator)
 //	stm-lazy      TL2-style lazy STM (write buffer, commit-time locking, word granularity)
 //	stm-eager     eager TL2 variant (undo log, encounter-time locking, word granularity)
+//	stm-norec     NOrec STM (single global sequence lock, value-based validation,
+//	              no per-location metadata; every commit serializes through the lock)
+//	stm-norec-ro  NOrec with the read-only commit fast path (empty write set
+//	              commits without acquiring the sequence lock)
 //	htm-lazy      simulated TCC-style HTM (lazy versioning, commit arbitration,
 //	              line granularity, capacity overflow => serialized execution)
 //	htm-eager     simulated LogTM-style HTM (eager versioning, directory conflict
 //	              detection, requester loses, priority after 32 aborts, Bloom overflow)
 //	hybrid-lazy   simulated SigTM (software write buffer + hardware signatures)
 //	hybrid-eager  eager SigTM variant (software undo log + hardware signatures)
+//
+// The paper's evaluation covers six of these (factory.TMNames()); the NOrec
+// runtimes extend the comparison axis beyond the paper and are selected
+// explicitly by name (factory.Names() lists everything registered).
 //
 // Transactional data lives in a mem.Arena; Tx.Load and Tx.Store are the read
 // and write barriers. Conflicts abort the current attempt by panicking with

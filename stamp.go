@@ -1,6 +1,9 @@
 package stamp
 
 import (
+	"fmt"
+	"strings"
+
 	"github.com/stamp-go/stamp/internal/container"
 	"github.com/stamp-go/stamp/internal/harness"
 	"github.com/stamp-go/stamp/internal/mem"
@@ -72,7 +75,8 @@ const NilAddr = mem.Nil
 func NewArena(nWords int) *Arena { return mem.NewArena(nWords) }
 
 // NewSystem constructs a TM runtime by name: "seq", "stm-lazy", "stm-eager",
-// "htm-lazy", "htm-eager", "hybrid-lazy", or "hybrid-eager".
+// "stm-norec", "stm-norec-ro", "htm-lazy", "htm-eager", "hybrid-lazy", or
+// "hybrid-eager".
 func NewSystem(name string, cfg Config) (System, error) { return factory.New(name, cfg) }
 
 // Systems returns every runtime name, including the sequential baseline.
@@ -81,6 +85,41 @@ func Systems() []string { return factory.Names() }
 // TMSystems returns the six transactional systems of the paper's
 // evaluation.
 func TMSystems() []string { return harness.TMSystems() }
+
+// ParseSystems parses a comma-separated TM-system list and validates every
+// entry against Systems(). Empty entries are skipped and duplicates removed
+// (first occurrence wins), so measurement sweeps never run a system twice.
+// With allowSeq false the sequential baseline is rejected: seq has no
+// concurrency control, so running it at multiple threads corrupts the
+// workload.
+func ParseSystems(list string, allowSeq bool) ([]string, error) {
+	known := make(map[string]bool)
+	for _, name := range Systems() {
+		known[name] = true
+	}
+	seen := make(map[string]bool)
+	var systems []string
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" || seen[name] {
+			continue
+		}
+		if !known[name] {
+			return nil, fmt.Errorf("unknown TM system %q (known: %s)",
+				name, strings.Join(Systems(), ", "))
+		}
+		if name == "seq" && !allowSeq {
+			return nil, fmt.Errorf("seq is the sequential baseline (no concurrency control) and cannot be swept at multiple threads")
+		}
+		seen[name] = true
+		systems = append(systems, name)
+	}
+	if len(systems) == 0 {
+		return nil, fmt.Errorf("need at least one TM system (known: %s)",
+			strings.Join(Systems(), ", "))
+	}
+	return systems, nil
+}
 
 // NewTeam returns a fork/join team of n workers.
 func NewTeam(n int) *Team { return thread.NewTeam(n) }

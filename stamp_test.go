@@ -7,11 +7,13 @@ import (
 	"github.com/stamp-go/stamp"
 )
 
-func TestSystemsListsAllSeven(t *testing.T) {
+func TestSystemsRoster(t *testing.T) {
 	got := stamp.Systems()
-	if len(got) != 7 {
+	if len(got) != 9 {
 		t.Fatalf("Systems() = %v", got)
 	}
+	// TMSystems stays pinned to the paper's six evaluated systems even as
+	// the registry grows.
 	tm := stamp.TMSystems()
 	if len(tm) != 6 {
 		t.Fatalf("TMSystems() = %v", tm)
@@ -20,6 +22,28 @@ func TestSystemsListsAllSeven(t *testing.T) {
 		if name == "seq" {
 			t.Fatal("seq listed as a TM system")
 		}
+	}
+}
+
+func TestParseSystems(t *testing.T) {
+	got, err := stamp.ParseSystems(" stm-norec,,stm-lazy , stm-norec,", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "stm-norec" || got[1] != "stm-lazy" {
+		t.Fatalf("ParseSystems = %v (want dedup, trim, order preserved)", got)
+	}
+	if _, err := stamp.ParseSystems("nope", true); err == nil {
+		t.Fatal("unknown system accepted")
+	}
+	if _, err := stamp.ParseSystems("", true); err == nil {
+		t.Fatal("empty list accepted")
+	}
+	if _, err := stamp.ParseSystems("seq", false); err == nil {
+		t.Fatal("seq accepted with allowSeq=false")
+	}
+	if got, err := stamp.ParseSystems("seq", true); err != nil || len(got) != 1 {
+		t.Fatalf("seq rejected with allowSeq=true: %v %v", got, err)
 	}
 }
 
@@ -108,16 +132,16 @@ func TestTableIVArgsPinned(t *testing.T) {
 	// Guard the Table IV argument strings against silent drift: spot-check
 	// rows exactly as printed in the paper.
 	want := map[string]string{
-		"bayes":           "-v32 -r1024 -n2 -p20 -i2 -e2",
-		"bayes++":         "-v32 -r4096 -n10 -p40 -i2 -e8 -s1",
-		"genome++":        "-g16384 -s64 -n16777216",
-		"kmeans-high++":   "-m15 -n15 -t0.00001 -i random-n65536-d32-c16",
-		"labyrinth+":      "-i random-x48-y48-z3-n64",
-		"ssca2+":          "-s14 -i1.0 -u1.0 -l9 -p9",
-		"vacation-low++":  "-n2 -q90 -u98 -r1048576 -t4194304",
-		"vacation-high":   "-n4 -q60 -u90 -r16384 -t4096",
-		"yada":            "-a20 -i 633.2",
-		"yada++":          "-a15 -i ttimeu1000000.2",
+		"bayes":          "-v32 -r1024 -n2 -p20 -i2 -e2",
+		"bayes++":        "-v32 -r4096 -n10 -p40 -i2 -e8 -s1",
+		"genome++":       "-g16384 -s64 -n16777216",
+		"kmeans-high++":  "-m15 -n15 -t0.00001 -i random-n65536-d32-c16",
+		"labyrinth+":     "-i random-x48-y48-z3-n64",
+		"ssca2+":         "-s14 -i1.0 -u1.0 -l9 -p9",
+		"vacation-low++": "-n2 -q90 -u98 -r1048576 -t4194304",
+		"vacation-high":  "-n4 -q60 -u90 -r16384 -t4096",
+		"yada":           "-a20 -i 633.2",
+		"yada++":         "-a15 -i ttimeu1000000.2",
 	}
 	for name, args := range want {
 		v, err := stamp.FindVariant(name)
