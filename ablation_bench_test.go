@@ -90,6 +90,60 @@ func BenchmarkAblationBackoff(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationContentionManager sweeps every registered contention-
+// management policy over the same contended workload — a hot counter plus
+// scattered transfers on the lazy STM at 8 threads — reporting retries/tx,
+// CM delays, and serialize-fallback escalations per policy. This is the
+// policy-curve ablation the Synchrobench comparison argues for: protocol
+// fixed, contention manager varied.
+func BenchmarkAblationContentionManager(b *testing.B) {
+	for _, cm := range stamp.CMNames() {
+		b.Run("cm="+cm, func(b *testing.B) {
+			var aborts, commits, waits, serialized uint64
+			for i := 0; i < b.N; i++ {
+				arena := stamp.NewArena(1 << 12)
+				hot := arena.Alloc(1)
+				cells := make([]stamp.Addr, 32)
+				for j := range cells {
+					cells[j] = arena.AllocLines(1)
+				}
+				sys, err := factory.New("stm-lazy", tm.Config{
+					Arena: arena, Threads: 8, CM: cm,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				team := thread.NewTeam(8)
+				team.Run(func(tid int) {
+					th := sys.Thread(tid)
+					for j := 0; j < 1500; j++ {
+						if j%4 == 0 {
+							a := cells[(tid*7+j)%len(cells)]
+							c := cells[(tid+j*5)%len(cells)]
+							th.Atomic(func(tx tm.Tx) {
+								tx.Store(a, tx.Load(a)+1)
+								tx.Store(c, tx.Load(c)+1)
+							})
+							continue
+						}
+						th.Atomic(func(tx tm.Tx) {
+							tx.Store(hot, tx.Load(hot)+1)
+						})
+					}
+				})
+				st := sys.Stats()
+				aborts += st.Total.Aborts
+				commits += st.Total.Commits
+				waits += st.Total.CMWaits
+				serialized += st.Total.CMSerialized
+			}
+			b.ReportMetric(float64(aborts)/float64(max(commits, 1)), "retries/tx")
+			b.ReportMetric(float64(waits)/float64(b.N), "cm-waits/run")
+			b.ReportMetric(float64(serialized)/float64(b.N), "serialized/run")
+		})
+	}
+}
+
 // BenchmarkAblationAssociativity: bayes-sized read sets on the lazy HTM
 // with the Table V 4-way buffer vs a fully associative one. The 4-way
 // buffer overflows on footprints far below its total capacity, reproducing

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	characterize [-scale 0.25] [-retry-threads 16] [-variants genome,kmeans-high]
-//	             [-systems stm-norec,stm-norec-ro] [-qualitative]
+//	             [-systems stm-norec,stm-norec-ro] [-cm greedy] [-qualitative]
 package main
 
 import (
@@ -24,9 +24,16 @@ func main() {
 		retry       = flag.Int("retry-threads", 16, "thread count for the retries-per-transaction columns (paper: 16)")
 		only        = flag.String("variants", "", "comma-separated variant subset (default: all 20 simulation variants)")
 		sysFlag     = flag.String("systems", "", "comma-separated extra retry-column systems beyond the paper's six (see stamp -list-systems)")
+		cmFlag      = flag.String("cm", "", "contention-manager policy for the retry-column runs (see stamp -list-cms; default: per-runtime)")
 		qualitative = flag.Bool("qualitative", false, "also print the derived Table III buckets")
 	)
 	flag.Parse()
+
+	cm, err := stamp.ParseCM(*cmFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "characterize:", err)
+		os.Exit(2)
+	}
 
 	var extraSystems []string
 	if *sysFlag != "" {
@@ -65,7 +72,7 @@ func main() {
 	var rows []stamp.Characterization
 	for _, v := range selected {
 		fmt.Fprintf(os.Stderr, "characterizing %s (scale %g)...\n", v.Name, *scale)
-		c, err := harness.Characterize(v, *scale, *retry, extraSystems...)
+		c, err := harness.Characterize(v, *scale, *retry, cm, extraSystems...)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "characterize:", err)
 			os.Exit(1)

@@ -6,13 +6,15 @@
 //
 //	stamp -list
 //	stamp -list-systems
-//	stamp -variant vacation-low -systems stm-lazy,stm-norec -threads 8 [-scale 1]
+//	stamp -list-cms
+//	stamp -variant vacation-low -systems stm-lazy,stm-norec -threads 8 [-scale 1] [-cm greedy]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"github.com/stamp-go/stamp"
 )
@@ -21,10 +23,12 @@ func main() {
 	var (
 		list     = flag.Bool("list", false, "list all Table IV variants and exit")
 		listSys  = flag.Bool("list-systems", false, "list all registered TM systems and exit")
+		listCMs  = flag.Bool("list-cms", false, "list all registered contention-manager policies and exit")
 		variant  = flag.String("variant", "", "variant name (see -list)")
 		sysNames = flag.String("systems", "stm-lazy", "comma-separated TM systems (see -list-systems)")
 		threads  = flag.Int("threads", 4, "worker threads")
 		scale    = flag.Float64("scale", 1.0, "workload scale (1 = the paper's configuration)")
+		cmFlag   = flag.String("cm", "", "contention-manager policy (see -list-cms; default: per-runtime)")
 	)
 	flag.Parse()
 
@@ -41,11 +45,22 @@ func main() {
 		}
 		return
 	}
+	if *listCMs {
+		for _, name := range stamp.CMNames() {
+			fmt.Printf("%-10s %s\n", name, stamp.CMDescription(name))
+		}
+		return
+	}
 	if *variant == "" {
 		fmt.Fprintln(os.Stderr, "stamp: -variant is required (use -list to enumerate)")
 		os.Exit(2)
 	}
 	systems, err := stamp.ParseSystems(*sysNames, true)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stamp:", err)
+		os.Exit(2)
+	}
+	cm, err := stamp.ParseCM(*cmFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "stamp:", err)
 		os.Exit(2)
@@ -60,14 +75,22 @@ func main() {
 		if sysName == "seq" {
 			n = 1 // seq has no concurrency control; >1 thread corrupts the run
 		}
-		res, err := stamp.Run(*variant, *scale, sysName, n)
+		res, err := stamp.RunCM(*variant, *scale, sysName, n, cm)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "stamp:", err)
 			os.Exit(1)
 		}
+		cmName := res.CM
+		if cmName == "" {
+			cmName = "default"
+		}
 		fmt.Printf("variant      %s\n", res.Variant)
 		fmt.Printf("system       %s\n", res.System)
 		fmt.Printf("threads      %d\n", res.Threads)
+		fmt.Printf("cm           %s (%d waits, %v waiting, %d serialized)\n",
+			cmName, res.Stats.Total.CMWaits,
+			time.Duration(res.Stats.Total.CMWaitNs).Round(time.Microsecond),
+			res.Stats.Total.CMSerialized)
 		fmt.Printf("wall time    %v\n", res.Wall)
 		fmt.Printf("transactions %d\n", res.Stats.Total.Commits)
 		fmt.Printf("aborts       %d (%.3f retries/tx)\n", res.Stats.Total.Aborts, res.RetriesPerTx())

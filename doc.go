@@ -21,16 +21,28 @@
 //     and the harness that regenerates the paper's Table VI
 //     characterization and Figure 1 speedup curves.
 //
+// Contention management is pluggable. Every software-managed runtime draws
+// a per-thread, seeded policy from a registry — CMNames() lists "randlin"
+// (the paper's randomized linear backoff, the STM/hybrid default), "expo"
+// (exponential backoff), "greedy" (timestamp priority: older wins, younger
+// aborts), "karma" (priority accrued across aborted attempts), "serialize"
+// (global-lock fallback after repeated aborts), and "none" (immediate
+// restart, the simulated HTMs' default). Select one with Config.CM or the
+// -cm flag of the commands; leave it empty for each runtime's historical
+// default. Priority policies arbitrate at encounter-time conflict points;
+// per-policy delay and serialization counts are reported in Stats.
+//
 // Quick start:
 //
 //	arena := stamp.NewArena(1 << 16)
 //	acct := arena.Alloc(1)
-//	sys, _ := stamp.NewSystem("stm-lazy", stamp.Config{Arena: arena, Threads: 4})
+//	sys, _ := stamp.NewSystem("stm-lazy", stamp.Config{Arena: arena, Threads: 4, CM: "greedy"})
 //	// ... from worker goroutine i:
 //	sys.Thread(i).Atomic(func(tx stamp.Tx) {
 //	    tx.Store(acct, tx.Load(acct)+1)
 //	})
 //
-// See README.md for the architecture overview, DESIGN.md for the paper
-// mapping and substitutions, and EXPERIMENTS.md for measured results.
+// See README.md for the runtime and policy rosters with quickstart command
+// lines, and docs/ARCHITECTURE.md for the layer map, the transaction
+// lifecycle, and where the contention-manager plug-in sits.
 package stamp

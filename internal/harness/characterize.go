@@ -31,14 +31,16 @@ type Characterization struct {
 // provides the barrier counts and the per-transaction time proxy, the lazy
 // HTM provides read/write sets and time-in-transactions (as in the paper),
 // and every TM system at retryThreads threads provides retries per
-// transaction (the paper uses 16). extraSystems adds retry columns for
-// runtimes beyond the paper's six (e.g. "stm-norec").
-func Characterize(v Variant, scale float64, retryThreads int, extraSystems ...string) (Characterization, error) {
+// transaction (the paper uses 16). cm selects the contention-manager policy
+// of the retry-column runs (contention management is what those columns
+// vary; "" keeps each runtime's default). extraSystems adds retry columns
+// for runtimes beyond the paper's six (e.g. "stm-norec").
+func Characterize(v Variant, scale float64, retryThreads int, cm string, extraSystems ...string) (Characterization, error) {
 	c := Characterization{Variant: v.Name, Retries: map[string]float64{}}
 	app := v.Make(scale)
 	c.ArenaWords = app.ArenaWords()
 
-	seq, err := RunOne(app, v.Name, "seq", 1, true)
+	seq, err := RunOne(app, v.Name, "seq", 1, Options{Profile: true})
 	if err != nil {
 		return c, err
 	}
@@ -52,7 +54,7 @@ func Characterize(v Variant, scale float64, retryThreads int, extraSystems ...st
 	c.MeanLoads = seq.Stats.MeanLoads()
 	c.MeanStores = seq.Stats.MeanStores()
 
-	htm, err := RunOne(app, v.Name, "htm-lazy", 1, true)
+	htm, err := RunOne(app, v.Name, "htm-lazy", 1, Options{Profile: true})
 	if err != nil {
 		return c, err
 	}
@@ -64,7 +66,7 @@ func Characterize(v Variant, scale float64, retryThreads int, extraSystems ...st
 	c.TxTimePct = htm.TxTimeFraction() * 100
 
 	for _, sysName := range append(TMSystems(), extraSystems...) {
-		r, err := RunOne(app, v.Name, sysName, retryThreads, false)
+		r, err := RunOne(app, v.Name, sysName, retryThreads, Options{CM: cm})
 		if err != nil {
 			return c, err
 		}

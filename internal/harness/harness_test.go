@@ -56,7 +56,7 @@ func TestRunVariantSmoke(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		r, err := RunVariant(v, 0.05, "stm-lazy", 2, false)
+		r, err := RunVariant(v, 0.05, "stm-lazy", 2, Options{})
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -80,7 +80,7 @@ func TestRunVariantNOrec(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			r, err := RunVariant(v, 0.05, sysName, 4, false)
+			r, err := RunVariant(v, 0.05, sysName, 4, Options{})
 			if err != nil {
 				t.Fatalf("%s on %s: %v", name, sysName, err)
 			}
@@ -103,7 +103,7 @@ func TestCharacterizeSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := Characterize(v, 0.1, 4)
+	c, err := Characterize(v, 0.1, 4, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +138,7 @@ func TestMeasureSpeedupSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := MeasureSpeedup(v, 0.05, []int{1, 2}, []string{"stm-lazy", "htm-lazy"})
+	s, err := MeasureSpeedup(v, 0.05, []int{1, 2}, []string{"stm-lazy", "htm-lazy"}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

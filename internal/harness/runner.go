@@ -11,11 +11,21 @@ import (
 	"github.com/stamp-go/stamp/internal/tm/factory"
 )
 
+// Options carries the per-run knobs beyond system and thread count.
+type Options struct {
+	// Profile makes the run track read/write line sets (Table VI columns).
+	Profile bool
+	// CM selects the contention-management policy (tm.CMNames); empty keeps
+	// each runtime's default.
+	CM string
+}
+
 // Result is the outcome of one app × system × thread-count run.
 type Result struct {
 	Variant string
 	System  string
 	Threads int
+	CM      string // contention manager requested ("" = runtime default)
 
 	Wall   time.Duration // wall time of the parallel region (app.Run)
 	Stats  tm.Stats
@@ -41,14 +51,15 @@ func (r Result) TxTimeFraction() float64 {
 }
 
 // RunOne stages app into a fresh arena and executes it once.
-func RunOne(app apps.App, variant, sysName string, threads int, profile bool) (Result, error) {
+func RunOne(app apps.App, variant, sysName string, threads int, opt Options) (Result, error) {
 	arena := mem.NewArena(app.ArenaWords())
 	app.Setup(arena)
 	sys, err := factory.New(sysName, tm.Config{
 		Arena:              arena,
 		Threads:            threads,
 		EnableEarlyRelease: true,
-		ProfileSets:        profile,
+		ProfileSets:        opt.Profile,
+		CM:                 opt.CM,
 	})
 	if err != nil {
 		return Result{}, fmt.Errorf("harness: %w", err)
@@ -61,6 +72,7 @@ func RunOne(app apps.App, variant, sysName string, threads int, profile bool) (R
 		Variant: variant,
 		System:  sysName,
 		Threads: threads,
+		CM:      opt.CM,
 		Wall:    wall,
 		Stats:   sys.Stats(),
 		Verify:  app.Verify(arena),
@@ -68,6 +80,6 @@ func RunOne(app apps.App, variant, sysName string, threads int, profile bool) (R
 }
 
 // RunVariant constructs the variant at the given scale and runs it.
-func RunVariant(v Variant, scale float64, sysName string, threads int, profile bool) (Result, error) {
-	return RunOne(v.Make(scale), v.Name, sysName, threads, profile)
+func RunVariant(v Variant, scale float64, sysName string, threads int, opt Options) (Result, error) {
+	return RunOne(v.Make(scale), v.Name, sysName, threads, opt)
 }

@@ -26,8 +26,10 @@ type SpeedupSeries struct {
 // DefaultThreads is the paper's core sweep.
 var DefaultThreads = []int{1, 2, 4, 8, 16}
 
-// MeasureSpeedup runs the full Figure 1 sweep for one variant.
-func MeasureSpeedup(v Variant, scale float64, threads []int, systems []string) (SpeedupSeries, error) {
+// MeasureSpeedup runs the full Figure 1 sweep for one variant. opt.CM
+// applies to every TM run (the sequential baseline has no contention to
+// manage).
+func MeasureSpeedup(v Variant, scale float64, threads []int, systems []string, opt Options) (SpeedupSeries, error) {
 	if len(threads) == 0 {
 		threads = DefaultThreads
 	}
@@ -41,7 +43,7 @@ func MeasureSpeedup(v Variant, scale float64, threads []int, systems []string) (
 		ModelSpeedup: map[string][]float64{},
 	}
 	app := v.Make(scale)
-	base, err := RunOne(app, v.Name, "seq", 1, false)
+	base, err := RunOne(app, v.Name, "seq", 1, Options{})
 	if err != nil {
 		return s, err
 	}
@@ -51,7 +53,7 @@ func MeasureSpeedup(v Variant, scale float64, threads []int, systems []string) (
 	s.Baseline = float64(base.Wall.Nanoseconds())
 	for _, sysName := range systems {
 		for _, t := range threads {
-			r, err := RunOne(app, v.Name, sysName, t, false)
+			r, err := RunOne(app, v.Name, sysName, t, opt)
 			if err != nil {
 				return s, err
 			}

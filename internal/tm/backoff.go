@@ -3,39 +3,12 @@ package tm
 import (
 	"runtime"
 	"sync/atomic"
-
-	"github.com/stamp-go/stamp/internal/rng"
 )
 
-// Backoff implements the contention-management delay the paper's STMs and
-// hybrids use: no delay for the first few aborts, then randomized linear
-// backoff (delay grows linearly with the abort count, with random jitter).
-type Backoff struct {
-	after int // aborts before backoff kicks in
-	r     *rng.Rand
-}
-
-// NewBackoff returns a policy that starts delaying after `after` aborts.
-func NewBackoff(after int, seed uint64) *Backoff {
-	if after < 0 {
-		after = 0
-	}
-	return &Backoff{after: after, r: rng.New(seed)}
-}
-
-// Wait applies the delay for the given abort count (1 = first abort).
-func (b *Backoff) Wait(aborts int) {
-	if aborts <= b.after {
-		return
-	}
-	// Randomized linear backoff: up to (aborts-after) * unit spin iterations.
-	n := b.r.Intn((aborts-b.after)*backoffUnit) + 1
-	Spin(n)
-}
-
-// backoffUnit is the spin-loop budget per abort past the threshold. Each
-// iteration is an atomic load (~a few ns), so the maximum delay stays in the
-// microsecond range for realistic abort counts, like the paper's scheme.
+// backoffUnit is the spin-loop budget per abort past the threshold for the
+// delay-based contention managers (see cm.go). Each iteration is an atomic
+// load (~a few ns), so the maximum delay stays in the microsecond range for
+// realistic abort counts, like the paper's scheme.
 const backoffUnit = 1500
 
 var spinSink atomic.Uint64

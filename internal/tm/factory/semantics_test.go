@@ -609,6 +609,99 @@ func TestSeqMatchesModel(t *testing.T) {
 	}
 }
 
+// TestCMConformance runs a condensed correctness suite — blind-increment
+// atomicity plus invariant-preserving transfers with reader snapshots — over
+// every concurrent runtime × every registered contention manager, so a new
+// policy (or a new runtime) is automatically screened against lost updates,
+// torn reads, and livelock under all arbitration paths.
+func TestCMConformance(t *testing.T) {
+	const (
+		threads  = 4
+		perT     = 250
+		accounts = 8
+		total    = 400
+	)
+	for _, cmName := range tm.CMNames() {
+		for _, sysName := range concurrentNames() {
+			t.Run(cmName+"/"+sysName, func(t *testing.T) {
+				t.Parallel()
+				arena := mem.NewArena(1 << 12)
+				counter := arena.Alloc(1)
+				accs := make([]mem.Addr, accounts)
+				for i := range accs {
+					accs[i] = arena.AllocLines(1)
+				}
+				arena.Store(accs[0], total)
+				sys, err := New(sysName, tm.Config{
+					Arena: arena, Threads: threads, CM: cmName,
+					// A low threshold exercises the serialize fallback on a
+					// workload this short; other policies ignore it.
+					SerializeAfter: 4,
+				})
+				if err != nil {
+					t.Fatalf("New(%s, cm=%s): %v", sysName, cmName, err)
+				}
+				team := thread.NewTeam(threads)
+				var violations [threads]int64
+				team.Run(func(tid int) {
+					th := sys.Thread(tid)
+					r := rng.New(uint64(tid)*31 + 7)
+					for i := 0; i < perT; i++ {
+						switch i % 3 {
+						case 0:
+							th.Atomic(func(tx tm.Tx) {
+								tx.Store(counter, tx.Load(counter)+1)
+							})
+						case 1:
+							from, to := r.Intn(accounts), r.Intn(accounts)
+							amount := uint64(r.Intn(4))
+							th.Atomic(func(tx tm.Tx) {
+								f := tx.Load(accs[from])
+								if f < amount {
+									return
+								}
+								tx.Store(accs[from], f-amount)
+								tx.Store(accs[to], tx.Load(accs[to])+amount)
+							})
+						default:
+							th.Atomic(func(tx tm.Tx) {
+								var sum uint64
+								for _, a := range accs {
+									sum += tx.Load(a)
+								}
+								if sum != total {
+									violations[tid]++
+								}
+							})
+						}
+					}
+				})
+				wantCounter := uint64(threads * ((perT + 2) / 3))
+				if got := arena.Load(counter); got != wantCounter {
+					t.Fatalf("counter = %d, want %d (lost updates)", got, wantCounter)
+				}
+				var sum uint64
+				for _, a := range accs {
+					sum += arena.Load(a)
+				}
+				if sum != total {
+					t.Fatalf("account total = %d, want %d", sum, total)
+				}
+				for tid, v := range violations {
+					if v != 0 {
+						t.Fatalf("thread %d observed %d torn snapshots", tid, v)
+					}
+				}
+				st := sys.Stats()
+				if st.Total.Starts != uint64(threads*perT) || st.Total.Commits != uint64(threads*perT) {
+					t.Fatalf("starts/commits = %d/%d, want %d each",
+						st.Total.Starts, st.Total.Commits, threads*perT)
+				}
+			})
+		}
+	}
+}
+
 func ExampleNew() {
 	arena := mem.NewArena(1 << 10)
 	sys, _ := New("stm-lazy", tm.Config{Arena: arena, Threads: 1})

@@ -32,6 +32,14 @@ func NewEager(cfg tm.Config) (*Eager, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	// Hardware conflict resolution (requester loses, priority escape) is
+	// part of the simulated machine and stays fixed; the pluggable policy
+	// only governs the restart delay, which the paper's HTM does not apply
+	// — hence the "none" default.
+	pool, err := tm.NewCMPool(cfg, tm.NoCM)
+	if err != nil {
+		return nil, err
+	}
 	s := &Eager{cfg: cfg, dir: newDirectory()}
 	s.threads = make([]*eagerThread, cfg.Threads)
 	s.txs = make([]*eagerTx, cfg.Threads)
@@ -45,7 +53,9 @@ func NewEager(cfg tm.Config) (*Eager, error) {
 			written:    make(map[mem.Addr]struct{}),
 		}
 		s.txs[i] = x
-		s.threads[i] = &eagerThread{id: i, sys: s, tx: x}
+		t := &eagerThread{id: i, sys: s, tx: x}
+		t.cm = pool.ForThread(i, &t.stats)
+		s.threads[i] = t
 	}
 	return s, nil
 }
@@ -76,6 +86,7 @@ type eagerThread struct {
 	sys   *Eager
 	stats tm.ThreadStats
 	tx    *eagerTx
+	cm    tm.ContentionManager
 	timer tm.AtomicTimer
 }
 
@@ -85,6 +96,7 @@ func (t *eagerThread) Stats() *tm.ThreadStats { return &t.stats }
 func (t *eagerThread) Atomic(fn func(tm.Tx)) {
 	t.timer.BeginBlock()
 	t.stats.Starts++
+	t.cm.OnStart()
 	aborts := 0
 	for {
 		t.tx.begin(aborts >= t.sys.cfg.PriorityAfter)
@@ -95,9 +107,12 @@ func (t *eagerThread) Atomic(fn func(tm.Tx)) {
 		aborts++
 		t.stats.Aborts++
 		t.stats.Wasted += t.tx.loads + t.tx.stores
-		// Immediate restart, no backoff (Section IV); the undo-log replay
-		// itself is the only delay, as the paper notes.
+		// Default policy is "none": immediate restart, no backoff (Section
+		// IV); the undo-log replay itself is the only delay, as the paper
+		// notes. An explicit Config.CM adds its delay here.
+		t.cm.OnAbort(aborts)
 	}
+	t.cm.OnCommit()
 	t.stats.Commits++
 	t.stats.Loads += t.tx.loads
 	t.stats.Stores += t.tx.stores

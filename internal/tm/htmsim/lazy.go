@@ -37,6 +37,13 @@ func NewLazy(cfg tm.Config) (*Lazy, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	// As on the eager HTM, hardware conflict resolution (committer wins)
+	// stays fixed; the pluggable policy only governs the restart delay,
+	// defaulting to the paper's immediate restart.
+	pool, err := tm.NewCMPool(cfg, tm.NoCM)
+	if err != nil {
+		return nil, err
+	}
 	s := &Lazy{cfg: cfg}
 	s.threads = make([]*lazyThread, cfg.Threads)
 	s.txs = make([]*lazyTx, cfg.Threads)
@@ -52,7 +59,9 @@ func NewLazy(cfg tm.Config) (*Lazy, error) {
 			serialWrit: make(map[mem.Line]struct{}),
 		}
 		s.txs[i] = x
-		s.threads[i] = &lazyThread{id: i, sys: s, tx: x}
+		t := &lazyThread{id: i, sys: s, tx: x}
+		t.cm = pool.ForThread(i, &t.stats)
+		s.threads[i] = t
 	}
 	return s, nil
 }
@@ -83,6 +92,7 @@ type lazyThread struct {
 	sys   *Lazy
 	stats tm.ThreadStats
 	tx    *lazyTx
+	cm    tm.ContentionManager
 	timer tm.AtomicTimer
 }
 
@@ -92,6 +102,8 @@ func (t *lazyThread) Stats() *tm.ThreadStats { return &t.stats }
 func (t *lazyThread) Atomic(fn func(tm.Tx)) {
 	t.timer.BeginBlock()
 	t.stats.Starts++
+	t.cm.OnStart()
+	aborts := 0
 	for {
 		t.tx.begin()
 		ok := tm.Attempt(t.tx, fn) && t.tx.commit()
@@ -99,12 +111,15 @@ func (t *lazyThread) Atomic(fn func(tm.Tx)) {
 		if ok {
 			break
 		}
+		aborts++
 		t.stats.Aborts++
 		t.stats.Wasted += t.tx.loads + t.tx.stores
-		// No backoff: the lazy HTM restarts aborted transactions
-		// immediately (Section IV). Overflowed attempts retry in serial
-		// mode; that switch happens inside begin via tx.serial.
+		// Default policy is "none": the lazy HTM restarts aborted
+		// transactions immediately (Section IV). Overflowed attempts retry
+		// in serial mode; that switch happens inside begin via tx.serial.
+		t.cm.OnAbort(aborts)
 	}
+	t.cm.OnCommit()
 	t.stats.Commits++
 	t.stats.Loads += t.tx.loads
 	t.stats.Stores += t.tx.stores

@@ -13,13 +13,15 @@ import (
 // are detected by the requester (insert-then-probe: each barrier publishes
 // its own signature bit before probing everyone else's, so of two racing
 // conflicting transactions at least one sees the other) and resolved by the
-// requester aborting itself with randomized linear backoff — the policy mix
-// that makes this system livelock-prone on genome, exactly as the paper
-// reports.
+// configured contention manager — by default the requester aborts itself
+// with randomized linear backoff, the policy mix that makes this system
+// livelock-prone on genome, exactly as the paper reports; priority policies
+// (greedy, karma) arbitrate at these same probe points instead.
 type Eager struct {
 	cfg     tm.Config
 	threads []*eagerThread
 	txs     []*eagerTx
+	cms     []tm.ContentionManager // per-slot, for conflict arbitration
 }
 
 // NewEager constructs the eager hybrid.
@@ -28,9 +30,14 @@ func NewEager(cfg tm.Config) (*Eager, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	pool, err := tm.NewCMPool(cfg, tm.DefaultCM)
+	if err != nil {
+		return nil, err
+	}
 	s := &Eager{cfg: cfg}
 	s.threads = make([]*eagerThread, cfg.Threads)
 	s.txs = make([]*eagerTx, cfg.Threads)
+	s.cms = make([]tm.ContentionManager, cfg.Threads)
 	for i := range s.threads {
 		x := &eagerTx{sys: s, slot: i, written: make(map[mem.Addr]struct{})}
 		if cfg.ProfileSets {
@@ -38,10 +45,11 @@ func NewEager(cfg tm.Config) (*Eager, error) {
 			x.writeLines = make(map[mem.Line]struct{})
 		}
 		s.txs[i] = x
-		s.threads[i] = &eagerThread{
-			id: i, sys: s, tx: x,
-			backoff: tm.NewBackoff(cfg.BackoffAfter, cfg.Seed+uint64(i)^0xeb1d),
-		}
+		t := &eagerThread{id: i, sys: s, tx: x}
+		t.cm = pool.ForThread(i, &t.stats)
+		s.cms[i] = t.cm
+		x.cm = t.cm
+		s.threads[i] = t
 	}
 	return s, nil
 }
@@ -68,12 +76,12 @@ func (s *Eager) Stats() tm.Stats {
 }
 
 type eagerThread struct {
-	id      int
-	sys     *Eager
-	stats   tm.ThreadStats
-	tx      *eagerTx
-	backoff *tm.Backoff
-	timer   tm.AtomicTimer
+	id    int
+	sys   *Eager
+	stats tm.ThreadStats
+	tx    *eagerTx
+	cm    tm.ContentionManager
+	timer tm.AtomicTimer
 }
 
 func (t *eagerThread) ID() int                { return t.id }
@@ -82,6 +90,7 @@ func (t *eagerThread) Stats() *tm.ThreadStats { return &t.stats }
 func (t *eagerThread) Atomic(fn func(tm.Tx)) {
 	t.timer.BeginBlock()
 	t.stats.Starts++
+	t.cm.OnStart()
 	aborts := 0
 	for {
 		t.tx.begin()
@@ -93,8 +102,9 @@ func (t *eagerThread) Atomic(fn func(tm.Tx)) {
 		aborts++
 		t.stats.Aborts++
 		t.stats.Wasted += t.tx.loads + t.tx.stores
-		t.backoff.Wait(aborts)
+		t.cm.OnAbort(aborts)
 	}
+	t.cm.OnCommit()
 	t.stats.Commits++
 	t.stats.Loads += t.tx.loads
 	t.stats.Stores += t.tx.stores
@@ -110,6 +120,7 @@ func (t *eagerThread) Atomic(fn func(tm.Tx)) {
 type eagerTx struct {
 	sys  *Eager
 	slot int
+	cm   tm.ContentionManager
 
 	active atomic.Bool
 
@@ -166,17 +177,21 @@ func (x *eagerTx) commit() {
 
 // Load publishes the line in the read signature, then probes every other
 // active transaction's write signature; a hit means that line may carry
-// in-place speculative data, so the requester loses and retries.
+// in-place speculative data. The contention manager arbitrates the
+// conflict: requester-loses policies abort here, priority policies may wait
+// the writer out and re-probe.
 func (x *eagerTx) Load(a mem.Addr) uint64 {
 	x.loads++
 	l := uint32(mem.LineOf(a))
 	x.readSig.Insert(l)
 	for _, other := range x.sys.txs {
-		if other.slot == x.slot || !other.active.Load() {
+		if other.slot == x.slot {
 			continue
 		}
-		if other.writeSig.Test(l) {
-			tm.Retry()
+		for probe := 0; other.active.Load() && other.writeSig.Test(l); probe++ {
+			if tm.WaitOrAbort(x.cm, x.sys.cms[other.slot], probe) {
+				tm.Retry()
+			}
 		}
 	}
 	if x.readLines != nil {
@@ -193,11 +208,13 @@ func (x *eagerTx) Store(a mem.Addr, v uint64) {
 	l := uint32(mem.LineOf(a))
 	x.writeSig.Insert(l)
 	for _, other := range x.sys.txs {
-		if other.slot == x.slot || !other.active.Load() {
+		if other.slot == x.slot {
 			continue
 		}
-		if other.readSig.Test(l) || other.writeSig.Test(l) {
-			tm.Retry()
+		for probe := 0; other.active.Load() && (other.readSig.Test(l) || other.writeSig.Test(l)); probe++ {
+			if tm.WaitOrAbort(x.cm, x.sys.cms[other.slot], probe) {
+				tm.Retry()
+			}
 		}
 	}
 	if _, seen := x.written[a]; !seen {

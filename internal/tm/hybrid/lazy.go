@@ -4,8 +4,11 @@
 // per-transaction hardware signatures — 2048-bit Bloom filters over 32-byte
 // line addresses (Table V). Conflict detection is therefore at line
 // granularity and conservative (false positives), and isolation is strong
-// with respect to transactional peers. Contention management matches the
-// STMs: randomized linear backoff after three aborts.
+// with respect to transactional peers. Contention management defaults to
+// the STMs' randomized linear backoff after three aborts, and is pluggable
+// through tm.Config.CM like every software-managed runtime; the eager
+// variant additionally consults the policy's arbitration at its
+// encounter-time signature conflicts.
 package hybrid
 
 import (
@@ -34,6 +37,10 @@ func NewLazy(cfg tm.Config) (*Lazy, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	pool, err := tm.NewCMPool(cfg, tm.DefaultCM)
+	if err != nil {
+		return nil, err
+	}
 	s := &Lazy{cfg: cfg}
 	s.threads = make([]*lazyThread, cfg.Threads)
 	s.txs = make([]*lazyTx, cfg.Threads)
@@ -44,10 +51,9 @@ func NewLazy(cfg tm.Config) (*Lazy, error) {
 			x.writeLines = make(map[mem.Line]struct{})
 		}
 		s.txs[i] = x
-		s.threads[i] = &lazyThread{
-			id: i, sys: s, tx: x,
-			backoff: tm.NewBackoff(cfg.BackoffAfter, cfg.Seed+uint64(i)^0x11bad),
-		}
+		t := &lazyThread{id: i, sys: s, tx: x}
+		t.cm = pool.ForThread(i, &t.stats)
+		s.threads[i] = t
 	}
 	return s, nil
 }
@@ -74,12 +80,12 @@ func (s *Lazy) Stats() tm.Stats {
 }
 
 type lazyThread struct {
-	id      int
-	sys     *Lazy
-	stats   tm.ThreadStats
-	tx      *lazyTx
-	backoff *tm.Backoff
-	timer   tm.AtomicTimer
+	id    int
+	sys   *Lazy
+	stats tm.ThreadStats
+	tx    *lazyTx
+	cm    tm.ContentionManager
+	timer tm.AtomicTimer
 }
 
 func (t *lazyThread) ID() int                { return t.id }
@@ -88,6 +94,7 @@ func (t *lazyThread) Stats() *tm.ThreadStats { return &t.stats }
 func (t *lazyThread) Atomic(fn func(tm.Tx)) {
 	t.timer.BeginBlock()
 	t.stats.Starts++
+	t.cm.OnStart()
 	aborts := 0
 	for {
 		t.tx.begin()
@@ -99,8 +106,12 @@ func (t *lazyThread) Atomic(fn func(tm.Tx)) {
 		aborts++
 		t.stats.Aborts++
 		t.stats.Wasted += t.tx.loads + t.tx.stores
-		t.backoff.Wait(aborts)
+		// Conflicts here are commit-time (committer wins, victims are only
+		// flagged), so there is no encounter-time arbitration point; the
+		// delay hooks are the whole policy surface on this runtime.
+		t.cm.OnAbort(aborts)
 	}
+	t.cm.OnCommit()
 	t.stats.Commits++
 	t.stats.Loads += t.tx.loads
 	t.stats.Stores += t.tx.stores

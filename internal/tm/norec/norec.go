@@ -73,10 +73,15 @@ func newSystem(cfg tm.Config, name string, roFast bool) (*System, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	pool, err := tm.NewCMPool(cfg, tm.DefaultCM)
+	if err != nil {
+		return nil, err
+	}
 	s := &System{cfg: cfg, name: name, roFast: roFast}
 	s.threads = make([]*norecThread, cfg.Threads)
 	for i := range s.threads {
-		t := &norecThread{id: i, sys: s, backoff: tm.NewBackoff(cfg.BackoffAfter, cfg.Seed+uint64(i)^0x0ec5)}
+		t := &norecThread{id: i, sys: s}
+		t.cm = pool.ForThread(i, &t.stats)
 		t.tx = &norecTx{sys: s, th: t, wbuf: make(map[mem.Addr]uint64)}
 		if cfg.ProfileSets {
 			t.tx.readLines = make(map[mem.Line]struct{})
@@ -130,12 +135,12 @@ func (s *System) waitQuiescent() uint64 {
 }
 
 type norecThread struct {
-	id      int
-	sys     *System
-	stats   tm.ThreadStats
-	tx      *norecTx
-	backoff *tm.Backoff
-	timer   tm.AtomicTimer
+	id    int
+	sys   *System
+	stats tm.ThreadStats
+	tx    *norecTx
+	cm    tm.ContentionManager
+	timer tm.AtomicTimer
 }
 
 func (t *norecThread) ID() int                { return t.id }
@@ -144,6 +149,7 @@ func (t *norecThread) Stats() *tm.ThreadStats { return &t.stats }
 func (t *norecThread) Atomic(fn func(tm.Tx)) {
 	t.timer.BeginBlock()
 	t.stats.Starts++
+	t.cm.OnStart()
 	aborts := 0
 	for {
 		t.tx.begin()
@@ -153,8 +159,12 @@ func (t *norecThread) Atomic(fn func(tm.Tx)) {
 		aborts++
 		t.stats.Aborts++
 		t.stats.Wasted += t.tx.loads + t.tx.stores
-		t.backoff.Wait(aborts)
+		// NOrec conflicts surface as value-validation failures with no
+		// identifiable enemy, so only the delay hooks apply here; priority
+		// policies degrade to their delay behavior on this runtime.
+		t.cm.OnAbort(aborts)
 	}
+	t.cm.OnCommit()
 	t.stats.Commits++
 	t.stats.Loads += t.tx.loads
 	t.stats.Stores += t.tx.stores

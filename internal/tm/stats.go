@@ -99,6 +99,11 @@ type ThreadStats struct {
 
 	TxTimeNs int64 // wall time inside Atomic, all attempts
 
+	// Contention-manager accounting (see tm.ContentionManager).
+	CMWaits      uint64 // delays applied by the policy's OnAbort hook
+	CMWaitNs     int64  // time spent in those delays
+	CMSerialized uint64 // blocks that escalated to the serialize policy's global lock
+
 	// Per committed transaction distributions.
 	LoadsHist      Hist // read barriers
 	StoresHist     Hist // write barriers
@@ -117,6 +122,9 @@ func (s *ThreadStats) merge(o *ThreadStats) {
 	s.Stores += o.Stores
 	s.Wasted += o.Wasted
 	s.TxTimeNs += o.TxTimeNs
+	s.CMWaits += o.CMWaits
+	s.CMWaitNs += o.CMWaitNs
+	s.CMSerialized += o.CMSerialized
 	s.LoadsHist.Merge(&o.LoadsHist)
 	s.StoresHist.Merge(&o.StoresHist)
 	s.ReadLinesHist.Merge(&o.ReadLinesHist)

@@ -19,6 +19,7 @@ type Eager struct {
 	locks   *lockTable
 	clock   atomic.Uint64
 	threads []*eagerThread
+	cms     []tm.ContentionManager // per-slot, for conflict arbitration
 }
 
 // NewEager constructs the eager STM.
@@ -27,10 +28,17 @@ func NewEager(cfg tm.Config) (*Eager, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	pool, err := tm.NewCMPool(cfg, tm.DefaultCM)
+	if err != nil {
+		return nil, err
+	}
 	s := &Eager{cfg: cfg, locks: newLockTable()}
 	s.threads = make([]*eagerThread, cfg.Threads)
+	s.cms = make([]tm.ContentionManager, cfg.Threads)
 	for i := range s.threads {
-		t := &eagerThread{id: i, sys: s, backoff: tm.NewBackoff(cfg.BackoffAfter, cfg.Seed+uint64(i)^0xeea6e5)}
+		t := &eagerThread{id: i, sys: s}
+		t.cm = pool.ForThread(i, &t.stats)
+		s.cms[i] = t.cm
 		t.tx = &eagerTx{sys: s, slot: uint64(i), th: t, written: make(map[mem.Addr]struct{})}
 		if cfg.ProfileSets {
 			t.tx.readLines = make(map[mem.Line]struct{})
@@ -39,6 +47,15 @@ func NewEager(cfg tm.Config) (*Eager, error) {
 		s.threads[i] = t
 	}
 	return s, nil
+}
+
+// cmOf returns the contention manager of the transaction occupying slot, or
+// nil for an out-of-range slot.
+func (s *Eager) cmOf(slot uint64) tm.ContentionManager {
+	if slot < uint64(len(s.cms)) {
+		return s.cms[slot]
+	}
+	return nil
 }
 
 // Name implements tm.System.
@@ -63,12 +80,12 @@ func (s *Eager) Stats() tm.Stats {
 }
 
 type eagerThread struct {
-	id      int
-	sys     *Eager
-	stats   tm.ThreadStats
-	tx      *eagerTx
-	backoff *tm.Backoff
-	timer   tm.AtomicTimer
+	id    int
+	sys   *Eager
+	stats tm.ThreadStats
+	tx    *eagerTx
+	cm    tm.ContentionManager
+	timer tm.AtomicTimer
 }
 
 func (t *eagerThread) ID() int                { return t.id }
@@ -77,6 +94,7 @@ func (t *eagerThread) Stats() *tm.ThreadStats { return &t.stats }
 func (t *eagerThread) Atomic(fn func(tm.Tx)) {
 	t.timer.BeginBlock()
 	t.stats.Starts++
+	t.cm.OnStart()
 	aborts := 0
 	for {
 		t.tx.begin()
@@ -87,8 +105,9 @@ func (t *eagerThread) Atomic(fn func(tm.Tx)) {
 		aborts++
 		t.stats.Aborts++
 		t.stats.Wasted += t.tx.loads + t.tx.stores
-		t.backoff.Wait(aborts)
+		t.cm.OnAbort(aborts)
 	}
+	t.cm.OnCommit()
 	t.stats.Commits++
 	t.stats.Loads += t.tx.loads
 	t.stats.Stores += t.tx.stores
@@ -151,11 +170,21 @@ func (x *eagerTx) Load(a mem.Addr) uint64 {
 	x.loads++
 	idx := x.sys.locks.index(a)
 	e1 := x.sys.locks.load(idx)
-	if owner, locked := lockedBy(e1); locked {
+	for probe := 0; ; probe++ {
+		owner, locked := lockedBy(e1)
+		if !locked {
+			break
+		}
 		if owner == x.slot {
 			return x.sys.cfg.Arena.Load(a)
 		}
-		tm.Retry() // early conflict detection: fail fast on a held stripe
+		// Early conflict detection: the stripe is held by a running writer.
+		// Requester-loses policies fail fast here; priority policies may
+		// wait the holder out and re-probe.
+		if tm.WaitOrAbort(x.th.cm, x.sys.cmOf(owner), probe) {
+			tm.Retry()
+		}
+		e1 = x.sys.locks.load(idx)
 	}
 	if versionOf(e1) > x.rv {
 		tm.Retry()
@@ -176,21 +205,26 @@ func (x *eagerTx) Load(a mem.Addr) uint64 {
 func (x *eagerTx) Store(a mem.Addr, v uint64) {
 	x.stores++
 	idx := x.sys.locks.index(a)
-	e := x.sys.locks.load(idx)
-	owner, locked := lockedBy(e)
-	switch {
-	case locked && owner == x.slot:
-		// stripe already held
-	case locked:
-		tm.Retry()
-	default:
+	for probe := 0; ; probe++ {
+		e := x.sys.locks.load(idx)
+		owner, locked := lockedBy(e)
+		if locked && owner == x.slot {
+			break // stripe already held
+		}
+		if locked {
+			if tm.WaitOrAbort(x.th.cm, x.sys.cmOf(owner), probe) {
+				tm.Retry()
+			}
+			continue
+		}
 		if versionOf(e) > x.rv {
 			tm.Retry() // stripe committed past our snapshot; keep it simple and retry
 		}
-		if !x.sys.locks.cas(idx, e, x.slot<<1|1) {
-			tm.Retry()
+		if x.sys.locks.cas(idx, e, x.slot<<1|1) {
+			x.acquired = append(x.acquired, lockRec{idx: idx, old: e})
+			break
 		}
-		x.acquired = append(x.acquired, lockRec{idx: idx, old: e})
+		// CAS raced with another acquirer; re-probe and arbitrate.
 	}
 	if _, seen := x.written[a]; !seen {
 		x.undo = append(x.undo, undoRec{addr: a, old: x.sys.cfg.Arena.Load(a)})

@@ -17,6 +17,7 @@ type Lazy struct {
 	locks   *lockTable
 	clock   atomic.Uint64
 	threads []*lazyThread
+	cms     []tm.ContentionManager // per-slot, for conflict arbitration
 }
 
 // NewLazy constructs the lazy STM.
@@ -25,10 +26,17 @@ func NewLazy(cfg tm.Config) (*Lazy, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	pool, err := tm.NewCMPool(cfg, tm.DefaultCM)
+	if err != nil {
+		return nil, err
+	}
 	s := &Lazy{cfg: cfg, locks: newLockTable()}
 	s.threads = make([]*lazyThread, cfg.Threads)
+	s.cms = make([]tm.ContentionManager, cfg.Threads)
 	for i := range s.threads {
-		t := &lazyThread{id: i, sys: s, backoff: tm.NewBackoff(cfg.BackoffAfter, cfg.Seed+uint64(i))}
+		t := &lazyThread{id: i, sys: s}
+		t.cm = pool.ForThread(i, &t.stats)
+		s.cms[i] = t.cm
 		t.tx = &lazyTx{sys: s, slot: uint64(i), th: t, wbuf: make(map[mem.Addr]uint64)}
 		if cfg.ProfileSets {
 			t.tx.readLines = make(map[mem.Line]struct{})
@@ -37,6 +45,15 @@ func NewLazy(cfg tm.Config) (*Lazy, error) {
 		s.threads[i] = t
 	}
 	return s, nil
+}
+
+// cmOf returns the contention manager of the transaction occupying slot, or
+// nil for an out-of-range slot (a corrupt lock word arbitrates as unknown).
+func (s *Lazy) cmOf(slot uint64) tm.ContentionManager {
+	if slot < uint64(len(s.cms)) {
+		return s.cms[slot]
+	}
+	return nil
 }
 
 // Name implements tm.System.
@@ -61,12 +78,12 @@ func (s *Lazy) Stats() tm.Stats {
 }
 
 type lazyThread struct {
-	id      int
-	sys     *Lazy
-	stats   tm.ThreadStats
-	tx      *lazyTx
-	backoff *tm.Backoff
-	timer   tm.AtomicTimer
+	id    int
+	sys   *Lazy
+	stats tm.ThreadStats
+	tx    *lazyTx
+	cm    tm.ContentionManager
+	timer tm.AtomicTimer
 }
 
 func (t *lazyThread) ID() int                { return t.id }
@@ -75,6 +92,7 @@ func (t *lazyThread) Stats() *tm.ThreadStats { return &t.stats }
 func (t *lazyThread) Atomic(fn func(tm.Tx)) {
 	t.timer.BeginBlock()
 	t.stats.Starts++
+	t.cm.OnStart()
 	aborts := 0
 	for {
 		t.tx.begin()
@@ -85,8 +103,9 @@ func (t *lazyThread) Atomic(fn func(tm.Tx)) {
 		aborts++
 		t.stats.Aborts++
 		t.stats.Wasted += t.tx.loads + t.tx.stores
-		t.backoff.Wait(aborts)
+		t.cm.OnAbort(aborts)
 	}
+	t.cm.OnCommit()
 	t.stats.Commits++
 	t.stats.Loads += t.tx.loads
 	t.stats.Stores += t.tx.stores
@@ -143,8 +162,18 @@ func (x *lazyTx) Load(a mem.Addr) uint64 {
 	}
 	idx := x.sys.locks.index(a)
 	e1 := x.sys.locks.load(idx)
-	if _, locked := lockedBy(e1); locked {
-		tm.Retry()
+	for probe := 0; ; probe++ {
+		owner, locked := lockedBy(e1)
+		if !locked {
+			break
+		}
+		// Conflict point: the stripe is locked by a committing writer.
+		// Arbitrate — requester-loses policies abort here; priority
+		// policies may wait the (short) commit out and re-probe.
+		if tm.WaitOrAbort(x.th.cm, x.sys.cmOf(owner), probe) {
+			tm.Retry()
+		}
+		e1 = x.sys.locks.load(idx)
 	}
 	v := x.sys.cfg.Arena.Load(a)
 	e2 := x.sys.locks.load(idx)

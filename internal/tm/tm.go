@@ -28,6 +28,12 @@
 // atomic block may execute any number of times. The one rule applications
 // must follow (the same rule the C suite follows implicitly via setjmp):
 // any non-arena state mutated inside the block must be reset at block entry.
+//
+// How aggressively a runtime retries is governed by a pluggable
+// ContentionManager selected through Config.CM — see the interface and the
+// policy registry (CMNames) in cm.go. The zero Config reproduces the
+// paper's behavior: randomized linear backoff on the software-managed
+// systems, immediate restart on the simulated HTMs.
 package tm
 
 import (
@@ -116,9 +122,22 @@ type Config struct {
 	// filling it. Set to 0 to model a fully associative buffer.
 	CapacityAssoc int
 
-	// BackoffAfter is the abort count after which STMs and hybrids apply
-	// randomized linear backoff (the paper uses 3).
+	// CM selects the contention-management policy by registry name (see
+	// CMNames): "randlin", "expo", "greedy", "karma", "serialize", or
+	// "none". Empty selects the runtime's historical default — randomized
+	// linear backoff for STMs and hybrids, immediate restart for the
+	// simulated HTMs — so the zero value reproduces the paper's behavior.
+	CM string
+
+	// BackoffAfter is the abort count after which the delay-based
+	// contention managers (randlin, expo, karma, serialize) start delaying
+	// (the paper uses 3).
 	BackoffAfter int
+
+	// SerializeAfter is the abort count after which the "serialize"
+	// contention manager falls back to running the block alone under a
+	// global lock (default 8). Ignored by every other policy.
+	SerializeAfter int
 
 	// PriorityAfter is the abort count after which the eager HTM grants a
 	// transaction high priority so others cannot abort it (the paper's
@@ -151,6 +170,9 @@ func (c Config) Defaults() Config {
 	}
 	if c.BackoffAfter == 0 {
 		c.BackoffAfter = 3
+	}
+	if c.SerializeAfter == 0 {
+		c.SerializeAfter = 8
 	}
 	if c.PriorityAfter == 0 {
 		c.PriorityAfter = 32

@@ -142,15 +142,6 @@ func TestConfigValidate(t *testing.T) {
 	}
 }
 
-func TestBackoffThreshold(t *testing.T) {
-	b := NewBackoff(3, 1)
-	// Below or at threshold: returns immediately (nothing to assert beyond
-	// not hanging); above: also returns, bounded by the linear budget.
-	for aborts := 1; aborts <= 6; aborts++ {
-		b.Wait(aborts)
-	}
-}
-
 func TestSpinReturns(t *testing.T) {
 	Spin(0)
 	Spin(10_000)

@@ -121,6 +121,34 @@ func ParseSystems(list string, allowSeq bool) ([]string, error) {
 	return systems, nil
 }
 
+// CMNames returns every registered contention-manager policy name, sorted:
+// "expo", "greedy", "karma", "none", "randlin", "serialize". Policies are
+// selected per run through Config.CM (or the -cm flag of the commands);
+// an empty Config.CM keeps each runtime's historical default — randomized
+// linear backoff ("randlin") for STMs and hybrids, immediate restart
+// ("none") for the simulated HTMs.
+func CMNames() []string { return tm.CMNames() }
+
+// CMDescription returns the one-line description of a registered
+// contention-manager policy (empty for unknown names).
+func CMDescription(name string) string { return tm.CMDescription(name) }
+
+// ParseCM validates a contention-manager name against CMNames. The empty
+// string is allowed and means "each runtime's default policy".
+func ParseCM(name string) (string, error) {
+	name = strings.TrimSpace(name)
+	if name == "" {
+		return "", nil
+	}
+	for _, known := range CMNames() {
+		if name == known {
+			return name, nil
+		}
+	}
+	return "", fmt.Errorf("unknown contention manager %q (known: %s)",
+		name, strings.Join(CMNames(), ", "))
+}
+
 // NewTeam returns a fork/join team of n workers.
 func NewTeam(n int) *Team { return thread.NewTeam(n) }
 
@@ -161,29 +189,48 @@ func SimVariants() []Variant { return harness.SimVariants() }
 func FindVariant(name string) (Variant, error) { return harness.FindVariant(name) }
 
 // Run executes one variant at the given scale (1 = the paper's
-// configuration) on the named system.
+// configuration) on the named system with each runtime's default contention
+// manager.
 func Run(variantName string, scale float64, system string, threads int) (Result, error) {
+	return RunCM(variantName, scale, system, threads, "")
+}
+
+// RunCM is Run with an explicit contention-manager policy (see CMNames);
+// empty keeps the runtime's default.
+func RunCM(variantName string, scale float64, system string, threads int, cm string) (Result, error) {
 	v, err := harness.FindVariant(variantName)
 	if err != nil {
 		return Result{}, err
 	}
-	return harness.RunVariant(v, scale, system, threads, false)
+	return harness.RunVariant(v, scale, system, threads, harness.Options{CM: cm})
 }
 
 // Characterize regenerates one Table VI row for a variant.
 func Characterize(variantName string, scale float64, retryThreads int) (Characterization, error) {
+	return CharacterizeCM(variantName, scale, retryThreads, "")
+}
+
+// CharacterizeCM is Characterize with an explicit contention-manager policy
+// applied to the retry-column runs.
+func CharacterizeCM(variantName string, scale float64, retryThreads int, cm string) (Characterization, error) {
 	v, err := harness.FindVariant(variantName)
 	if err != nil {
 		return Characterization{}, err
 	}
-	return harness.Characterize(v, scale, retryThreads)
+	return harness.Characterize(v, scale, retryThreads, cm)
 }
 
 // MeasureSpeedup runs one Figure 1 panel for a variant.
 func MeasureSpeedup(variantName string, scale float64, threads []int, systems []string) (SpeedupSeries, error) {
+	return MeasureSpeedupCM(variantName, scale, threads, systems, "")
+}
+
+// MeasureSpeedupCM is MeasureSpeedup with an explicit contention-manager
+// policy applied to every TM run.
+func MeasureSpeedupCM(variantName string, scale float64, threads []int, systems []string, cm string) (SpeedupSeries, error) {
 	v, err := harness.FindVariant(variantName)
 	if err != nil {
 		return SpeedupSeries{}, err
 	}
-	return harness.MeasureSpeedup(v, scale, threads, systems)
+	return harness.MeasureSpeedup(v, scale, threads, systems, harness.Options{CM: cm})
 }

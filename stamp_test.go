@@ -1,6 +1,7 @@
 package stamp_test
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -44,6 +45,52 @@ func TestParseSystems(t *testing.T) {
 	}
 	if got, err := stamp.ParseSystems("seq", true); err != nil || len(got) != 1 {
 		t.Fatalf("seq rejected with allowSeq=true: %v %v", got, err)
+	}
+}
+
+func TestCMRoster(t *testing.T) {
+	names := stamp.CMNames()
+	if len(names) != 6 {
+		t.Fatalf("CMNames() = %v", names)
+	}
+	for _, name := range names {
+		if stamp.CMDescription(name) == "" {
+			t.Fatalf("policy %q has no description", name)
+		}
+	}
+}
+
+func TestParseCM(t *testing.T) {
+	if got, err := stamp.ParseCM(" greedy "); err != nil || got != "greedy" {
+		t.Fatalf("ParseCM(greedy) = %q, %v (want trimmed name)", got, err)
+	}
+	if got, err := stamp.ParseCM(""); err != nil || got != "" {
+		t.Fatalf("ParseCM(\"\") = %q, %v (empty means per-runtime default)", got, err)
+	}
+	if _, err := stamp.ParseCM("nope"); err == nil {
+		t.Fatal("unknown contention manager accepted")
+	}
+}
+
+// TestRunCMEndToEnd: every registered policy must run a real variant to a
+// verified result on a word-granularity and a line-granularity runtime.
+func TestRunCMEndToEnd(t *testing.T) {
+	for _, cm := range stamp.CMNames() {
+		for _, sys := range []string{"stm-lazy", "hybrid-eager"} {
+			res, err := stamp.RunCM("ssca2", 0.05, sys, 4, cm)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", cm, sys, err)
+			}
+			if res.Verify != nil {
+				t.Fatalf("%s on %s failed verification: %v", cm, sys, res.Verify)
+			}
+			if res.CM != cm {
+				t.Fatalf("result CM = %q, want %q", res.CM, cm)
+			}
+		}
+	}
+	if _, err := stamp.RunCM("ssca2", 0.05, "stm-lazy", 2, "no-such-cm"); err == nil {
+		t.Fatal("unknown contention manager accepted by RunCM")
 	}
 }
 
@@ -126,6 +173,48 @@ func TestPublicRunVariant(t *testing.T) {
 	if _, err := stamp.Run("ssca2", 0.05, "no-such-system", 1); err == nil {
 		t.Fatal("unknown system accepted")
 	}
+}
+
+// ExampleNewSystem shows the core usage pattern: allocate transactional
+// data in an arena, construct a runtime by name (here with an explicit
+// contention-manager policy), and run atomic blocks through a worker's
+// Thread handle.
+func ExampleNewSystem() {
+	arena := stamp.NewArena(1 << 10)
+	account := arena.Alloc(1)
+	sys, err := stamp.NewSystem("stm-lazy", stamp.Config{
+		Arena:   arena,
+		Threads: 1,
+		CM:      "greedy", // pluggable contention management (see CMNames)
+	})
+	if err != nil {
+		panic(err)
+	}
+	sys.Thread(0).Atomic(func(tx stamp.Tx) {
+		tx.Store(account, tx.Load(account)+100)
+	})
+	fmt.Println(arena.Load(account))
+	// Output: 100
+}
+
+// ExampleParseSystems shows the validation the commands apply to -systems:
+// whitespace is trimmed, duplicates collapse, unknown names are rejected.
+func ExampleParseSystems() {
+	systems, _ := stamp.ParseSystems(" stm-lazy, stm-norec ,stm-lazy", true)
+	fmt.Println(systems)
+
+	_, err := stamp.ParseSystems("stm-fancy", true)
+	fmt.Println(err != nil)
+	// Output:
+	// [stm-lazy stm-norec]
+	// true
+}
+
+// ExampleCMNames lists the contention-manager registry the -cm flag (and
+// Config.CM) selects from.
+func ExampleCMNames() {
+	fmt.Println(strings.Join(stamp.CMNames(), " "))
+	// Output: expo greedy karma none randlin serialize
 }
 
 func TestTableIVArgsPinned(t *testing.T) {
