@@ -162,6 +162,76 @@ func BenchmarkTableV(b *testing.B) {
 	}
 }
 
+// BenchmarkBarrier extends the Table V family with per-runtime hot-path
+// barrier microbenchmarks over the txset machinery, so barrier overheads
+// are tracked per PR:
+//
+//	filter-skip     read barriers that cannot hit the write buffer (one
+//	                buffered store, 64 reads elsewhere) — the txset write
+//	                filter's fast path, the common case in read-dominated
+//	                vacation/genome
+//	wbuf-hit        read-after-write of the 8 most recent stores — the
+//	                small-set linear-scan fast path
+//	wbuf-miss-64w   reads against a 64-entry write buffer — hashed lookups
+//	                and filter false positives
+//	readset-64r1w   64 tracked reads plus one store — read-set append and
+//	                the writer commit's validation path
+//
+// Single-threaded on purpose: these isolate per-barrier instruction cost,
+// not contention (the ablation benchmarks cover that axis).
+func BenchmarkBarrier(b *testing.B) {
+	shapes := []struct {
+		name string
+		run  func(tx tm.Tx, base mem.Addr)
+	}{
+		{"filter-skip", func(tx tm.Tx, base mem.Addr) {
+			tx.Store(base, 1)
+			for i := 1; i <= 64; i++ {
+				tx.Load(base + mem.Addr(i))
+			}
+		}},
+		{"wbuf-hit", func(tx tm.Tx, base mem.Addr) {
+			for i := 0; i < 8; i++ {
+				tx.Store(base+mem.Addr(i), uint64(i))
+			}
+			for i := 0; i < 64; i++ {
+				tx.Load(base + mem.Addr(i&7))
+			}
+		}},
+		{"wbuf-miss-64w", func(tx tm.Tx, base mem.Addr) {
+			for i := 0; i < 64; i++ {
+				tx.Store(base+mem.Addr(i), uint64(i))
+			}
+			for i := 64; i < 128; i++ {
+				tx.Load(base + mem.Addr(i))
+			}
+		}},
+		{"readset-64r1w", func(tx tm.Tx, base mem.Addr) {
+			for i := 0; i < 64; i++ {
+				tx.Load(base + mem.Addr(i))
+			}
+			tx.Store(base, 1)
+		}},
+	}
+	for _, shape := range shapes {
+		for _, sysName := range factory.Names() {
+			b.Run(shape.name+"/"+sysName, func(b *testing.B) {
+				arena := mem.NewArena(1 << 16)
+				base := arena.Alloc(1 << 10)
+				sys, err := factory.New(sysName, tm.Config{Arena: arena, Threads: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				th := sys.Thread(0)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					th.Atomic(func(tx tm.Tx) { shape.run(tx, base) })
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkContainers covers the shared data-structure substrate under the
 // seq system (pure operation cost, no conflicts).
 func BenchmarkContainers(b *testing.B) {

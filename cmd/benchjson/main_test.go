@@ -1,0 +1,67 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: github.com/stamp-go/stamp
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkTableVI/genome         	       3	  27039779 ns/op	         0 retries/tx	      1502 tx/run
+BenchmarkBarrier/filter-skip/stm-norec-8 	  211824	      5679 ns/op
+BenchmarkFigure1/vacation-low/stm-norec  	       3	   2182913 ns/op	         0 retries/tx	       327.0 tx/run
+PASS
+ok  	github.com/stamp-go/stamp	3.324s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Goos != "linux" || doc.Goarch != "amd64" {
+		t.Fatalf("header = %q/%q", doc.Goos, doc.Goarch)
+	}
+	if doc.Pkg != "github.com/stamp-go/stamp" {
+		t.Fatalf("pkg = %q", doc.Pkg)
+	}
+	if !strings.Contains(doc.CPU, "Xeon") {
+		t.Fatalf("cpu = %q", doc.CPU)
+	}
+	if len(doc.Results) != 3 {
+		t.Fatalf("results = %d, want 3", len(doc.Results))
+	}
+
+	r := doc.Results[0]
+	if r.Name != "TableVI/genome" || r.Procs != 1 || r.Iterations != 3 {
+		t.Fatalf("result 0 = %+v", r)
+	}
+	if r.Metrics["ns/op"] != 27039779 || r.Metrics["tx/run"] != 1502 {
+		t.Fatalf("result 0 metrics = %v", r.Metrics)
+	}
+
+	r = doc.Results[1]
+	if r.Name != "Barrier/filter-skip/stm-norec" || r.Procs != 8 {
+		t.Fatalf("result 1 = %+v (procs suffix must be split off)", r)
+	}
+	if r.Iterations != 211824 || r.Metrics["ns/op"] != 5679 {
+		t.Fatalf("result 1 = %+v", r)
+	}
+
+	r = doc.Results[2]
+	if r.Metrics["tx/run"] != 327.0 {
+		t.Fatalf("result 2 metrics = %v", r.Metrics)
+	}
+}
+
+func TestParseIgnoresNoise(t *testing.T) {
+	doc, err := Parse(strings.NewReader("hello\nBenchmarkBroken abc\n--- FAIL: x\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Results) != 0 {
+		t.Fatalf("results = %d, want 0", len(doc.Results))
+	}
+}

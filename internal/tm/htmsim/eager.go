@@ -8,6 +8,7 @@ import (
 	"github.com/stamp-go/stamp/internal/mem"
 	"github.com/stamp-go/stamp/internal/tm"
 	"github.com/stamp-go/stamp/internal/tm/sig"
+	"github.com/stamp-go/stamp/internal/tm/txset"
 )
 
 // Eager simulates the paper's LogTM-style eager HTM: data versioning is
@@ -50,7 +51,6 @@ func NewEager(cfg tm.Config) (*Eager, error) {
 			sets:       newSetTracker(cfg),
 			readLines:  make(map[mem.Line]struct{}),
 			writeLines: make(map[mem.Line]struct{}),
-			written:    make(map[mem.Addr]struct{}),
 		}
 		s.txs[i] = x
 		t := &eagerThread{id: i, sys: s, tx: x}
@@ -134,8 +134,7 @@ type eagerTx struct {
 	readLines  map[mem.Line]struct{} // lines I hold reader marks on (or sig entries)
 	writeLines map[mem.Line]struct{} // lines I hold the writer mark on (or sig entries)
 	sets       *setTracker           // associativity model (Table V: 4-way)
-	undo       []undoRec
-	written    map[mem.Addr]struct{}
+	undo       txset.WriteSet        // addr → old value; doubles as the written-set
 
 	// Overflow mode: addresses past capacity live in signatures instead of
 	// the directory; other transactions test them conservatively.
@@ -147,18 +146,12 @@ type eagerTx struct {
 	stores uint64
 }
 
-type undoRec struct {
-	addr mem.Addr
-	old  uint64
-}
-
 func (x *eagerTx) begin(priority bool) {
 	x.loads, x.stores = 0, 0
 	clear(x.readLines)
 	clear(x.writeLines)
-	clear(x.written)
 	x.sets.reset()
-	x.undo = x.undo[:0]
+	x.undo.Reset()
 	x.aborted.Store(false)
 	x.priority.Store(priority)
 	x.readSig.Clear()
@@ -170,10 +163,11 @@ func (x *eagerTx) begin(priority bool) {
 // rollback restores memory from the undo log and withdraws all conflict-
 // detection state, then leaves the transaction inactive.
 func (x *eagerTx) rollback() {
-	for i := len(x.undo) - 1; i >= 0; i-- {
-		x.sys.cfg.Arena.Store(x.undo[i].addr, x.undo[i].old)
+	undo := x.undo.Entries()
+	for i := len(undo) - 1; i >= 0; i-- {
+		x.sys.cfg.Arena.Store(undo[i].Addr, undo[i].Val)
 	}
-	x.undo = x.undo[:0]
+	x.undo.Reset()
 	x.releaseMarks()
 	x.active.Store(false)
 }
@@ -187,7 +181,7 @@ func (x *eagerTx) commit() bool {
 	if x.aborted.Load() {
 		return false
 	}
-	x.undo = x.undo[:0]
+	x.undo.Reset()
 	x.releaseMarks()
 	x.active.Store(false)
 	return true
@@ -348,9 +342,9 @@ func (x *eagerTx) Store(a mem.Addr, v uint64) {
 		}
 		x.checkOverflowSigs(l, true)
 	}
-	if _, seen := x.written[a]; !seen {
-		x.undo = append(x.undo, undoRec{addr: a, old: x.sys.cfg.Arena.Load(a)})
-		x.written[a] = struct{}{}
+	// Log the old value only on the first store to a.
+	if !x.undo.Contains(a) {
+		x.undo.Insert(a, x.sys.cfg.Arena.Load(a))
 	}
 	x.sys.cfg.Arena.Store(a, v)
 }

@@ -7,6 +7,7 @@ import (
 
 	"github.com/stamp-go/stamp/internal/mem"
 	"github.com/stamp-go/stamp/internal/tm"
+	"github.com/stamp-go/stamp/internal/tm/txset"
 )
 
 // Lazy simulates the paper's TCC-style lazy HTM: speculative writes are
@@ -54,7 +55,6 @@ func NewLazy(cfg tm.Config) (*Lazy, error) {
 			readSet:    newLineSet(cfg.CapacityLines),
 			writeSet:   newLineSet(cfg.CapacityLines),
 			sets:       newSetTracker(cfg),
-			wbuf:       make(map[mem.Addr]uint64),
 			serialRead: make(map[mem.Line]struct{}),
 			serialWrit: make(map[mem.Line]struct{}),
 		}
@@ -140,9 +140,8 @@ type lazyTx struct {
 
 	readSet  *lineSet
 	writeSet *lineSet
-	sets     *setTracker // associativity model (Table V: 4-way)
-	wbuf     map[mem.Addr]uint64
-	worder   []mem.Addr
+	sets     *setTracker    // associativity model (Table V: 4-way)
+	wbuf     txset.WriteSet // speculative word buffer (redo log)
 
 	// serial (overflow) mode: the transaction runs alone with direct memory
 	// access; plain maps suffice and have no capacity limit. serial selects
@@ -187,8 +186,7 @@ func (x *lazyTx) begin() {
 	x.readSet.clear()
 	x.writeSet.clear()
 	x.sets.reset()
-	clear(x.wbuf)
-	x.worder = x.worder[:0]
+	x.wbuf.Reset()
 	x.aborted.Store(false)
 	x.active.Store(true)
 }
@@ -217,7 +215,7 @@ func (x *lazyTx) Load(a mem.Addr) uint64 {
 		x.serialRead[mem.LineOf(a)] = struct{}{}
 		return x.sys.cfg.Arena.Load(a)
 	}
-	if v, ok := x.wbuf[a]; ok {
+	if v, ok := x.wbuf.Get(a); ok {
 		return v
 	}
 	l := mem.LineOf(a)
@@ -257,10 +255,7 @@ func (x *lazyTx) Store(a mem.Addr, v uint64) {
 	if x.aborted.Load() {
 		tm.Retry()
 	}
-	if _, ok := x.wbuf[a]; !ok {
-		x.worder = append(x.worder, a)
-	}
-	x.wbuf[a] = v
+	x.wbuf.Put(a, v)
 	l := mem.LineOf(a)
 	added, ok := x.writeSet.insert(l)
 	if !ok || (added && x.readSet.len()+x.writeSet.len() > x.sys.cfg.CapacityLines) {
@@ -308,7 +303,7 @@ func (x *lazyTx) commit() bool {
 	if x.serial {
 		return true // ran alone with direct stores
 	}
-	if len(x.worder) == 0 {
+	if x.wbuf.Len() == 0 {
 		// Read-only: correctness is guaranteed by the abort flag (any
 		// conflicting committer flagged us before writing back).
 		return !x.aborted.Load()
@@ -318,21 +313,22 @@ func (x *lazyTx) commit() bool {
 		x.sys.commitMu.Unlock()
 		return false
 	}
+	writes := x.wbuf.Entries()
 	x.sys.epoch.Add(1) // odd: commit in progress
 	for _, other := range x.sys.txs {
 		if other.slot == x.slot || !other.active.Load() {
 			continue
 		}
-		for _, wa := range x.worder {
-			l := mem.LineOf(wa)
+		for _, e := range writes {
+			l := mem.LineOf(e.Addr)
 			if other.readSet.contains(l) || other.writeSet.contains(l) {
 				other.aborted.Store(true)
 				break
 			}
 		}
 	}
-	for _, wa := range x.worder {
-		x.sys.cfg.Arena.Store(wa, x.wbuf[wa])
+	for _, e := range writes {
+		x.sys.cfg.Arena.Store(e.Addr, e.Val)
 	}
 	x.sys.epoch.Add(1) // even: done
 	x.sys.commitMu.Unlock()

@@ -6,6 +6,7 @@ import (
 	"github.com/stamp-go/stamp/internal/mem"
 	"github.com/stamp-go/stamp/internal/tm"
 	"github.com/stamp-go/stamp/internal/tm/sig"
+	"github.com/stamp-go/stamp/internal/tm/txset"
 )
 
 // Eager is the eager SigTM variant: software undo log with in-place writes,
@@ -39,7 +40,7 @@ func NewEager(cfg tm.Config) (*Eager, error) {
 	s.txs = make([]*eagerTx, cfg.Threads)
 	s.cms = make([]tm.ContentionManager, cfg.Threads)
 	for i := range s.threads {
-		x := &eagerTx{sys: s, slot: i, written: make(map[mem.Addr]struct{})}
+		x := &eagerTx{sys: s, slot: i}
 		if cfg.ProfileSets {
 			x.readLines = make(map[mem.Line]struct{})
 			x.writeLines = make(map[mem.Line]struct{})
@@ -126,8 +127,7 @@ type eagerTx struct {
 
 	readSig  sig.Signature
 	writeSig sig.Signature
-	undo     []undoRec
-	written  map[mem.Addr]struct{}
+	undo     txset.WriteSet // addr → old value; doubles as the written-set
 
 	loads  uint64
 	stores uint64
@@ -136,17 +136,11 @@ type eagerTx struct {
 	writeLines map[mem.Line]struct{}
 }
 
-type undoRec struct {
-	addr mem.Addr
-	old  uint64
-}
-
 func (x *eagerTx) begin() {
 	x.loads, x.stores = 0, 0
 	x.readSig.Clear()
 	x.writeSig.Clear()
-	x.undo = x.undo[:0]
-	clear(x.written)
+	x.undo.Reset()
 	if x.readLines != nil {
 		clear(x.readLines)
 		clear(x.writeLines)
@@ -157,10 +151,11 @@ func (x *eagerTx) begin() {
 // rollback replays the undo log before clearing signatures, so a racing
 // reader that passes a cleared signature can only observe restored data.
 func (x *eagerTx) rollback() {
-	for i := len(x.undo) - 1; i >= 0; i-- {
-		x.sys.cfg.Arena.Store(x.undo[i].addr, x.undo[i].old)
+	undo := x.undo.Entries()
+	for i := len(undo) - 1; i >= 0; i-- {
+		x.sys.cfg.Arena.Store(undo[i].Addr, undo[i].Val)
 	}
-	x.undo = x.undo[:0]
+	x.undo.Reset()
 	x.readSig.Clear()
 	x.writeSig.Clear()
 	x.active.Store(false)
@@ -169,7 +164,7 @@ func (x *eagerTx) rollback() {
 // commit needs no validation: a writer that would have invalidated one of
 // our reads saw our read signature and aborted itself instead.
 func (x *eagerTx) commit() {
-	x.undo = x.undo[:0]
+	x.undo.Reset()
 	x.readSig.Clear()
 	x.writeSig.Clear()
 	x.active.Store(false)
@@ -217,9 +212,9 @@ func (x *eagerTx) Store(a mem.Addr, v uint64) {
 			}
 		}
 	}
-	if _, seen := x.written[a]; !seen {
-		x.undo = append(x.undo, undoRec{addr: a, old: x.sys.cfg.Arena.Load(a)})
-		x.written[a] = struct{}{}
+	// Log the old value only on the first store to a.
+	if !x.undo.Contains(a) {
+		x.undo.Insert(a, x.sys.cfg.Arena.Load(a))
 	}
 	x.sys.cfg.Arena.Store(a, v)
 	if x.writeLines != nil {

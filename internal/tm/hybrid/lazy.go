@@ -19,6 +19,7 @@ import (
 	"github.com/stamp-go/stamp/internal/mem"
 	"github.com/stamp-go/stamp/internal/tm"
 	"github.com/stamp-go/stamp/internal/tm/sig"
+	"github.com/stamp-go/stamp/internal/tm/txset"
 )
 
 // Lazy is the SigTM-style lazy hybrid: software write buffer, read/write
@@ -45,7 +46,7 @@ func NewLazy(cfg tm.Config) (*Lazy, error) {
 	s.threads = make([]*lazyThread, cfg.Threads)
 	s.txs = make([]*lazyTx, cfg.Threads)
 	for i := range s.threads {
-		x := &lazyTx{sys: s, slot: i, wbuf: make(map[mem.Addr]uint64)}
+		x := &lazyTx{sys: s, slot: i}
 		if cfg.ProfileSets {
 			x.readLines = make(map[mem.Line]struct{})
 			x.writeLines = make(map[mem.Line]struct{})
@@ -133,8 +134,7 @@ type lazyTx struct {
 
 	readSig  sig.Signature
 	writeSig sig.Signature
-	wbuf     map[mem.Addr]uint64
-	worder   []mem.Addr
+	wset     txset.WriteSet // redo log (insertion order = writeback order)
 
 	loads  uint64
 	stores uint64
@@ -147,8 +147,7 @@ func (x *lazyTx) begin() {
 	x.loads, x.stores = 0, 0
 	x.readSig.Clear()
 	x.writeSig.Clear()
-	clear(x.wbuf)
-	x.worder = x.worder[:0]
+	x.wset.Reset()
 	if x.readLines != nil {
 		clear(x.readLines)
 		clear(x.writeLines)
@@ -171,7 +170,7 @@ func (x *lazyTx) end() {
 // so doomed transactions never hold an inconsistent snapshot.
 func (x *lazyTx) Load(a mem.Addr) uint64 {
 	x.loads++
-	if v, ok := x.wbuf[a]; ok {
+	if v, ok := x.wset.Get(a); ok {
 		return v
 	}
 	l := mem.LineOf(a)
@@ -201,10 +200,7 @@ func (x *lazyTx) Store(a mem.Addr, v uint64) {
 	if x.aborted.Load() {
 		tm.Retry()
 	}
-	if _, ok := x.wbuf[a]; !ok {
-		x.worder = append(x.worder, a)
-	}
-	x.wbuf[a] = v
+	x.wset.Put(a, v)
 	x.writeSig.Insert(uint32(mem.LineOf(a)))
 	if x.writeLines != nil {
 		x.writeLines[mem.LineOf(a)] = struct{}{}
@@ -229,7 +225,7 @@ func (x *lazyTx) Restart() { tm.Retry() }
 // of precise line sets: flag every active transaction whose read or write
 // signature admits one of our write lines, then write back.
 func (x *lazyTx) commit() bool {
-	if len(x.worder) == 0 {
+	if x.wset.Len() == 0 {
 		return !x.aborted.Load()
 	}
 	x.sys.commitMu.Lock()
@@ -237,21 +233,22 @@ func (x *lazyTx) commit() bool {
 		x.sys.commitMu.Unlock()
 		return false
 	}
+	writes := x.wset.Entries()
 	x.sys.epoch.Add(1)
 	for _, other := range x.sys.txs {
 		if other.slot == x.slot || !other.active.Load() {
 			continue
 		}
-		for _, wa := range x.worder {
-			l := uint32(mem.LineOf(wa))
+		for _, e := range writes {
+			l := uint32(mem.LineOf(e.Addr))
 			if other.readSig.Test(l) || other.writeSig.Test(l) {
 				other.aborted.Store(true)
 				break
 			}
 		}
 	}
-	for _, wa := range x.worder {
-		x.sys.cfg.Arena.Store(wa, x.wbuf[wa])
+	for _, e := range writes {
+		x.sys.cfg.Arena.Store(e.Addr, e.Val)
 	}
 	x.sys.epoch.Add(1)
 	x.sys.commitMu.Unlock()

@@ -1,0 +1,210 @@
+package norec
+
+import (
+	"testing"
+
+	"github.com/stamp-go/stamp/internal/mem"
+	"github.com/stamp-go/stamp/internal/thread"
+	"github.com/stamp-go/stamp/internal/tm"
+	"github.com/stamp-go/stamp/internal/tm/txset"
+)
+
+// TestDrainCombineAbsorbsDisjoint is the deterministic white-box test of
+// the combiner protocol: with the lock held, a pending request whose read
+// set validates by value is applied and resolved reqDone; one whose read
+// set no longer matches memory is rejected without applying its writes.
+func TestDrainCombineAbsorbsDisjoint(t *testing.T) {
+	arena := mem.NewArena(1 << 10)
+	a := arena.Alloc(1) // read by both requests
+	b := arena.Alloc(1) // written by request 1
+	c := arena.Alloc(1) // written by request 2
+	arena.Store(a, 5)
+	sys, err := New(tm.Config{Arena: arena, Threads: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Thread 0 plays the combiner: acquire the lock by hand.
+	if !sys.seq.CompareAndSwap(0, 1) {
+		t.Fatal("could not acquire seq lock")
+	}
+
+	// Thread 1 publishes a valid request: read (a,5), write b=10.
+	r1 := &sys.combine[1]
+	r1.reads = []txset.ReadEntry{{Addr: a, Val: 5}}
+	r1.writes = []txset.Entry{{Addr: b, Val: 10}}
+	r1.status.Store(reqPending)
+
+	// Thread 2 publishes a stale request: it observed (a,4), which no
+	// longer matches memory, so it must be rejected and c left untouched.
+	r2 := &sys.combine[2]
+	r2.reads = []txset.ReadEntry{{Addr: a, Val: 4}}
+	r2.writes = []txset.Entry{{Addr: c, Val: 20}}
+	r2.status.Store(reqPending)
+
+	sys.drainCombine(0)
+	sys.seq.Store(2)
+
+	if got := r1.status.Load(); got != reqDone {
+		t.Fatalf("valid request status = %d, want reqDone", got)
+	}
+	if got := arena.Load(b); got != 10 {
+		t.Fatalf("absorbed write not applied: b = %d, want 10", got)
+	}
+	if got := r2.status.Load(); got != reqRejected {
+		t.Fatalf("stale request status = %d, want reqRejected", got)
+	}
+	if got := arena.Load(c); got != 0 {
+		t.Fatalf("rejected write was applied: c = %d, want 0", got)
+	}
+}
+
+// TestCombiningDisjointWriters is the concurrency end-to-end check: many
+// writers with disjoint read/write sets must all commit correctly with
+// combining on, and (on a machine where commits actually overlap) some of
+// them should be absorbed by a peer's lock acquisition.
+func TestCombiningDisjointWriters(t *testing.T) {
+	const threads = 8
+	const perT = 3000
+	arena := mem.NewArena(1 << 12)
+	cells := make([]mem.Addr, threads)
+	for i := range cells {
+		cells[i] = arena.Alloc(1)
+	}
+	sys, err := New(tm.Config{Arena: arena, Threads: threads})
+	if err != nil {
+		t.Fatal(err)
+	}
+	team := thread.NewTeam(threads)
+	team.Run(func(tid int) {
+		th := sys.Thread(tid)
+		mine := cells[tid]
+		for i := 0; i < perT; i++ {
+			th.Atomic(func(tx tm.Tx) {
+				tm.Spin(200) // widen the commit window so attempts overlap
+				tx.Store(mine, tx.Load(mine)+1)
+			})
+		}
+	})
+	for i, c := range cells {
+		if got := arena.Load(c); got != perT {
+			t.Fatalf("cell %d = %d, want %d", i, got, perT)
+		}
+	}
+	st := sys.Stats()
+	if st.Total.Commits != threads*perT {
+		t.Fatalf("commits = %d, want %d", st.Total.Commits, threads*perT)
+	}
+	// Disjoint sets can never fail value validation, so a fallback here
+	// would be a protocol bug.
+	if st.Total.CombineFallbacks != 0 {
+		t.Fatalf("disjoint writers produced %d combine fallbacks", st.Total.CombineFallbacks)
+	}
+	// Every absorbed commit must be balanced by the seq-lock arithmetic:
+	// total commits = acquisitions + absorbed.
+	if got := sys.LockAcquires() + st.Total.CombinedCommits; got != threads*perT {
+		t.Fatalf("acquisitions(%d) + combined(%d) = %d, want %d",
+			sys.LockAcquires(), st.Total.CombinedCommits, got, threads*perT)
+	}
+	if st.Total.CombinedCommits == 0 {
+		t.Error("no commits were combined despite overlapping disjoint writers")
+	}
+	t.Logf("combined %d of %d commits (%d acquisitions)",
+		st.Total.CombinedCommits, st.Total.Commits, sys.LockAcquires())
+}
+
+// TestCombiningConflictingWriters: overlapping writers must still be
+// linearizable — combining may only absorb a commit whose read set is
+// untouched, so a shared counter loses no increments.
+func TestCombiningConflictingWriters(t *testing.T) {
+	const threads = 8
+	const perT = 2000
+	for _, noCombine := range []bool{false, true} {
+		arena := mem.NewArena(1 << 10)
+		c := arena.Alloc(1)
+		sys, err := New(tm.Config{Arena: arena, Threads: threads, NoCombine: noCombine})
+		if err != nil {
+			t.Fatal(err)
+		}
+		team := thread.NewTeam(threads)
+		team.Run(func(tid int) {
+			th := sys.Thread(tid)
+			for i := 0; i < perT; i++ {
+				th.Atomic(func(tx tm.Tx) {
+					tx.Store(c, tx.Load(c)+1)
+				})
+			}
+		})
+		if got := arena.Load(c); got != threads*perT {
+			t.Fatalf("noCombine=%v: counter = %d, want %d", noCombine, got, threads*perT)
+		}
+		st := sys.Stats()
+		if noCombine && st.Total.CombinedCommits+st.Total.CombineFallbacks != 0 {
+			t.Fatalf("NoCombine still combined: %d/%d",
+				st.Total.CombinedCommits, st.Total.CombineFallbacks)
+		}
+	}
+}
+
+// TestCombiningMixedReadWrite: readers scanning a multi-word invariant
+// while combined transfers drain must never observe a torn total — the
+// batch publishes under one seq tick, so opacity must survive combining.
+func TestCombiningMixedReadWrite(t *testing.T) {
+	const (
+		threads  = 8
+		accounts = 16
+		total    = 800
+		perT     = 1000
+	)
+	arena := mem.NewArena(1 << 12)
+	accs := make([]mem.Addr, accounts)
+	for i := range accs {
+		accs[i] = arena.Alloc(1)
+	}
+	arena.Store(accs[0], total)
+	sys, err := NewRO(tm.Config{Arena: arena, Threads: threads})
+	if err != nil {
+		t.Fatal(err)
+	}
+	team := thread.NewTeam(threads)
+	var torn [threads]int64
+	team.Run(func(tid int) {
+		th := sys.Thread(tid)
+		for i := 0; i < perT; i++ {
+			if tid%2 == 0 {
+				th.Atomic(func(tx tm.Tx) {
+					var sum uint64
+					for _, a := range accs {
+						sum += tx.Load(a)
+					}
+					if sum != total {
+						torn[tid]++
+					}
+				})
+				continue
+			}
+			from := (tid + i) % accounts
+			to := (tid*3 + i*7) % accounts
+			th.Atomic(func(tx tm.Tx) {
+				f := tx.Load(accs[from])
+				if f == 0 {
+					return
+				}
+				tx.Store(accs[from], f-1)
+				tx.Store(accs[to], tx.Load(accs[to])+1)
+			})
+		}
+	})
+	for tid, v := range torn {
+		if v != 0 {
+			t.Fatalf("thread %d observed %d torn snapshots", tid, v)
+		}
+	}
+	var sum uint64
+	for _, a := range accs {
+		sum += arena.Load(a)
+	}
+	if sum != total {
+		t.Fatalf("total = %d, want %d", sum, total)
+	}
+}

@@ -23,6 +23,25 @@
 // moment the CAS succeeds follows from seq not having moved since the last
 // validation, which gives opacity without any per-read version check.
 //
+// # Commit combining
+//
+// The single lock makes writebacks the scaling wall at high thread counts.
+// To move it, writers publish their validated redo and read logs to a
+// per-thread combining slot for the whole duration of their commit attempt.
+// The committer that wins the sequence-lock CAS becomes the combiner: after
+// its own writeback it scans the slots and, for each pending request whose
+// read set still validates by value against current memory, applies that
+// request's writes too — absorbing the commit under the same lock
+// acquisition, with a single seq tick for the whole batch (so concurrent
+// readers revalidate once instead of once per commit). A request whose read
+// set no longer validates (an overlapping write set changed a value it
+// observed) is rejected, and its owner falls back to the ordinary
+// revalidate-and-retry loop. Before releasing, the combiner holds the lock
+// open for a bounded beat while other writers are mid-commit, so batches
+// form even when goroutines outnumber cores. tm.ThreadStats counts absorbed
+// commits (CombinedCommits) and rejections (CombineFallbacks);
+// tm.Config.NoCombine disables the whole mechanism for ablations.
+//
 // Two registered variants expose the cost of the read-only commit rule as
 // a comparison axis:
 //
@@ -39,10 +58,50 @@ import (
 
 	"github.com/stamp-go/stamp/internal/mem"
 	"github.com/stamp-go/stamp/internal/tm"
+	"github.com/stamp-go/stamp/internal/tm/txset"
 )
 
+// Combining-request states. A slot belongs to its thread while reqIdle; a
+// combiner takes ownership with a pending→claimed CAS and hands it back by
+// resolving to reqDone or reqRejected. Claims happen only under the
+// sequence lock, which is what makes the requester's own "CAS the lock,
+// then retract my pending request with a plain store" sequence safe: a
+// successful lock CAS proves no combiner tenure overlapped it.
+const (
+	reqIdle uint32 = iota
+	reqPending
+	reqClaimed
+	reqDone
+	reqRejected
+)
+
+// combineRounds bounds how many drain passes (and scheduler yields) one
+// lock acquisition may spend absorbing peers, so readers waiting for
+// quiescence are delayed by at most a few beats.
+const combineRounds = 4
+
+// combineYieldMinThreads is the thread count from which writers always
+// yield between publishing their request and attempting the lock CAS, so
+// commit batches form even when goroutines outnumber cores. Below it the
+// yield happens only when another writer is observably mid-commit: the
+// writeback wall is a high-thread-count phenomenon, and an uncontended or
+// lightly-threaded commit should not pay a scheduler round-trip.
+const combineYieldMinThreads = 8
+
+// combineReq is one thread's combining slot. The slices are published by
+// the owner (plain writes, then an atomic status store) and read by the
+// combiner between claim and resolve; the owner is spinning on status the
+// whole time, so they never race.
+type combineReq struct {
+	status atomic.Uint32
+	reads  []txset.ReadEntry
+	writes []txset.Entry
+	_      [64]byte // pad slots apart (combiners scan the array cross-thread)
+}
+
 // System is one NOrec runtime instance. The entire shared state of the
-// algorithm is the seq word; everything else is per-thread.
+// algorithm is the seq word plus the combining array; everything else is
+// per-thread.
 type System struct {
 	cfg    tm.Config
 	name   string
@@ -55,8 +114,20 @@ type System struct {
 
 	// lockAcquires counts successful sequence-lock acquisitions, the test
 	// hook that lets callers assert the read-only fast path never takes
-	// the lock.
+	// the lock. Absorbed (combined) commits do not acquire the lock and do
+	// not count here — that is the point of combining.
 	lockAcquires atomic.Uint64
+
+	// combining enables commit combining (default; tm.Config.NoCombine
+	// turns it off for ablations).
+	combining bool
+
+	// inCommit counts writers currently inside a commit attempt; the
+	// combiner uses it to decide whether holding the lock open one more
+	// beat could absorb anyone.
+	inCommit atomic.Int32
+
+	combine []combineReq // one slot per thread
 
 	threads []*norecThread
 }
@@ -77,12 +148,13 @@ func newSystem(cfg tm.Config, name string, roFast bool) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &System{cfg: cfg, name: name, roFast: roFast}
+	s := &System{cfg: cfg, name: name, roFast: roFast, combining: !cfg.NoCombine}
+	s.combine = make([]combineReq, cfg.Threads)
 	s.threads = make([]*norecThread, cfg.Threads)
 	for i := range s.threads {
 		t := &norecThread{id: i, sys: s}
 		t.cm = pool.ForThread(i, &t.stats)
-		t.tx = &norecTx{sys: s, th: t, wbuf: make(map[mem.Addr]uint64)}
+		t.tx = &norecTx{sys: s, th: t}
 		if cfg.ProfileSets {
 			t.tx.readLines = make(map[mem.Line]struct{})
 			t.tx.writeLines = make(map[mem.Line]struct{})
@@ -117,7 +189,8 @@ func (s *System) Stats() tm.Stats {
 func (s *System) Seq() uint64 { return s.seq.Load() }
 
 // LockAcquires returns how many commits acquired the sequence lock. With
-// the read-only fast path, read-only transactions never contribute here.
+// the read-only fast path, read-only transactions never contribute here;
+// with combining, absorbed commits don't either.
 func (s *System) LockAcquires() uint64 { return s.lockAcquires.Load() }
 
 // waitQuiescent spins until seq is even and returns it. It yields to the
@@ -131,6 +204,61 @@ func (s *System) waitQuiescent() uint64 {
 		if spins&127 == 127 {
 			runtime.Gosched()
 		}
+	}
+}
+
+// drainCombine is the combiner side of commit combining. The caller holds
+// the sequence lock (seq odd) and has finished its own writeback. Each
+// pass claims every pending request, value-validates its read set against
+// current memory (which includes all writes applied so far in this batch),
+// and either applies its redo log or rejects it. Passes repeat while they
+// absorb anything; when nothing is pending but other writers are mid-commit,
+// the lock is held open for one scheduler beat so they can publish —
+// bounded by combineRounds so waiting readers are not starved.
+func (s *System) drainCombine(self int) {
+	for round := 0; round < combineRounds; round++ {
+		absorbed := false
+		for i := range s.combine {
+			if i == self {
+				continue
+			}
+			r := &s.combine[i]
+			if r.status.Load() != reqPending {
+				continue
+			}
+			if !r.status.CompareAndSwap(reqPending, reqClaimed) {
+				continue // the owner withdrew it first
+			}
+			valid := true
+			for _, e := range r.reads {
+				if s.cfg.Arena.Load(e.Addr) != e.Val {
+					valid = false
+					break
+				}
+			}
+			if !valid {
+				r.status.Store(reqRejected)
+				continue
+			}
+			for _, e := range r.writes {
+				s.cfg.Arena.Store(e.Addr, e.Val)
+			}
+			r.status.Store(reqDone)
+			absorbed = true
+		}
+		if absorbed {
+			continue // our writes may have been the batch-mates others waited on
+		}
+		if round == combineRounds-1 || s.inCommit.Load() <= 1 {
+			return // nobody left to absorb (inCommit counts us too)
+		}
+		if runtime.GOMAXPROCS(0) == 1 {
+			// No parallelism: every writer that could publish in this beat
+			// already parked at its post-publish yield, so holding the lock
+			// open only delays waiting readers.
+			return
+		}
+		runtime.Gosched() // the combining window: let a mid-commit writer publish
 	}
 }
 
@@ -177,22 +305,13 @@ func (t *norecThread) Atomic(fn func(tm.Tx)) {
 	t.stats.TxTimeNs += int64(t.timer.EndBlock())
 }
 
-// readRec is one read-set entry: the address and the value observed there.
-// NOrec validates by value — a concurrent commit that stores the same value
-// back (a silent store) does not abort readers.
-type readRec struct {
-	addr mem.Addr
-	val  uint64
-}
-
 type norecTx struct {
 	sys *System
 	th  *norecThread
 
-	snapshot uint64 // even seq value the read set is known valid at
-	rset     []readRec
-	wbuf     map[mem.Addr]uint64
-	worder   []mem.Addr // write-set addresses in first-store order
+	snapshot uint64         // even seq value the read set is known valid at
+	rset     txset.ReadSet  // value-validation log (NOrec validates by value)
+	wset     txset.WriteSet // redo log (insertion order = writeback order)
 
 	loads  uint64
 	stores uint64
@@ -203,9 +322,8 @@ type norecTx struct {
 
 func (x *norecTx) begin() {
 	x.snapshot = x.sys.waitQuiescent()
-	x.rset = x.rset[:0]
-	x.worder = x.worder[:0]
-	clear(x.wbuf)
+	x.rset.Reset()
+	x.wset.Reset()
 	x.loads, x.stores = 0, 0
 	if x.readLines != nil {
 		clear(x.readLines)
@@ -213,14 +331,15 @@ func (x *norecTx) begin() {
 	}
 }
 
-// Load implements the NOrec read barrier: write-buffer lookup, then a read
-// that is consistent with the snapshot. If the global clock moved since the
-// snapshot, the whole read set is revalidated by value before the read is
-// retried, so a doomed transaction can never observe a mixed-epoch state
+// Load implements the NOrec read barrier: write-buffer lookup (one filter
+// word rejects the common no-possible-hit case before any probing), then a
+// read that is consistent with the snapshot. If the global clock moved since
+// the snapshot, the whole read set is revalidated by value before the read
+// is retried, so a doomed transaction can never observe a mixed-epoch state
 // (opacity).
 func (x *norecTx) Load(a mem.Addr) uint64 {
 	x.loads++
-	if v, ok := x.wbuf[a]; ok {
+	if v, ok := x.wset.Get(a); ok {
 		return v
 	}
 	v := x.sys.cfg.Arena.Load(a)
@@ -232,7 +351,7 @@ func (x *norecTx) Load(a mem.Addr) uint64 {
 		x.snapshot = s
 		v = x.sys.cfg.Arena.Load(a)
 	}
-	x.rset = append(x.rset, readRec{addr: a, val: v})
+	x.rset.Add(a, v)
 	if x.readLines != nil {
 		x.readLines[mem.LineOf(a)] = struct{}{}
 	}
@@ -242,12 +361,14 @@ func (x *norecTx) Load(a mem.Addr) uint64 {
 // revalidate is NOrec's value-based validation: wait for a quiescent seq,
 // re-read every read-set address, and succeed only if all values still
 // match and seq did not move during the pass. On success the returned seq
-// becomes the transaction's new snapshot.
+// becomes the transaction's new snapshot. The read set deduplicates
+// consecutive re-reads, so this pass is O(distinct-ish addresses) rather
+// than O(total loads) on re-read-heavy workloads.
 func (x *norecTx) revalidate() (uint64, bool) {
 	for {
 		t := x.sys.waitQuiescent()
-		for _, r := range x.rset {
-			if x.sys.cfg.Arena.Load(r.addr) != r.val {
+		for _, r := range x.rset.Entries() {
+			if x.sys.cfg.Arena.Load(r.Addr) != r.Val {
 				return 0, false
 			}
 		}
@@ -260,10 +381,7 @@ func (x *norecTx) revalidate() (uint64, bool) {
 // Store implements the lazy write barrier: buffer the value.
 func (x *norecTx) Store(a mem.Addr, v uint64) {
 	x.stores++
-	if _, ok := x.wbuf[a]; !ok {
-		x.worder = append(x.worder, a)
-	}
-	x.wbuf[a] = v
+	x.wset.Put(a, v)
 	if x.writeLines != nil {
 		x.writeLines[mem.LineOf(a)] = struct{}{}
 	}
@@ -273,8 +391,8 @@ func (x *norecTx) Alloc(n int) mem.Addr { return x.sys.cfg.Arena.Alloc(n) }
 func (x *norecTx) Free(mem.Addr)        {}
 
 // EarlyRelease is a no-op: there is no per-location metadata to release,
-// and dropping a readRec would only skip one value comparison. Keeping the
-// entry is always safe (value-based validation never manufactures false
+// and dropping a read record would only skip one value comparison. Keeping
+// the entry is always safe (value-based validation never manufactures false
 // conflicts at word granularity).
 func (x *norecTx) EarlyRelease(mem.Addr) {}
 
@@ -287,14 +405,32 @@ func (x *norecTx) Restart() { tm.Retry() }
 
 // commit acquires the sequence lock (CAS even -> odd), writes the redo log
 // back, and releases (snapshot+2). A failed CAS means some other commit
-// ticked the clock, so the read set is revalidated and the CAS retried from
-// the newer snapshot. With the read-only fast path enabled, an empty write
-// set commits immediately: every Load already validated against a quiescent
-// snapshot, so the read set was atomically valid at that snapshot.
+// ticked the clock; with combining enabled the transaction's logs are
+// published for the lock holder to absorb, otherwise (and as the fallback)
+// the read set is revalidated and the CAS retried from the newer snapshot.
+// With the read-only fast path enabled, an empty write set commits
+// immediately: every Load already validated against a quiescent snapshot,
+// so the read set was atomically valid at that snapshot.
 func (x *norecTx) commit() bool {
-	if len(x.worder) == 0 && x.sys.roFast {
-		return true
+	if x.wset.Len() == 0 {
+		if x.sys.roFast {
+			return true
+		}
+		// Plain variant: read-only commits serialize through the lock, one
+		// acquisition each (the LockAcquires contract). They publish no
+		// request, so combining never absorbs them; commitDirect's
+		// writeback loop is empty here.
+		return x.commitDirect()
 	}
+	if !x.sys.combining {
+		return x.commitDirect()
+	}
+	return x.commitCombining()
+}
+
+// commitDirect is the original NOrec writer commit (used with combining
+// disabled): CAS loop with revalidation, then writeback under the lock.
+func (x *norecTx) commitDirect() bool {
 	for !x.sys.seq.CompareAndSwap(x.snapshot, x.snapshot+1) {
 		s, ok := x.revalidate()
 		if !ok {
@@ -303,9 +439,112 @@ func (x *norecTx) commit() bool {
 		x.snapshot = s
 	}
 	x.sys.lockAcquires.Add(1)
-	for _, a := range x.worder {
-		x.sys.cfg.Arena.Store(a, x.wbuf[a])
+	for _, e := range x.wset.Entries() {
+		x.sys.cfg.Arena.Store(e.Addr, e.Val)
 	}
 	x.sys.seq.Store(x.snapshot + 2)
 	return true
+}
+
+// commitCombining is the writer commit with combining: publish our logs,
+// then either win the lock (and combine peers) or get absorbed by whoever
+// did. See the package comment for the protocol and its safety argument.
+func (x *norecTx) commitCombining() bool {
+	sys := x.sys
+	sys.inCommit.Add(1)
+	defer sys.inCommit.Add(-1)
+	r := &sys.combine[x.th.id]
+	r.reads = x.rset.Entries()
+	r.writes = x.wset.Entries()
+	r.status.Store(reqPending)
+	if sys.cfg.Threads >= combineYieldMinThreads || sys.inCommit.Load() > 1 {
+		// One yield between publish and the first CAS lets batches form even
+		// when goroutines outnumber cores: every writer scheduled in this
+		// beat parks its request first, and whichever one wins the lock
+		// drains all of them under a single acquisition. On idle multicore
+		// hardware the yield returns immediately.
+		runtime.Gosched()
+	}
+	for spins := 0; ; spins++ {
+		switch r.status.Load() {
+		case reqDone:
+			r.status.Store(reqIdle)
+			x.th.stats.CombinedCommits++
+			return true
+		case reqRejected:
+			// The combiner saw one of our read values change under its
+			// batch; fall back to the ordinary revalidate path, which
+			// usually aborts (and tolerates the rare value that changed
+			// back, in which case we republish).
+			r.status.Store(reqIdle)
+			x.th.stats.CombineFallbacks++
+			s, ok := x.revalidate()
+			if !ok {
+				return false
+			}
+			x.snapshot = s
+			r.status.Store(reqPending)
+			continue
+		case reqClaimed:
+			// A combiner is validating/applying our logs; it resolves the
+			// slot before it releases the lock.
+			if spins&127 == 127 {
+				runtime.Gosched()
+			}
+			continue
+		}
+		// Still pending: try to win the lock ourselves. A successful CAS
+		// proves no combiner tenure overlapped since we (re)published —
+		// claims happen only under the lock — so retracting our request
+		// with a plain store cannot race a claim.
+		if sys.seq.CompareAndSwap(x.snapshot, x.snapshot+1) {
+			r.status.Store(reqIdle)
+			sys.lockAcquires.Add(1)
+			for _, e := range x.wset.Entries() {
+				sys.cfg.Arena.Store(e.Addr, e.Val)
+			}
+			sys.drainCombine(x.th.id)
+			sys.seq.Store(x.snapshot + 2)
+			return true
+		}
+		if sys.seq.Load()&1 != 0 {
+			// A combiner holds the lock: stay published — this is exactly
+			// the window in which it can absorb us.
+			if spins&127 == 127 {
+				runtime.Gosched()
+			}
+			continue
+		}
+		// Quiescent but our snapshot is stale. Revalidate while still
+		// published (a new lock holder may absorb us meanwhile), then
+		// re-check the slot before acting on the result.
+		s, ok := x.revalidate()
+		switch r.status.Load() {
+		case reqDone:
+			r.status.Store(reqIdle)
+			x.th.stats.CombinedCommits++
+			return true
+		case reqRejected:
+			r.status.Store(reqIdle)
+			x.th.stats.CombineFallbacks++
+			if !ok {
+				return false
+			}
+			x.snapshot = s
+			r.status.Store(reqPending)
+			continue
+		case reqClaimed:
+			continue // resolves shortly; the loop re-checks the slot
+		}
+		if !ok {
+			// Abort — but withdraw the request first; losing the withdraw
+			// race to a claimer means the outcome is about to be decided
+			// for us, so loop and honor it instead.
+			if r.status.CompareAndSwap(reqPending, reqIdle) {
+				return false
+			}
+			continue
+		}
+		x.snapshot = s
+	}
 }

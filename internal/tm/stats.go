@@ -104,6 +104,10 @@ type ThreadStats struct {
 	CMWaitNs     int64  // time spent in those delays
 	CMSerialized uint64 // blocks that escalated to the serialize policy's global lock
 
+	// NOrec commit-combining accounting (see internal/tm/norec).
+	CombinedCommits  uint64 // commits absorbed by another thread's lock acquisition
+	CombineFallbacks uint64 // combining requests rejected (read set invalid under the combiner)
+
 	// Per committed transaction distributions.
 	LoadsHist      Hist // read barriers
 	StoresHist     Hist // write barriers
@@ -125,6 +129,8 @@ func (s *ThreadStats) merge(o *ThreadStats) {
 	s.CMWaits += o.CMWaits
 	s.CMWaitNs += o.CMWaitNs
 	s.CMSerialized += o.CMSerialized
+	s.CombinedCommits += o.CombinedCommits
+	s.CombineFallbacks += o.CombineFallbacks
 	s.LoadsHist.Merge(&o.LoadsHist)
 	s.StoresHist.Merge(&o.StoresHist)
 	s.ReadLinesHist.Merge(&o.ReadLinesHist)

@@ -5,6 +5,7 @@ import (
 
 	"github.com/stamp-go/stamp/internal/mem"
 	"github.com/stamp-go/stamp/internal/tm"
+	"github.com/stamp-go/stamp/internal/tm/txset"
 )
 
 // Eager is the paper's eager variant of TL2: writes acquire the stripe lock
@@ -39,7 +40,7 @@ func NewEager(cfg tm.Config) (*Eager, error) {
 		t := &eagerThread{id: i, sys: s}
 		t.cm = pool.ForThread(i, &t.stats)
 		s.cms[i] = t.cm
-		t.tx = &eagerTx{sys: s, slot: uint64(i), th: t, written: make(map[mem.Addr]struct{})}
+		t.tx = &eagerTx{sys: s, slot: uint64(i), th: t}
 		if cfg.ProfileSets {
 			t.tx.readLines = make(map[mem.Line]struct{})
 			t.tx.writeLines = make(map[mem.Line]struct{})
@@ -126,10 +127,9 @@ type eagerTx struct {
 	slot uint64
 
 	rv       uint64
-	reads    []uint32
+	reads    txset.IndexSet
 	acquired []lockRec
-	undo     []undoRec
-	written  map[mem.Addr]struct{} // addresses already undo-logged
+	undo     txset.WriteSet // addr → old value; doubles as the written-set
 
 	loads  uint64
 	stores uint64
@@ -140,10 +140,9 @@ type eagerTx struct {
 
 func (x *eagerTx) begin() {
 	x.rv = x.sys.clock.Load()
-	x.reads = x.reads[:0]
+	x.reads.Reset()
 	x.acquired = x.acquired[:0]
-	x.undo = x.undo[:0]
-	clear(x.written)
+	x.undo.Reset()
 	x.loads, x.stores = 0, 0
 	if x.readLines != nil {
 		clear(x.readLines)
@@ -154,10 +153,11 @@ func (x *eagerTx) begin() {
 // rollback replays the undo log (newest first) and releases the stripe
 // locks, restoring their pre-acquisition entries.
 func (x *eagerTx) rollback() {
-	for i := len(x.undo) - 1; i >= 0; i-- {
-		x.sys.cfg.Arena.Store(x.undo[i].addr, x.undo[i].old)
+	undo := x.undo.Entries()
+	for i := len(undo) - 1; i >= 0; i-- {
+		x.sys.cfg.Arena.Store(undo[i].Addr, undo[i].Val)
 	}
-	x.undo = x.undo[:0]
+	x.undo.Reset()
 	for i := len(x.acquired) - 1; i >= 0; i-- {
 		x.sys.locks.store(x.acquired[i].idx, x.acquired[i].old)
 	}
@@ -193,7 +193,7 @@ func (x *eagerTx) Load(a mem.Addr) uint64 {
 	if x.sys.locks.load(idx) != e1 {
 		tm.Retry()
 	}
-	x.reads = append(x.reads, idx)
+	x.reads.Add(idx)
 	if x.readLines != nil {
 		x.readLines[mem.LineOf(a)] = struct{}{}
 	}
@@ -226,9 +226,10 @@ func (x *eagerTx) Store(a mem.Addr, v uint64) {
 		}
 		// CAS raced with another acquirer; re-probe and arbitrate.
 	}
-	if _, seen := x.written[a]; !seen {
-		x.undo = append(x.undo, undoRec{addr: a, old: x.sys.cfg.Arena.Load(a)})
-		x.written[a] = struct{}{}
+	// Log the old value only on the first store to a (undo-log semantics);
+	// the Contains guard keeps repeat stores from even reading the arena.
+	if !x.undo.Contains(a) {
+		x.undo.Insert(a, x.sys.cfg.Arena.Load(a))
 	}
 	x.sys.cfg.Arena.Store(a, v)
 	if x.writeLines != nil {
@@ -254,12 +255,12 @@ func (x *eagerTx) Restart() { tm.Retry() }
 // commit validates the read set and publishes by releasing locks at the new
 // version; data is already in place.
 func (x *eagerTx) commit() bool {
-	if len(x.acquired) == 0 && len(x.undo) == 0 {
+	if len(x.acquired) == 0 && x.undo.Len() == 0 {
 		return true // read-only
 	}
 	wv := x.sys.clock.Add(1)
 	if wv != x.rv+1 {
-		for _, idx := range x.reads {
+		for _, idx := range x.reads.Slice() {
 			e := x.sys.locks.load(idx)
 			if owner, locked := lockedBy(e); locked {
 				if owner != x.slot {
@@ -276,17 +277,18 @@ func (x *eagerTx) commit() bool {
 		x.sys.locks.store(x.acquired[i].idx, wv<<1)
 	}
 	x.acquired = x.acquired[:0]
-	x.undo = x.undo[:0]
+	x.undo.Reset()
 	return true
 }
 
 // failCommit rolls back in-place writes and releases locks after a failed
 // commit-time validation.
 func (x *eagerTx) failCommit() {
-	for i := len(x.undo) - 1; i >= 0; i-- {
-		x.sys.cfg.Arena.Store(x.undo[i].addr, x.undo[i].old)
+	undo := x.undo.Entries()
+	for i := len(undo) - 1; i >= 0; i-- {
+		x.sys.cfg.Arena.Store(undo[i].Addr, undo[i].Val)
 	}
-	x.undo = x.undo[:0]
+	x.undo.Reset()
 	for i := len(x.acquired) - 1; i >= 0; i-- {
 		x.sys.locks.store(x.acquired[i].idx, x.acquired[i].old)
 	}

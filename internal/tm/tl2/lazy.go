@@ -5,6 +5,7 @@ import (
 
 	"github.com/stamp-go/stamp/internal/mem"
 	"github.com/stamp-go/stamp/internal/tm"
+	"github.com/stamp-go/stamp/internal/tm/txset"
 )
 
 // Lazy is the TL2 lazy STM: speculative writes go to a software write
@@ -37,7 +38,7 @@ func NewLazy(cfg tm.Config) (*Lazy, error) {
 		t := &lazyThread{id: i, sys: s}
 		t.cm = pool.ForThread(i, &t.stats)
 		s.cms[i] = t.cm
-		t.tx = &lazyTx{sys: s, slot: uint64(i), th: t, wbuf: make(map[mem.Addr]uint64)}
+		t.tx = &lazyTx{sys: s, slot: uint64(i), th: t}
 		if cfg.ProfileSets {
 			t.tx.readLines = make(map[mem.Line]struct{})
 			t.tx.writeLines = make(map[mem.Line]struct{})
@@ -124,9 +125,8 @@ type lazyTx struct {
 	slot uint64
 
 	rv       uint64
-	reads    []uint32 // stripe indices for commit-time validation
-	wbuf     map[mem.Addr]uint64
-	worder   []mem.Addr
+	reads    txset.IndexSet // stripe indices for commit-time validation
+	wset     txset.WriteSet // redo log (insertion order = writeback order)
 	acquired []lockRec
 
 	loads  uint64
@@ -138,10 +138,9 @@ type lazyTx struct {
 
 func (x *lazyTx) begin() {
 	x.rv = x.sys.clock.Load()
-	x.reads = x.reads[:0]
-	x.worder = x.worder[:0]
+	x.reads.Reset()
+	x.wset.Reset()
 	x.acquired = x.acquired[:0]
-	clear(x.wbuf)
 	x.loads, x.stores = 0, 0
 	if x.readLines != nil {
 		clear(x.readLines)
@@ -154,10 +153,12 @@ func (x *lazyTx) begin() {
 func (x *lazyTx) abort() {}
 
 // Load implements the TL2 read barrier: write-buffer lookup first (the cost
-// the paper calls out for lazy STM read barriers), then a validated read.
+// the paper calls out for lazy STM read barriers — the txset write filter
+// reduces it to one multiply and a branch when the buffer cannot hit), then
+// a validated read.
 func (x *lazyTx) Load(a mem.Addr) uint64 {
 	x.loads++
-	if v, ok := x.wbuf[a]; ok {
+	if v, ok := x.wset.Get(a); ok {
 		return v
 	}
 	idx := x.sys.locks.index(a)
@@ -180,7 +181,7 @@ func (x *lazyTx) Load(a mem.Addr) uint64 {
 	if e2 != e1 || versionOf(e1) > x.rv {
 		tm.Retry()
 	}
-	x.reads = append(x.reads, idx)
+	x.reads.Add(idx)
 	if x.readLines != nil {
 		x.readLines[mem.LineOf(a)] = struct{}{}
 	}
@@ -190,10 +191,7 @@ func (x *lazyTx) Load(a mem.Addr) uint64 {
 // Store implements the lazy write barrier: buffer the value.
 func (x *lazyTx) Store(a mem.Addr, v uint64) {
 	x.stores++
-	if _, ok := x.wbuf[a]; !ok {
-		x.worder = append(x.worder, a)
-	}
-	x.wbuf[a] = v
+	x.wset.Put(a, v)
 	if x.writeLines != nil {
 		x.writeLines[mem.LineOf(a)] = struct{}{}
 	}
@@ -225,20 +223,20 @@ func (x *lazyTx) releaseAcquired() {
 // commit performs the TL2 commit: lock the write set, increment the global
 // clock, validate the read set, write back, release with the new version.
 func (x *lazyTx) commit() bool {
-	if len(x.worder) == 0 {
+	if x.wset.Len() == 0 {
 		return true // read-only transactions were validated on every read
 	}
-	for _, a := range x.worder {
-		idx := x.sys.locks.index(a)
-		e := x.sys.locks.load(idx)
-		if owner, locked := lockedBy(e); locked {
+	for _, e := range x.wset.Entries() {
+		idx := x.sys.locks.index(e.Addr)
+		lw := x.sys.locks.load(idx)
+		if owner, locked := lockedBy(lw); locked {
 			if owner == x.slot {
 				continue // stripe already acquired (another word, same stripe)
 			}
 			x.releaseAcquired()
 			return false
 		}
-		if versionOf(e) > x.rv {
+		if versionOf(lw) > x.rv {
 			// The stripe was committed past our snapshot. Acquiring it would
 			// hide that from read-set validation (a self-locked stripe
 			// validates trivially), so abort here. This is the standard TL2
@@ -246,15 +244,15 @@ func (x *lazyTx) commit() bool {
 			x.releaseAcquired()
 			return false
 		}
-		if !x.sys.locks.cas(idx, e, x.slot<<1|1) {
+		if !x.sys.locks.cas(idx, lw, x.slot<<1|1) {
 			x.releaseAcquired()
 			return false
 		}
-		x.acquired = append(x.acquired, lockRec{idx: idx, old: e})
+		x.acquired = append(x.acquired, lockRec{idx: idx, old: lw})
 	}
 	wv := x.sys.clock.Add(1)
 	if wv != x.rv+1 {
-		for _, idx := range x.reads {
+		for _, idx := range x.reads.Slice() {
 			e := x.sys.locks.load(idx)
 			if owner, locked := lockedBy(e); locked {
 				if owner != x.slot {
@@ -267,8 +265,8 @@ func (x *lazyTx) commit() bool {
 			}
 		}
 	}
-	for _, a := range x.worder {
-		x.sys.cfg.Arena.Store(a, x.wbuf[a])
+	for _, e := range x.wset.Entries() {
+		x.sys.cfg.Arena.Store(e.Addr, e.Val)
 	}
 	for _, rec := range x.acquired {
 		x.sys.locks.store(rec.idx, wv<<1)

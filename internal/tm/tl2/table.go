@@ -51,8 +51,3 @@ type lockRec struct {
 	idx uint32
 	old uint64 // entry value before acquisition (restored on abort)
 }
-
-type undoRec struct {
-	addr mem.Addr
-	old  uint64
-}

@@ -8,7 +8,8 @@
 //	stm-lazy      TL2-style lazy STM (write buffer, commit-time locking, word granularity)
 //	stm-eager     eager TL2 variant (undo log, encounter-time locking, word granularity)
 //	stm-norec     NOrec STM (single global sequence lock, value-based validation,
-//	              no per-location metadata; every commit serializes through the lock)
+//	              no per-location metadata; every commit serializes through the
+//	              lock, with commit combining batching disjoint writers)
 //	stm-norec-ro  NOrec with the read-only commit fast path (empty write set
 //	              commits without acquiring the sequence lock)
 //	htm-lazy      simulated TCC-style HTM (lazy versioning, commit arbitration,
@@ -148,6 +149,12 @@ type Config struct {
 	// HTM simulators ("since early-release is not available on all TM
 	// systems, its use can be disabled").
 	EnableEarlyRelease bool
+
+	// NoCombine disables NOrec commit combining (losing committers publish
+	// their validated redo logs so the sequence-lock holder can drain
+	// disjoint write sets under one acquisition). Combining is on by
+	// default; this switch exists for ablations of the writeback wall.
+	NoCombine bool
 
 	// ProfileSets makes the sequential system track read/write line sets for
 	// characterization (the concurrent systems track them anyway).
