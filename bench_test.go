@@ -20,7 +20,6 @@ import (
 	"testing"
 
 	"github.com/stamp-go/stamp"
-	"github.com/stamp-go/stamp/internal/harness"
 	"github.com/stamp-go/stamp/internal/mem"
 	"github.com/stamp-go/stamp/internal/thread"
 	"github.com/stamp-go/stamp/internal/tm"
@@ -76,11 +75,20 @@ func BenchmarkTableVI(b *testing.B) {
 	}
 }
 
-// figureSystems is the paper's six evaluated systems plus the NOrec
-// runtimes, giving every benchmark the protocol-comparison axis beyond the
-// paper's roster.
+// figureSystems is every registered concurrent runtime — the paper's six
+// evaluated systems plus whatever the registry has grown since (the NOrec
+// pair, stm-adaptive). Derived from factory.Names() rather than a written
+// list so a newly registered runtime joins the protocol-comparison axis
+// automatically; only the sequential baseline is excluded (it is the
+// denominator, not a competitor).
 func figureSystems() []string {
-	return append(harness.TMSystems(), "stm-norec", "stm-norec-ro")
+	var systems []string
+	for _, name := range factory.Names() {
+		if name != "seq" {
+			systems = append(systems, name)
+		}
+	}
+	return systems
 }
 
 // BenchmarkFigure1 runs every simulation variant on every TM system at 4

@@ -1,11 +1,13 @@
 // Command benchjson converts `go test -bench` text output into a
 // machine-readable JSON file, so benchmark results can be recorded and
-// diffed across PRs (the BENCH_*.json perf trajectory).
+// diffed across PRs (the BENCH_*.json perf trajectory), and compares two
+// such files as a perf-regression gate.
 //
 // Usage:
 //
 //	go test -run=NONE -bench=. -benchtime=1x . | go run ./cmd/benchjson -out BENCH_smoke.json
 //	go run ./cmd/benchjson -in bench.out            # JSON to stdout
+//	go run ./cmd/benchjson -compare -tolerance 25 old.json new.json
 //
 // Every benchmark result line of the form
 //
@@ -14,6 +16,12 @@
 // becomes one record with the trailing -procs suffix split off and every
 // value/unit pair collected under metrics. Context lines (goos, goarch,
 // pkg, cpu) are captured into the header.
+//
+// Compare mode matches results by name on the ns/op metric and prints a
+// markdown delta table (suitable for a CI job summary). It exits 1 when
+// any benchmark slowed down by more than -tolerance percent, so CI can
+// treat regressions as a hard failure or, on noisy runners, downgrade the
+// exit status to a warning annotation while still publishing the table.
 package main
 
 import (
@@ -23,6 +31,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -46,10 +55,36 @@ type File struct {
 
 func main() {
 	var (
-		in  = flag.String("in", "", "input file with `go test -bench` output (default: stdin)")
-		out = flag.String("out", "", "output JSON file (default: stdout)")
+		in        = flag.String("in", "", "input file with `go test -bench` output (default: stdin)")
+		out       = flag.String("out", "", "output JSON file (default: stdout)")
+		compare   = flag.Bool("compare", false, "compare two BENCH_*.json files (args: old.json new.json) and print a delta table")
+		tolerance = flag.Float64("tolerance", 25, "with -compare: ns/op slowdown percentage above which a benchmark counts as regressed")
 	)
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two arguments: old.json new.json")
+			os.Exit(2)
+		}
+		oldDoc, err := load(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		newDoc, err := load(flag.Arg(1))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		report, regressed := Compare(oldDoc, newDoc, *tolerance)
+		os.Stdout.WriteString(report)
+		if regressed > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed more than %.0f%%\n", regressed, *tolerance)
+			os.Exit(1)
+		}
+		return
+	}
 
 	src := io.Reader(os.Stdin)
 	if *in != "" {
@@ -85,6 +120,78 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(doc.Results), *out)
+}
+
+// load reads one emitted BENCH_*.json document back.
+func load(path string) (*File, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	doc := &File{}
+	if err := json.Unmarshal(raw, doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc, nil
+}
+
+// key identifies one benchmark across files (sub-benchmark path plus the
+// -procs suffix the parser split off).
+func key(r Result) string { return fmt.Sprintf("%s-%d", r.Name, r.Procs) }
+
+// Compare renders a markdown delta table of the ns/op metric between two
+// documents and counts how many benchmarks slowed down by more than
+// tolerance percent. Benchmarks present in only one file are listed but
+// never count as regressions (the roster legitimately grows per PR).
+func Compare(oldDoc, newDoc *File, tolerance float64) (report string, regressed int) {
+	oldBy := make(map[string]Result, len(oldDoc.Results))
+	for _, r := range oldDoc.Results {
+		oldBy[key(r)] = r
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "### Benchmark delta (ns/op, tolerance %.0f%%)\n\n", tolerance)
+	b.WriteString("| benchmark | old ns/op | new ns/op | delta |\n|---|---:|---:|---:|\n")
+	matched := make(map[string]bool)
+	for _, nr := range newDoc.Results {
+		k := key(nr)
+		or, ok := oldBy[k]
+		nv, hasNew := nr.Metrics["ns/op"]
+		if !hasNew {
+			continue
+		}
+		if !ok {
+			fmt.Fprintf(&b, "| %s | — | %.1f | new |\n", nr.Name, nv)
+			continue
+		}
+		matched[k] = true
+		ov := or.Metrics["ns/op"]
+		if ov == 0 {
+			continue
+		}
+		delta := (nv - ov) / ov * 100
+		mark := ""
+		if delta > tolerance {
+			regressed++
+			mark = " ⚠️"
+		}
+		fmt.Fprintf(&b, "| %s | %.1f | %.1f | %+.1f%%%s |\n", nr.Name, ov, nv, delta, mark)
+	}
+	var dropped []string
+	for k, r := range oldBy {
+		if !matched[k] {
+			dropped = append(dropped, r.Name)
+		}
+	}
+	sort.Strings(dropped)
+	for _, name := range dropped {
+		fmt.Fprintf(&b, "| %s | (baseline only) | — | gone |\n", name)
+	}
+	if regressed > 0 {
+		fmt.Fprintf(&b, "\n**%d benchmark(s) regressed beyond the %.0f%% tolerance.**\n", regressed, tolerance)
+	} else {
+		fmt.Fprintf(&b, "\nNo regressions beyond the %.0f%% tolerance.\n", tolerance)
+	}
+	return b.String(), regressed
 }
 
 // Parse reads `go test -bench` output and collects the header context and

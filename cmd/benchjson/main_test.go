@@ -1,6 +1,7 @@
 package main
 
 import (
+	"sort"
 	"strings"
 	"testing"
 )
@@ -53,6 +54,69 @@ func TestParse(t *testing.T) {
 	r = doc.Results[2]
 	if r.Metrics["tx/run"] != 327.0 {
 		t.Fatalf("result 2 metrics = %v", r.Metrics)
+	}
+}
+
+// mkFile builds a File with one ns/op result per (name, value) pair.
+func mkFile(entries map[string]float64) *File {
+	doc := &File{}
+	names := make([]string, 0, len(entries))
+	for name := range entries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		doc.Results = append(doc.Results, Result{
+			Name: name, Procs: 1, Iterations: 1,
+			Metrics: map[string]float64{"ns/op": entries[name]},
+		})
+	}
+	return doc
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	oldDoc := mkFile(map[string]float64{"a": 100, "b": 100, "c": 100, "gone": 50})
+	newDoc := mkFile(map[string]float64{"a": 110, "b": 130, "c": 90, "fresh": 42})
+	report, regressed := Compare(oldDoc, newDoc, 25)
+	if regressed != 1 {
+		t.Fatalf("regressed = %d, want 1 (only b is >25%% slower)\n%s", regressed, report)
+	}
+	for _, want := range []string{
+		"| a | 100.0 | 110.0 | +10.0% |",
+		"| b | 100.0 | 130.0 | +30.0% ⚠️ |",
+		"| c | 100.0 | 90.0 | -10.0% |",
+		"| fresh | — | 42.0 | new |",
+		"| gone | (baseline only) | — | gone |",
+	} {
+		if !strings.Contains(report, want) {
+			t.Fatalf("report missing %q:\n%s", want, report)
+		}
+	}
+}
+
+func TestCompareCleanRun(t *testing.T) {
+	doc := mkFile(map[string]float64{"a": 100, "b": 250})
+	report, regressed := Compare(doc, mkFile(map[string]float64{"a": 100, "b": 250}), 25)
+	if regressed != 0 {
+		t.Fatalf("identical files regressed = %d\n%s", regressed, report)
+	}
+	if !strings.Contains(report, "No regressions") {
+		t.Fatalf("report missing all-clear line:\n%s", report)
+	}
+}
+
+func TestCompareProcsDistinguished(t *testing.T) {
+	oldDoc := &File{Results: []Result{
+		{Name: "x", Procs: 1, Iterations: 1, Metrics: map[string]float64{"ns/op": 100}},
+		{Name: "x", Procs: 8, Iterations: 1, Metrics: map[string]float64{"ns/op": 200}},
+	}}
+	newDoc := &File{Results: []Result{
+		{Name: "x", Procs: 1, Iterations: 1, Metrics: map[string]float64{"ns/op": 100}},
+		{Name: "x", Procs: 8, Iterations: 1, Metrics: map[string]float64{"ns/op": 300}},
+	}}
+	_, regressed := Compare(oldDoc, newDoc, 25)
+	if regressed != 1 {
+		t.Fatalf("regressed = %d, want 1 (only the -8 variant slowed)", regressed)
 	}
 }
 

@@ -14,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 	"time"
 
 	"github.com/stamp-go/stamp"
@@ -100,6 +102,7 @@ func main() {
 		fmt.Printf("barriers     %d loads, %d stores (%d wasted in aborted attempts)\n",
 			res.Stats.Total.Loads, res.Stats.Total.Stores, res.Stats.Total.Wasted)
 		fmt.Printf("tx time      %.1f%% of thread time\n", res.TxTimeFraction()*100)
+		printBlocks(res.Stats)
 		if res.Verify != nil {
 			fmt.Printf("VERIFY       FAILED: %v\n", res.Verify)
 			failed = true
@@ -110,4 +113,48 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// printBlocks renders the per-block breakdown (the paper's per-region view:
+// which atomic call sites commit, abort, and how big their sets are), with
+// the protocol-residency split that shows where stm-adaptive ran each
+// block. Runs whose app predates block annotation print nothing extra.
+func printBlocks(st stamp.Stats) {
+	rows := st.Blocks()
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Printf("per block    %-28s %10s %9s %8s %8s  %s\n",
+		"BLOCK", "COMMITS", "ABORTS", "LOADS/TX", "STORES/TX", "PROTOCOL RESIDENCY")
+	for _, row := range rows {
+		fmt.Printf("             %-28s %10d %9d %8.1f %8.1f  %s\n",
+			row.Name, row.Commits, row.Aborts, row.MeanLoads(), row.MeanStores(),
+			formatResidency(row))
+	}
+}
+
+// formatResidency renders a block's commits-per-protocol split, largest
+// share first, collapsing the common single-protocol case to one name.
+func formatResidency(row stamp.BlockRow) string {
+	res := row.Residency()
+	if len(res) == 1 {
+		for proto := range res {
+			return proto
+		}
+	}
+	protos := make([]string, 0, len(res))
+	for proto := range res {
+		protos = append(protos, proto)
+	}
+	sort.Slice(protos, func(i, j int) bool {
+		if res[protos[i]] != res[protos[j]] {
+			return res[protos[i]] > res[protos[j]]
+		}
+		return protos[i] < protos[j]
+	})
+	parts := make([]string, len(protos))
+	for i, proto := range protos {
+		parts[i] = fmt.Sprintf("%s %.0f%%", proto, 100*float64(res[proto])/float64(row.Commits))
+	}
+	return strings.Join(parts, ", ")
 }

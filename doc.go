@@ -1,19 +1,24 @@
 // Package stamp is a from-scratch Go reproduction of STAMP — the Stanford
 // Transactional Applications for Multi-Processing benchmark suite (Cao Minh,
-// Chung, Kozyrakis, Olukotun; IISWC 2008) — together with nine
-// transactional-memory runtimes: the seven the paper evaluates plus two
-// NOrec STM variants that extend the comparison axis.
+// Chung, Kozyrakis, Olukotun; IISWC 2008) — together with ten
+// transactional-memory runtimes: the seven the paper evaluates, two NOrec
+// STM variants, and an adaptive meta-runtime that picks the protocol
+// online.
 //
 // The package exposes three layers:
 //
 //   - A portable transactional-memory API (System, Thread, Tx) over a
-//     word-addressed shared-memory Arena, with nine interchangeable
+//     word-addressed shared-memory Arena, with ten interchangeable
 //     runtimes: a sequential baseline, TL2-style lazy and eager STMs,
 //     NOrec STMs with value-based validation ("stm-norec", and
 //     "stm-norec-ro" with the read-only commit fast path), simulated
-//     TCC-style (lazy) and LogTM-style (eager) HTMs, and SigTM-style lazy
-//     and eager hybrids. TMSystems() stays the paper's six evaluated
-//     systems; Systems() lists everything registered.
+//     TCC-style (lazy) and LogTM-style (eager) HTMs, SigTM-style lazy
+//     and eager hybrids, and "stm-adaptive", which wraps two of the STMs
+//     (NOrec and TL2 by default, Config.AdaptiveRead/AdaptiveWrite) and
+//     switches between them online from sampled commit/abort and
+//     read/write-set signals, quiescing in-flight transactions at each
+//     handoff. TMSystems() stays the paper's six evaluated systems;
+//     Systems() lists everything registered.
 //   - A transactional container library (sorted list, FIFO queue, hash
 //     table, red-black tree, binary heap, vector, bitmap) that works both
 //     inside transactions and with the non-transactional Direct accessor.
@@ -31,6 +36,12 @@
 // -cm flag of the commands; leave it empty for each runtime's historical
 // default. Priority policies arbitrate at encounter-time conflict points;
 // per-policy delay and serialization counts are reported in Stats.
+//
+// Statistics can be attributed per atomic-block call site: register a site
+// with NewBlock and run it with Thread.AtomicAt, and Stats.Blocks() breaks
+// the run down into per-block commits, aborts, mean set sizes, and — under
+// stm-adaptive — the protocol residency of each block (the paper's
+// per-region view; cmd/stamp prints the table).
 //
 // Quick start:
 //

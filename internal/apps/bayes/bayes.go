@@ -19,6 +19,14 @@ import (
 	"github.com/stamp-go/stamp/internal/tm"
 )
 
+// Atomic-block call sites, registered once for per-block statistics
+// attribution (tm.Stats.Blocks) and adaptive protocol selection.
+var (
+	blkPopTask  = tm.NewBlock("bayes/pop-task")
+	blkLearn    = tm.NewBlock("bayes/learn-edge")
+	blkPushTask = tm.NewBlock("bayes/push-task")
+)
+
 // Config mirrors the Table IV arguments: -v (variables), -r (records),
 // -n/-p (parent structure of the generating network), -i (edge insert
 // penalty), -e (max edges learned per variable).
@@ -213,7 +221,7 @@ func (a *App) Run(sys tm.System, team *thread.Team) {
 		for {
 			var task uint64
 			have := false
-			th.Atomic(func(tx tm.Tx) {
+			th.AtomicAt(blkPopTask, func(tx tm.Tx) {
 				task, have = a.tasks.Pop(tx)
 			})
 			if !have {
@@ -221,7 +229,7 @@ func (a *App) Run(sys tm.System, team *thread.Team) {
 			}
 			y := int(task)
 			inserted := false
-			th.Atomic(func(tx tm.Tx) {
+			th.AtomicAt(blkLearn, func(tx tm.Tx) {
 				inserted = false
 				// adtree reads: implicitly tracked on HTMs, uninstrumented
 				// on software systems (the original code has no barriers on
@@ -269,7 +277,7 @@ func (a *App) Run(sys tm.System, team *thread.Team) {
 			})
 			if inserted {
 				// More edges may be learnable for this variable.
-				th.Atomic(func(tx tm.Tx) {
+				th.AtomicAt(blkPushTask, func(tx tm.Tx) {
 					a.tasks.Push(tx, uint64(y))
 				})
 			}

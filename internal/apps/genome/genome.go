@@ -18,6 +18,14 @@ import (
 	"github.com/stamp-go/stamp/internal/tm"
 )
 
+// Atomic-block call sites, registered once for per-block statistics
+// attribution (tm.Stats.Blocks) and adaptive protocol selection.
+var (
+	blkDedup   = tm.NewBlock("genome/dedup-insert")
+	blkPublish = tm.NewBlock("genome/publish-ends")
+	blkLink    = tm.NewBlock("genome/link-overlap")
+)
+
 // Config mirrors the Table IV arguments: -g (gene length), -s (segment
 // length), -n (segment count).
 type Config struct {
@@ -150,7 +158,7 @@ func (a *App) Run(sys tm.System, team *thread.Team) {
 			i := i
 			h := hash64(a.segments[i])
 			inserted := false
-			th.Atomic(func(tx tm.Tx) {
+			th.AtomicAt(blkDedup, func(tx tm.Tx) {
 				inserted = a.dedup.Insert(tx, h, uint64(i))
 			})
 			if inserted {
@@ -200,7 +208,7 @@ func (a *App) Run(sys tm.System, team *thread.Team) {
 			for s := ulo; s < uhi; s++ {
 				slot := a.links + mem.Addr(linkWords*s)
 				sufHash := sufs[s-ulo].hash()
-				th.Atomic(func(tx tm.Tx) {
+				th.AtomicAt(blkPublish, func(tx tm.Tx) {
 					if tx.Load(slot+linkEnd) != 0 {
 						return // already matched at a longer overlap
 					}
@@ -213,7 +221,7 @@ func (a *App) Run(sys tm.System, team *thread.Team) {
 				seg := a.segments[a.unique[s]]
 				slot := a.links + mem.Addr(linkWords*s)
 				preHash := prefs[s-ulo].hash()
-				th.Atomic(func(tx tm.Tx) {
+				th.AtomicAt(blkLink, func(tx tm.Tx) {
 					if tx.Load(slot+linkStart) != 0 {
 						return
 					}

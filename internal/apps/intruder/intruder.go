@@ -20,6 +20,14 @@ import (
 	"github.com/stamp-go/stamp/internal/tm"
 )
 
+// Atomic-block call sites, registered once for per-block statistics
+// attribution (tm.Stats.Blocks) and adaptive protocol selection.
+var (
+	blkCapture    = tm.NewBlock("intruder/capture")
+	blkReassembly = tm.NewBlock("intruder/reassembly")
+	blkFlag       = tm.NewBlock("intruder/flag-attack")
+)
+
 // Config mirrors the Table IV arguments: -a (% flows with attacks),
 // -l (max packets per flow), -n (flow count), -s (seed).
 type Config struct {
@@ -160,7 +168,7 @@ func (a *App) Run(sys tm.System, team *thread.Team) {
 		for {
 			// Phase 1: capture (one transaction).
 			pktIdx := -1
-			th.Atomic(func(tx tm.Tx) {
+			th.AtomicAt(blkCapture, func(tx tm.Tx) {
 				pktIdx = -1
 				if v, ok := a.capture.Pop(tx); ok {
 					pktIdx = int(v)
@@ -174,7 +182,7 @@ func (a *App) Run(sys tm.System, team *thread.Team) {
 			// Phase 2: reassembly (one transaction). If the fragment
 			// completes its session, collect the fragment list for decoding.
 			var completed []int // packet indices in fragment order
-			th.Atomic(func(tx tm.Tx) {
+			th.AtomicAt(blkReassembly, func(tx tm.Tx) {
 				completed = completed[:0]
 				sesA, ok := a.sessions.Get(tx, uint64(pkt.flow))
 				var ses mem.Addr
@@ -215,7 +223,7 @@ func (a *App) Run(sys tm.System, team *thread.Team) {
 			a.reassembled[tid] = append(a.reassembled[tid], flowResult{flow: pkt.flow, content: content})
 			if a.detector.Match(content) {
 				flow := pkt.flow
-				th.Atomic(func(tx tm.Tx) {
+				th.AtomicAt(blkFlag, func(tx tm.Tx) {
 					a.detected.Insert(tx, uint64(flow), 1)
 				})
 			}

@@ -16,6 +16,12 @@ import (
 	"github.com/stamp-go/stamp/internal/tm"
 )
 
+// Atomic-block call sites, registered once for per-block statistics
+// attribution (tm.Stats.Blocks) and adaptive protocol selection.
+var (
+	blkCenter = tm.NewBlock("kmeans/center-update")
+)
+
 // Config mirrors the Table IV arguments: -m/-n (min/max clusters),
 // -t (convergence threshold), and the generated input
 // random-nPOINTS-dDIMS-cCENTERS.
@@ -144,7 +150,7 @@ func (a *App) runOnce(sys tm.System, team *thread.Team, k int) {
 				p := p
 				// The transaction of the paper: update the shared center
 				// accumulator for the chosen cluster.
-				th.Atomic(func(tx tm.Tx) {
+				th.AtomicAt(blkCenter, func(tx tm.Tx) {
 					row := a.accAddr(best)
 					for j := 0; j < d; j++ {
 						addr := row + mem.Addr(j)

@@ -24,6 +24,13 @@ import (
 	"github.com/stamp-go/stamp/internal/tm"
 )
 
+// Atomic-block call sites, registered once for per-block statistics
+// attribution (tm.Stats.Blocks) and adaptive protocol selection.
+var (
+	blkPopJob = tm.NewBlock("labyrinth/pop-job")
+	blkRoute  = tm.NewBlock("labyrinth/route-path")
+)
+
 // Config mirrors the Table IV arguments: the maze dimensions x, y, z and the
 // number of paths n.
 type Config struct {
@@ -156,7 +163,7 @@ func (a *App) Run(sys tm.System, team *thread.Team) {
 		for {
 			var job uint64
 			have := false
-			th.Atomic(func(tx tm.Tx) {
+			th.AtomicAt(blkPopJob, func(tx tm.Tx) {
 				job, have = a.workQ.Pop(tx)
 			})
 			if !have {
@@ -167,7 +174,7 @@ func (a *App) Run(sys tm.System, team *thread.Team) {
 			pathID := -1
 			var path []int32
 
-			th.Atomic(func(tx tm.Tx) {
+			th.AtomicAt(blkRoute, func(tx tm.Tx) {
 				path = path[:0]
 				// Privatize the grid ("a per-thread copy of the grid is
 				// created and used for the route calculation").

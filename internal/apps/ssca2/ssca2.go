@@ -17,6 +17,13 @@ import (
 	"github.com/stamp-go/stamp/internal/tm"
 )
 
+// Atomic-block call sites, registered once for per-block statistics
+// attribution (tm.Stats.Blocks) and adaptive protocol selection.
+var (
+	blkDegree = tm.NewBlock("ssca2/degree-count")
+	blkPlace  = tm.NewBlock("ssca2/adj-place")
+)
+
 // Config mirrors the Table IV arguments: -s (2^s nodes), -i/-u (inter-clique
 // and unidirectional edge probabilities), -l (max path length, a generator
 // detail), -p (max parallel edges).
@@ -142,7 +149,7 @@ func (a *App) Run(sys tm.System, team *thread.Team) {
 		// Phase A: transactional out-degree counting.
 		for e := lo; e < hi; e++ {
 			u := mem.Addr(a.src[e])
-			th.Atomic(func(tx tm.Tx) {
+			th.AtomicAt(blkDegree, func(tx tm.Tx) {
 				d := a.degBase + u
 				tx.Store(d, tx.Load(d)+1)
 			})
@@ -164,7 +171,7 @@ func (a *App) Run(sys tm.System, team *thread.Team) {
 			u := mem.Addr(a.src[e])
 			v := uint64(a.dst[e])
 			w := uint64(a.weights[e])
-			th.Atomic(func(tx tm.Tx) {
+			th.AtomicAt(blkPlace, func(tx tm.Tx) {
 				cur := tx.Load(a.curBase + u)
 				tx.Store(a.curBase+u, cur+1)
 				pos := mem.Addr(tx.Load(a.idxBase+u) + cur)

@@ -18,6 +18,14 @@ import (
 	"github.com/stamp-go/stamp/internal/tm"
 )
 
+// Atomic-block call sites, registered once for per-block statistics
+// attribution (tm.Stats.Blocks) and adaptive protocol selection.
+var (
+	blkReserve = tm.NewBlock("vacation/make-reservation")
+	blkDelete  = tm.NewBlock("vacation/delete-customer")
+	blkUpdate  = tm.NewBlock("vacation/update-tables")
+)
+
 // Config mirrors the Table IV arguments.
 type Config struct {
 	QueriesPerTx int // -n: items examined per session
@@ -195,7 +203,7 @@ func (a *App) Run(sys tm.System, team *thread.Team) {
 // customer, inserting the customer if needed — the original's
 // CLIENT_DO_MAKE_RESERVATION in one transaction.
 func (a *App) makeReservation(th tm.Thread, ses *session) {
-	th.Atomic(func(tx tm.Tx) {
+	th.AtomicAt(blkReserve, func(tx tm.Tx) {
 		var bestID [numTypes]int
 		var bestPrice [numTypes]int64
 		for t := range bestPrice {
@@ -248,7 +256,7 @@ func (a *App) makeReservation(th tm.Thread, ses *session) {
 // deleteCustomer releases all of a customer's reservations and removes the
 // customer — one transaction.
 func (a *App) deleteCustomer(th tm.Thread, ses *session) {
-	th.Atomic(func(tx tm.Tx) {
+	th.AtomicAt(blkDelete, func(tx tm.Tx) {
 		custA, ok := a.customers.Get(tx, uint64(ses.cust))
 		if !ok {
 			return
@@ -271,7 +279,7 @@ func (a *App) deleteCustomer(th tm.Thread, ses *session) {
 // updateTables grows or shrinks the inventory — the original's
 // CLIENT_DO_UPDATE_TABLES in one transaction.
 func (a *App) updateTables(th tm.Thread, ses *session) {
-	th.Atomic(func(tx tm.Tx) {
+	th.AtomicAt(blkUpdate, func(tx tm.Tx) {
 		for _, it := range ses.items {
 			recA, ok := a.tables[it.typ].Get(tx, uint64(it.id))
 			if it.add {

@@ -20,6 +20,13 @@ import (
 	"github.com/stamp-go/stamp/internal/tm"
 )
 
+// Atomic-block call sites, registered once for per-block statistics
+// attribution (tm.Stats.Blocks) and adaptive protocol selection.
+var (
+	blkPopWork = tm.NewBlock("yada/pop-work")
+	blkRefine  = tm.NewBlock("yada/refine")
+)
+
 // Config mirrors the Table IV arguments: -a (minimum angle) and the input
 // mesh, which we generate: Elements approximates the element count of the
 // original input files (633.2 has 1264, ttimeu10000.2 has 19998).
@@ -164,7 +171,7 @@ func (a *App) Run(sys tm.System, team *thread.Team) {
 			inflight.Add(1)
 			var triAddr mem.Addr
 			have := false
-			th.Atomic(func(tx tm.Tx) {
+			th.AtomicAt(blkPopWork, func(tx tm.Tx) {
 				_, v, ok := a.ms.work.Pop(tx)
 				have = ok
 				triAddr = mem.Addr(v)
@@ -193,7 +200,7 @@ func (a *App) refine(th tm.Thread, tid int, triAddr mem.Addr) {
 	}
 	var producedAddrs []mem.Addr
 
-	th.Atomic(func(tx tm.Tx) {
+	th.AtomicAt(blkRefine, func(tx tm.Tx) {
 		producedAddrs = producedAddrs[:0]
 		ms := &a.ms
 		if !ms.alive(tx, triAddr) {

@@ -35,6 +35,10 @@ type Result struct {
 // RetriesPerTx is a convenience accessor.
 func (r Result) RetriesPerTx() float64 { return r.Stats.RetriesPerTx() }
 
+// Blocks is the per-block breakdown of the run (one row per annotated
+// atomic-block call site, with protocol residency — see tm.NewBlock).
+func (r Result) Blocks() []tm.BlockRow { return r.Stats.Blocks() }
+
 // TxTimeFraction estimates the share of execution time spent inside
 // transactions: summed per-thread transaction wall time over total thread
 // time (threads × region wall time).

@@ -1,0 +1,204 @@
+// Integration tests for the stm-adaptive meta-runtime. They live in an
+// external test package so they can build systems through the factory
+// (which imports this package to register stm-adaptive).
+package adaptive_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"github.com/stamp-go/stamp/internal/mem"
+	"github.com/stamp-go/stamp/internal/thread"
+	"github.com/stamp-go/stamp/internal/tm"
+	"github.com/stamp-go/stamp/internal/tm/adaptive"
+	"github.com/stamp-go/stamp/internal/tm/factory"
+)
+
+func newAdaptive(t *testing.T, cfg tm.Config) *adaptive.System {
+	t.Helper()
+	sys, err := factory.New("stm-adaptive", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys.(*adaptive.System)
+}
+
+// TestDelegateValidation pins the constructor's rejections: self-nesting,
+// the sequential baseline, identical delegates, unknown names.
+func TestDelegateValidation(t *testing.T) {
+	arena := mem.NewArena(1 << 8)
+	base := tm.Config{Arena: arena, Threads: 2}
+	for _, c := range []struct {
+		name string
+		cfg  tm.Config
+	}{
+		{"self-nesting", tm.Config{Arena: arena, Threads: 2, AdaptiveRead: "stm-adaptive"}},
+		{"seq-delegate", tm.Config{Arena: arena, Threads: 2, AdaptiveWrite: "seq"}},
+		{"identical", tm.Config{Arena: arena, Threads: 2, AdaptiveRead: "stm-lazy", AdaptiveWrite: "stm-lazy"}},
+		{"unknown", tm.Config{Arena: arena, Threads: 2, AdaptiveRead: "stm-nope"}},
+	} {
+		if _, err := factory.New("stm-adaptive", c.cfg); err == nil {
+			t.Errorf("%s: factory.New accepted %+v", c.name, c.cfg)
+		}
+	}
+	sys := newAdaptive(t, base)
+	if read, write := sys.Delegates(); read != "stm-norec-ro" || write != "stm-lazy" {
+		t.Fatalf("default delegates = %s, %s", read, write)
+	}
+	if cur := sys.Current(); cur != "stm-norec-ro" {
+		t.Fatalf("initial protocol = %s, want the read delegate", cur)
+	}
+}
+
+// TestForcedHandoffNoLostUpdates is the switch-correctness test: a team of
+// workers increments shared counters while another goroutine forces
+// protocol handoffs the whole time, so transactions commit under both
+// delegates with many quiesce points in between. Every increment must
+// survive (no lost updates across a handoff) and the per-block statistics
+// must add up: block commits equal the expected count, and the residency
+// split sums to it while naming both protocols.
+func TestForcedHandoffNoLostUpdates(t *testing.T) {
+	const (
+		threads = 8
+		perT    = 3000
+		cells   = 16
+	)
+	blk := tm.NewBlock("adaptive-test/increment")
+	arena := mem.NewArena(1 << 10)
+	base := arena.Alloc(cells)
+	sys := newAdaptive(t, tm.Config{
+		Arena: arena, Threads: threads,
+		// A huge window keeps the sampling policy quiet so the forced
+		// handoffs fully control the protocol schedule.
+		AdaptiveWindow: 1 << 30,
+	})
+	read, write := sys.Delegates()
+
+	// Worker 0 forces a handoff between its own blocks every flipEvery
+	// commits, so every switch quiesces the other workers' in-flight
+	// transactions. Progress-driven (not a timer goroutine) so the flip
+	// schedule — and commits under both protocols — survives any
+	// scheduling, including race-detector runs on a single CPU.
+	const flipEvery = 256
+	var forceErr atomic.Value
+	team := thread.NewTeam(threads)
+	team.Run(func(tid int) {
+		th := sys.Thread(tid)
+		for i := 0; i < perT; i++ {
+			if tid == 0 && i%flipEvery == 0 {
+				target := read
+				if (i/flipEvery)%2 == 0 {
+					target = write
+				}
+				if err := sys.ForceMode(target); err != nil {
+					forceErr.Store(err)
+					return
+				}
+			}
+			a := base + mem.Addr((tid+i)%cells)
+			th.AtomicAt(blk, func(tx tm.Tx) {
+				tx.Store(a, tx.Load(a)+1)
+			})
+		}
+	})
+	if err := forceErr.Load(); err != nil {
+		t.Fatalf("ForceMode: %v", err)
+	}
+
+	var sum uint64
+	for i := 0; i < cells; i++ {
+		sum += arena.Load(base + mem.Addr(i))
+	}
+	if sum != threads*perT {
+		t.Fatalf("lost updates across handoffs: counters sum to %d, want %d", sum, threads*perT)
+	}
+	if sys.Switches() == 0 {
+		t.Fatal("no handoff happened; the test exercised nothing")
+	}
+
+	st := sys.Stats()
+	if st.Total.Commits != threads*perT {
+		t.Fatalf("commits = %d, want %d", st.Total.Commits, threads*perT)
+	}
+	rows := st.Blocks()
+	var row *tm.BlockRow
+	for i := range rows {
+		if rows[i].Name == "adaptive-test/increment" {
+			row = &rows[i]
+		}
+	}
+	if row == nil {
+		t.Fatalf("per-block stats have no row for the annotated block: %+v", rows)
+	}
+	if row.Commits != threads*perT {
+		t.Fatalf("block commits = %d, want %d", row.Commits, threads*perT)
+	}
+	res := row.Residency()
+	var residency uint64
+	for _, n := range res {
+		residency += n
+	}
+	if residency != row.Commits {
+		t.Fatalf("residency sums to %d, want %d (%v)", residency, row.Commits, res)
+	}
+	if res[read] == 0 || res[write] == 0 {
+		t.Fatalf("expected commits under both protocols, got %v", res)
+	}
+	// Each committed attempt did one read and one write barrier.
+	if row.Loads != row.Commits || row.Stores != row.Commits {
+		t.Fatalf("block barriers = %d loads / %d stores, want %d each",
+			row.Loads, row.Stores, row.Commits)
+	}
+}
+
+// TestPolicySwitchesOnline drives the sampling policy itself: a write-heavy
+// phase must move the runtime onto the write delegate, and a following
+// read-dominated phase must bring it back — protocol residency following
+// the phases of one workload, which is the point of the meta-runtime.
+func TestPolicySwitchesOnline(t *testing.T) {
+	const threads = 4
+	arena := mem.NewArena(1 << 12)
+	cells := arena.Alloc(1 << 8)
+	sys := newAdaptive(t, tm.Config{
+		Arena: arena, Threads: threads,
+		AdaptiveWindow: 64, AdaptiveHysteresis: 2,
+	})
+	read, write := sys.Delegates()
+	team := thread.NewTeam(threads)
+
+	// Write-heavy phase: every transaction stores as much as it loads.
+	team.Run(func(tid int) {
+		th := sys.Thread(tid)
+		for i := 0; i < 4000; i++ {
+			th.Atomic(func(tx tm.Tx) {
+				for k := 0; k < 4; k++ {
+					a := cells + mem.Addr((tid*61+i*7+k)%(1<<8))
+					tx.Store(a, tx.Load(a)+1)
+				}
+			})
+		}
+	})
+	if cur := sys.Current(); cur != write {
+		t.Fatalf("after write-heavy phase the protocol is %s, want %s", cur, write)
+	}
+
+	// Read-dominated phase: pure readers.
+	team.Run(func(tid int) {
+		th := sys.Thread(tid)
+		var sink uint64
+		for i := 0; i < 4000; i++ {
+			th.Atomic(func(tx tm.Tx) {
+				for k := 0; k < 8; k++ {
+					sink += tx.Load(cells + mem.Addr((tid*31+i*5+k)%(1<<8)))
+				}
+			})
+		}
+		_ = sink
+	})
+	if cur := sys.Current(); cur != read {
+		t.Fatalf("after read-dominated phase the protocol is %s, want %s", cur, read)
+	}
+	if sys.Switches() < 2 {
+		t.Fatalf("switches = %d, want at least the two phase handoffs", sys.Switches())
+	}
+}

@@ -1,0 +1,35 @@
+package adaptive
+
+import "testing"
+
+// TestDesire pins the selection policy's decision table: thread-count
+// prior, write-heavy and read-dominated bands, the dead band keeping the
+// current mode, and the abort-rate escape hatch.
+func TestDesire(t *testing.T) {
+	cases := []struct {
+		name                           string
+		cur                            int32
+		threads                        int
+		commits, aborts, loads, stores uint64
+		want                           int32
+	}{
+		{"low-threads-never-write", modeRead, 2, 100, 90, 100, 900, modeRead},
+		{"low-threads-forces-read", modeWrite, 2, 100, 0, 100, 900, modeRead},
+		{"write-heavy", modeRead, 8, 100, 0, 800, 200, modeWrite},
+		{"read-dominated", modeWrite, 8, 100, 0, 1000, 10, modeRead},
+		{"dead-band-keeps-read", modeRead, 8, 100, 0, 900, 100, modeRead},
+		{"dead-band-keeps-write", modeWrite, 8, 100, 0, 900, 100, modeWrite},
+		{"aborts-with-writes-select-write", modeRead, 8, 70, 30, 900, 100, modeWrite},
+		{"aborts-pure-read-stay-read", modeRead, 8, 70, 30, 1000, 0, modeRead},
+		{"empty-window-keeps-current", modeWrite, 8, 0, 0, 0, 0, modeWrite},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := desire(c.cur, c.threads, c.commits, c.aborts, c.loads, c.stores)
+			if got != c.want {
+				t.Fatalf("desire(cur=%d threads=%d c=%d a=%d l=%d s=%d) = %d, want %d",
+					c.cur, c.threads, c.commits, c.aborts, c.loads, c.stores, got, c.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,65 @@
+package tm
+
+import "sync"
+
+// BlockID identifies one atomic-block call site for per-block statistics
+// attribution (the paper's per-region breakdowns: genome's phases, the
+// vacation action mix, ...). Call sites obtain a stable ID once with
+// NewBlock and pass it to Thread.AtomicAt; plain Thread.Atomic attributes
+// to NoBlock. IDs are also the sensing granularity of the stm-adaptive
+// meta-runtime, which reads per-block commit/abort and set-size signals off
+// these records.
+type BlockID int32
+
+// NoBlock is the pre-registered ID every unattributed atomic block is
+// accounted under, so per-block totals always sum to the aggregate counts.
+const NoBlock BlockID = 0
+
+// noBlockName is NoBlock's registry entry.
+const noBlockName = "(unattributed)"
+
+var blockReg = struct {
+	sync.RWMutex
+	ids   map[string]BlockID
+	names []string
+}{
+	ids:   map[string]BlockID{noBlockName: NoBlock},
+	names: []string{noBlockName},
+}
+
+// NewBlock registers an atomic-block call site under a stable name
+// (conventionally "app/phase", e.g. "genome/dedup") and returns its ID.
+// Registration is idempotent: the same name always yields the same ID, so
+// package-level block variables stay stable across repeated app
+// constructions and test runs.
+func NewBlock(name string) BlockID {
+	if name == "" {
+		return NoBlock
+	}
+	blockReg.Lock()
+	defer blockReg.Unlock()
+	if id, ok := blockReg.ids[name]; ok {
+		return id
+	}
+	id := BlockID(len(blockReg.names))
+	blockReg.ids[name] = id
+	blockReg.names = append(blockReg.names, name)
+	return id
+}
+
+// BlockName returns the registered name of id ("" for an unknown ID).
+func BlockName(id BlockID) string {
+	blockReg.RLock()
+	defer blockReg.RUnlock()
+	if id < 0 || int(id) >= len(blockReg.names) {
+		return ""
+	}
+	return blockReg.names[id]
+}
+
+// NumBlocks returns how many block IDs are registered (including NoBlock).
+func NumBlocks() int {
+	blockReg.RLock()
+	defer blockReg.RUnlock()
+	return len(blockReg.names)
+}

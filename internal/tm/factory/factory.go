@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"github.com/stamp-go/stamp/internal/tm"
+	"github.com/stamp-go/stamp/internal/tm/adaptive"
 	"github.com/stamp-go/stamp/internal/tm/htmsim"
 	"github.com/stamp-go/stamp/internal/tm/hybrid"
 	"github.com/stamp-go/stamp/internal/tm/norec"
@@ -24,6 +25,25 @@ var constructors = map[string]func(tm.Config) (tm.System, error){
 	"htm-eager":    func(c tm.Config) (tm.System, error) { return htmsim.NewEager(c) },
 	"hybrid-lazy":  func(c tm.Config) (tm.System, error) { return hybrid.NewLazy(c) },
 	"hybrid-eager": func(c tm.Config) (tm.System, error) { return hybrid.NewEager(c) },
+}
+
+// stm-adaptive is registered in init: its constructor closes over New (to
+// build delegates by name), which would be an initialization cycle in the
+// map literal above.
+func init() {
+	constructors["stm-adaptive"] = func(c tm.Config) (tm.System, error) {
+		return adaptive.New(c, newDelegate)
+	}
+}
+
+// newDelegate constructs a delegate runtime for the adaptive meta-runtime:
+// any registered concurrent system except stm-adaptive itself (no
+// self-nesting) and seq (no concurrency control to delegate to).
+func newDelegate(name string, cfg tm.Config) (tm.System, error) {
+	if name == "stm-adaptive" || name == "seq" {
+		return nil, fmt.Errorf("factory: %q cannot be an adaptive delegate", name)
+	}
+	return New(name, cfg)
 }
 
 // New constructs the named TM system.

@@ -93,7 +93,9 @@ type eagerThread struct {
 func (t *eagerThread) ID() int                { return t.id }
 func (t *eagerThread) Stats() *tm.ThreadStats { return &t.stats }
 
-func (t *eagerThread) Atomic(fn func(tm.Tx)) {
+func (t *eagerThread) Atomic(fn func(tm.Tx)) { t.AtomicAt(tm.NoBlock, fn) }
+
+func (t *eagerThread) AtomicAt(b tm.BlockID, fn func(tm.Tx)) {
 	t.timer.BeginBlock()
 	t.stats.Starts++
 	t.cm.OnStart()
@@ -114,6 +116,7 @@ func (t *eagerThread) Atomic(fn func(tm.Tx)) {
 	}
 	t.cm.OnCommit()
 	t.stats.Commits++
+	t.stats.RecordBlock(b, "htm-eager", uint64(aborts), t.tx.loads, t.tx.stores)
 	t.stats.Loads += t.tx.loads
 	t.stats.Stores += t.tx.stores
 	t.stats.LoadsHist.Add(int(t.tx.loads))

@@ -99,7 +99,9 @@ type lazyThread struct {
 func (t *lazyThread) ID() int                { return t.id }
 func (t *lazyThread) Stats() *tm.ThreadStats { return &t.stats }
 
-func (t *lazyThread) Atomic(fn func(tm.Tx)) {
+func (t *lazyThread) Atomic(fn func(tm.Tx)) { t.AtomicAt(tm.NoBlock, fn) }
+
+func (t *lazyThread) AtomicAt(b tm.BlockID, fn func(tm.Tx)) {
 	t.timer.BeginBlock()
 	t.stats.Starts++
 	t.cm.OnStart()
@@ -121,6 +123,7 @@ func (t *lazyThread) Atomic(fn func(tm.Tx)) {
 	}
 	t.cm.OnCommit()
 	t.stats.Commits++
+	t.stats.RecordBlock(b, "htm-lazy", uint64(aborts), t.tx.loads, t.tx.stores)
 	t.stats.Loads += t.tx.loads
 	t.stats.Stores += t.tx.stores
 	t.stats.LoadsHist.Add(int(t.tx.loads))

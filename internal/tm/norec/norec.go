@@ -274,7 +274,9 @@ type norecThread struct {
 func (t *norecThread) ID() int                { return t.id }
 func (t *norecThread) Stats() *tm.ThreadStats { return &t.stats }
 
-func (t *norecThread) Atomic(fn func(tm.Tx)) {
+func (t *norecThread) Atomic(fn func(tm.Tx)) { t.AtomicAt(tm.NoBlock, fn) }
+
+func (t *norecThread) AtomicAt(b tm.BlockID, fn func(tm.Tx)) {
 	t.timer.BeginBlock()
 	t.stats.Starts++
 	t.cm.OnStart()
@@ -294,6 +296,7 @@ func (t *norecThread) Atomic(fn func(tm.Tx)) {
 	}
 	t.cm.OnCommit()
 	t.stats.Commits++
+	t.stats.RecordBlock(b, t.sys.name, uint64(aborts), t.tx.loads, t.tx.stores)
 	t.stats.Loads += t.tx.loads
 	t.stats.Stores += t.tx.stores
 	t.stats.LoadsHist.Add(int(t.tx.loads))

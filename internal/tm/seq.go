@@ -70,9 +70,12 @@ type seqThread struct {
 func (t *seqThread) ID() int             { return t.id }
 func (t *seqThread) Stats() *ThreadStats { return &t.stats }
 
-func (t *seqThread) Atomic(fn func(Tx)) {
+func (t *seqThread) Atomic(fn func(Tx)) { t.AtomicAt(NoBlock, fn) }
+
+func (t *seqThread) AtomicAt(b BlockID, fn func(Tx)) {
 	t.timer.BeginBlock()
 	t.stats.Starts++
+	aborts := uint64(0)
 	for {
 		t.tx.reset()
 		if Attempt(&t.tx, fn) {
@@ -81,9 +84,11 @@ func (t *seqThread) Atomic(fn func(Tx)) {
 		// Only a user Restart can get here; sequential code has no
 		// conflicts, so a restart loop would be an application bug, but we
 		// honor the retry semantics anyway.
+		aborts++
 		t.stats.Aborts++
 	}
 	t.stats.Commits++
+	t.stats.RecordBlock(b, "seq", aborts, t.tx.loads, t.tx.stores)
 	t.stats.Loads += t.tx.loads
 	t.stats.Stores += t.tx.stores
 	t.stats.LoadsHist.Add(int(t.tx.loads))

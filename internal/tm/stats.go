@@ -85,6 +85,89 @@ func (h *Hist) Merge(o *Hist) {
 	}
 }
 
+// BlockStats attributes transactional outcomes to one atomic-block call
+// site (see NewBlock / Thread.AtomicAt). Loads and Stores count the
+// barriers of committed attempts, so Loads/Commits and Stores/Commits are
+// the block's mean read- and write-set sizes in barrier terms (the same
+// convention as the aggregate LoadsHist/StoresHist means). Residency()
+// reports commits per runtime name: on a static runtime all under that
+// runtime's own name, while merged stm-adaptive records show how the
+// block's commits were split across the delegate protocols.
+type BlockStats struct {
+	Commits uint64
+	Aborts  uint64
+	Loads   uint64 // read barriers in committed attempts
+	Stores  uint64 // write barriers in committed attempts
+
+	// Protocol residency. A live per-thread record only ever sees its own
+	// runtime's name, so the hot path (RecordBlock, once per commit) is an
+	// inline pointer-equal string compare and an add — no map operation. A
+	// second protocol appears only when records are merged (stm-adaptive
+	// folding its two delegates together), which spills into the map.
+	proto        string
+	protoCommits uint64
+	spill        map[string]uint64
+}
+
+// addResidency credits n commits under proto (see the field comment for
+// why the single-protocol case stays off the map).
+func (b *BlockStats) addResidency(proto string, n uint64) {
+	switch {
+	case b.proto == proto:
+		b.protoCommits += n
+	case b.proto == "" && b.spill == nil:
+		b.proto, b.protoCommits = proto, n
+	default:
+		if b.spill == nil {
+			b.spill = make(map[string]uint64, 2)
+		}
+		b.spill[proto] += n
+	}
+}
+
+// Residency returns the block's commits per runtime name (a fresh map per
+// call).
+func (b *BlockStats) Residency() map[string]uint64 {
+	m := make(map[string]uint64, 1+len(b.spill))
+	if b.protoCommits != 0 {
+		m[b.proto] = b.protoCommits
+	}
+	for proto, n := range b.spill {
+		m[proto] += n
+	}
+	return m
+}
+
+// MeanLoads returns the block's mean read barriers per committed block.
+func (b BlockStats) MeanLoads() float64 {
+	if b.Commits == 0 {
+		return 0
+	}
+	return float64(b.Loads) / float64(b.Commits)
+}
+
+// MeanStores returns the block's mean write barriers per committed block.
+func (b BlockStats) MeanStores() float64 {
+	if b.Commits == 0 {
+		return 0
+	}
+	return float64(b.Stores) / float64(b.Commits)
+}
+
+// merge folds o into b.
+func (b *BlockStats) merge(o *BlockStats) {
+	b.Commits += o.Commits
+	b.Aborts += o.Aborts
+	b.Loads += o.Loads
+	b.Stores += o.Stores
+	if o.protoCommits != 0 {
+		b.addResidency(o.proto, o.protoCommits)
+	}
+	for proto, n := range o.spill {
+		b.addResidency(proto, n)
+	}
+}
+
 // ThreadStats accumulates one worker's transactional statistics. Workers
 // update their own record without synchronization; records are merged after
 // the team joins.
@@ -114,8 +197,39 @@ type ThreadStats struct {
 	ReadLinesHist  Hist // unique 32-byte lines read
 	WriteLinesHist Hist // unique 32-byte lines written
 
+	// Blocks attributes the counters above to atomic-block call sites,
+	// indexed by BlockID (grown on demand; see RecordBlock).
+	Blocks []BlockStats
+
 	_ [64]byte // pad against false sharing between worker slots
 }
+
+// RecordBlock attributes one committed atomic block to call site b: one
+// commit under runtime proto, the attempt's failed tries, and the committed
+// attempt's barrier counts. Runtimes call it once per completed Atomic /
+// AtomicAt, right where they bump the aggregate Commits counter.
+func (s *ThreadStats) RecordBlock(b BlockID, proto string, aborts, loads, stores uint64) {
+	if int(b) >= len(s.Blocks) {
+		n := NumBlocks()
+		if n <= int(b) {
+			n = int(b) + 1
+		}
+		grow := make([]BlockStats, n)
+		copy(grow, s.Blocks)
+		s.Blocks = grow
+	}
+	blk := &s.Blocks[b]
+	blk.Commits++
+	blk.Aborts += aborts
+	blk.Loads += loads
+	blk.Stores += stores
+	blk.addResidency(proto, 1)
+}
+
+// Merge folds o into s. It exists for aggregation across worker records
+// (and, in the adaptive meta-runtime, across delegate records); workers
+// never share a record during a run.
+func (s *ThreadStats) Merge(o *ThreadStats) { s.merge(o) }
 
 // merge folds o into s (used for aggregation only).
 func (s *ThreadStats) merge(o *ThreadStats) {
@@ -135,6 +249,14 @@ func (s *ThreadStats) merge(o *ThreadStats) {
 	s.StoresHist.Merge(&o.StoresHist)
 	s.ReadLinesHist.Merge(&o.ReadLinesHist)
 	s.WriteLinesHist.Merge(&o.WriteLinesHist)
+	if len(o.Blocks) > len(s.Blocks) {
+		grow := make([]BlockStats, len(o.Blocks))
+		copy(grow, s.Blocks)
+		s.Blocks = grow
+	}
+	for i := range o.Blocks {
+		s.Blocks[i].merge(&o.Blocks[i])
+	}
 }
 
 // Stats is the aggregate view over all worker slots of a system.
@@ -151,6 +273,29 @@ func Aggregate(per []*ThreadStats) Stats {
 		s.Total.merge(t)
 	}
 	return s
+}
+
+// BlockRow is one per-block line of a run report: the registered call-site
+// name plus its attributed counters.
+type BlockRow struct {
+	ID   BlockID
+	Name string
+	BlockStats
+}
+
+// Blocks returns the per-block breakdown of the run: one row per registered
+// call site with any committed blocks, in registry (registration) order.
+// Rows for NoBlock appear under "(unattributed)".
+func (s Stats) Blocks() []BlockRow {
+	var rows []BlockRow
+	for i := range s.Total.Blocks {
+		b := s.Total.Blocks[i]
+		if b.Commits == 0 && b.Aborts == 0 {
+			continue
+		}
+		rows = append(rows, BlockRow{ID: BlockID(i), Name: BlockName(BlockID(i)), BlockStats: b})
+	}
+	return rows
 }
 
 // RetriesPerTx returns mean aborts per committed transaction.

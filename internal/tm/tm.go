@@ -18,10 +18,15 @@
 //	              detection, requester loses, priority after 32 aborts, Bloom overflow)
 //	hybrid-lazy   simulated SigTM (software write buffer + hardware signatures)
 //	hybrid-eager  eager SigTM variant (software undo log + hardware signatures)
+//	stm-adaptive  meta-runtime wrapping two of the STMs above (NOrec with the
+//	              read-only fast path, and TL2 lazy, by default) and switching
+//	              between them online from sampled commit/abort and
+//	              read/write-set signals, with an epoch-based quiesce so no
+//	              transaction straddles a protocol handoff
 //
 // The paper's evaluation covers six of these (factory.TMNames()); the NOrec
-// runtimes extend the comparison axis beyond the paper and are selected
-// explicitly by name (factory.Names() lists everything registered).
+// and adaptive runtimes extend the comparison axis beyond the paper and are
+// selected explicitly by name (factory.Names() lists everything registered).
 //
 // Transactional data lives in a mem.Arena; Tx.Load and Tx.Store are the read
 // and write barriers. Conflicts abort the current attempt by panicking with
@@ -83,7 +88,11 @@ type Thread interface {
 	// ID returns the worker id in [0, System.NThreads()).
 	ID() int
 	// Atomic executes fn as one transaction, retrying until it commits.
+	// Statistics are attributed to NoBlock.
 	Atomic(fn func(Tx))
+	// AtomicAt is Atomic with the transaction attributed to the atomic-block
+	// call site b (see NewBlock) in the per-block statistics.
+	AtomicAt(b BlockID, fn func(Tx))
 	// Stats returns this worker's statistics record.
 	Stats() *ThreadStats
 }
@@ -156,6 +165,25 @@ type Config struct {
 	// default; this switch exists for ablations of the writeback wall.
 	NoCombine bool
 
+	// AdaptiveRead and AdaptiveWrite name the two delegate runtimes of the
+	// stm-adaptive meta-runtime: the protocol preferred in read-dominated /
+	// low-contention phases and the one preferred under write-heavy commit
+	// pressure. Defaults are "stm-norec-ro" (NOrec with the paper's
+	// read-only commit rule) and "stm-lazy" (TL2). Other runtimes ignore
+	// these fields.
+	AdaptiveRead  string
+	AdaptiveWrite string
+
+	// AdaptiveWindow is the number of committed blocks per stm-adaptive
+	// sampling window (default 128); at each window boundary the selection
+	// policy re-evaluates the sampled signals.
+	AdaptiveWindow int
+
+	// AdaptiveHysteresis is how many consecutive windows must agree on the
+	// other protocol before stm-adaptive performs a handoff (default 2), so
+	// one noisy window cannot trigger a quiesce.
+	AdaptiveHysteresis int
+
 	// ProfileSets makes the sequential system track read/write line sets for
 	// characterization (the concurrent systems track them anyway).
 	ProfileSets bool
@@ -183,6 +211,18 @@ func (c Config) Defaults() Config {
 	}
 	if c.PriorityAfter == 0 {
 		c.PriorityAfter = 32
+	}
+	if c.AdaptiveRead == "" {
+		c.AdaptiveRead = "stm-norec-ro"
+	}
+	if c.AdaptiveWrite == "" {
+		c.AdaptiveWrite = "stm-lazy"
+	}
+	if c.AdaptiveWindow == 0 {
+		c.AdaptiveWindow = 128
+	}
+	if c.AdaptiveHysteresis == 0 {
+		c.AdaptiveHysteresis = 2
 	}
 	if c.Seed == 0 {
 		c.Seed = 0x5742757374616d70

@@ -34,6 +34,12 @@ type (
 	Config = tm.Config
 	// Stats is the aggregate transactional statistics of a run.
 	Stats = tm.Stats
+	// BlockID identifies one atomic-block call site for per-block
+	// statistics (NewBlock, Thread.AtomicAt).
+	BlockID = tm.BlockID
+	// BlockRow is one per-block line of Stats.Blocks(): commits, aborts,
+	// mean set sizes, and protocol residency for one call site.
+	BlockRow = tm.BlockRow
 	// Team is the fork/join worker group with a reusable barrier.
 	Team = thread.Team
 )
@@ -75,9 +81,19 @@ const NilAddr = mem.Nil
 func NewArena(nWords int) *Arena { return mem.NewArena(nWords) }
 
 // NewSystem constructs a TM runtime by name: "seq", "stm-lazy", "stm-eager",
-// "stm-norec", "stm-norec-ro", "htm-lazy", "htm-eager", "hybrid-lazy", or
-// "hybrid-eager".
+// "stm-norec", "stm-norec-ro", "stm-adaptive", "htm-lazy", "htm-eager",
+// "hybrid-lazy", or "hybrid-eager".
 func NewSystem(name string, cfg Config) (System, error) { return factory.New(name, cfg) }
+
+// NewBlock registers an atomic-block call site under a stable name and
+// returns its ID for Thread.AtomicAt, so a run's statistics can be broken
+// down per block (Stats.Blocks) — and so the stm-adaptive runtime can
+// attribute its protocol choices to call sites. Registration is idempotent:
+// the same name always yields the same ID.
+func NewBlock(name string) BlockID { return tm.NewBlock(name) }
+
+// BlockName returns the registered name of a block ID ("" if unknown).
+func BlockName(id BlockID) string { return tm.BlockName(id) }
 
 // Systems returns every runtime name, including the sequential baseline.
 func Systems() []string { return factory.Names() }

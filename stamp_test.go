@@ -10,11 +10,11 @@ import (
 
 func TestSystemsRoster(t *testing.T) {
 	got := stamp.Systems()
-	if len(got) != 9 {
+	if len(got) != 10 {
 		t.Fatalf("Systems() = %v", got)
 	}
 	// TMSystems stays pinned to the paper's six evaluated systems even as
-	// the registry grows.
+	// the registry grows; the extra runtimes must still all be in Systems().
 	tm := stamp.TMSystems()
 	if len(tm) != 6 {
 		t.Fatalf("TMSystems() = %v", tm)
@@ -22,6 +22,15 @@ func TestSystemsRoster(t *testing.T) {
 	for _, name := range tm {
 		if name == "seq" {
 			t.Fatal("seq listed as a TM system")
+		}
+	}
+	all := make(map[string]bool)
+	for _, name := range got {
+		all[name] = true
+	}
+	for _, name := range append(tm, "stm-norec", "stm-norec-ro", "stm-adaptive") {
+		if !all[name] {
+			t.Fatalf("Systems() = %v is missing %q", got, name)
 		}
 	}
 }
