@@ -435,6 +435,133 @@ func BenchmarkAblationAdaptive(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationClockScheme sweeps the TL2 commit-clock schemes (gv1
+// fetch-add, gv4 pass-on-failure CAS, gv5 no-tick) over a clock-contended
+// workload: tiny write transactions on disjoint per-thread cells at 8
+// threads on stm-lazy, so the global version clock is the only shared
+// write the protocol performs per commit. clock-advances/run counts the
+// actual clock writes (read off the scheme before and after the run):
+// gv1 writes once per writer commit, gv4 collapses racing committers onto
+// one write, and gv5 only writes on the aborts its conservatism causes
+// (reported as retries/tx). Caveat for reading ns/op: on a host with
+// fewer cores than threads the clock line is never actually contended, so
+// the wall-time separation shows up only on parallel hardware — the
+// clock-advance counts are the protocol-level effect that translates to
+// cache-line traffic there.
+func BenchmarkAblationClockScheme(b *testing.B) {
+	const (
+		threads  = 8
+		perT     = 1500
+		cellsPer = 16
+	)
+	for _, clock := range stamp.ClockNames() {
+		b.Run("clock="+clock, func(b *testing.B) {
+			var advances, aborts, commits uint64
+			for i := 0; i < b.N; i++ {
+				b.StopTimer() // arena/system construction stays out of ns/op
+				arena := stamp.NewArena(1 << 14)
+				cells := make([]stamp.Addr, threads*cellsPer)
+				for j := range cells {
+					cells[j] = arena.AllocLines(1)
+				}
+				sys, err := factory.New("stm-lazy", tm.Config{
+					Arena: arena, Threads: threads, Clock: clock,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cn := sys.(interface{ ClockNow() uint64 })
+				before := cn.ClockNow()
+				b.StartTimer()
+				team := thread.NewTeam(threads)
+				team.Run(func(tid int) {
+					th := sys.Thread(tid)
+					mine := cells[tid*cellsPer : (tid+1)*cellsPer]
+					for j := 0; j < perT; j++ {
+						th.Atomic(func(tx tm.Tx) {
+							a := mine[j%cellsPer]
+							tx.Store(a, tx.Load(a)+1)
+						})
+					}
+				})
+				b.StopTimer()
+				advances += cn.ClockNow() - before
+				st := sys.Stats()
+				aborts += st.Total.Aborts
+				commits += st.Total.Commits
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(advances)/float64(b.N), "clock-advances/run")
+			b.ReportMetric(float64(aborts)/float64(max(commits, 1)), "retries/tx")
+			b.ReportMetric(float64(commits)/float64(b.N), "tx/run")
+		})
+	}
+}
+
+// BenchmarkAblationAllocChunk is the allocation-path contention
+// microbench: 8 threads running allocation-heavy transactions (vacation/
+// genome-shaped: allocate a node, link it into a per-thread list) with
+// per-thread arena reservation disabled (chunk=direct — every tx.Alloc
+// fetch-adds the shared bump pointer) versus enabled (the default ~4096-
+// word chunks — one contended atomic per chunk). Unlike the cross-core
+// protocol ablations, the reservation win is visible even single-core:
+// the private-chunk path replaces a lock-prefixed RMW with a plain field
+// bump on every allocation.
+func BenchmarkAblationAllocChunk(b *testing.B) {
+	const (
+		threads = 8
+		perT    = 1500
+		allocsN = 8 // allocations per transaction
+	)
+	for _, arm := range []struct {
+		name  string
+		chunk int
+	}{
+		{"chunk=direct", -1},
+		{"chunk=default", 0},
+	} {
+		b.Run(arm.name, func(b *testing.B) {
+			var commits uint64
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				// threads × perT × allocsN × 2 words plus reservation tails.
+				arena := stamp.NewArena(1 << 19)
+				heads := make([]stamp.Addr, threads)
+				for j := range heads {
+					heads[j] = arena.AllocLines(1)
+				}
+				sys, err := factory.New("stm-lazy", tm.Config{
+					Arena: arena, Threads: threads, AllocChunk: arm.chunk,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				team := thread.NewTeam(threads)
+				team.Run(func(tid int) {
+					th := sys.Thread(tid)
+					head := heads[tid]
+					for j := 0; j < perT; j++ {
+						th.Atomic(func(tx tm.Tx) {
+							for k := 0; k < allocsN; k++ {
+								node := tx.Alloc(2)
+								tx.Store(node, uint64(j*allocsN+k))
+								tx.Store(node+1, tx.Load(head))
+								tx.Store(head, uint64(node))
+							}
+						})
+					}
+				})
+				b.StopTimer()
+				commits += sys.Stats().Total.Commits
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(commits)/float64(b.N), "tx/run")
+			b.ReportMetric(float64(commits*allocsN)/float64(b.N), "allocs/run")
+		})
+	}
+}
+
 // BenchmarkAblationHTMCapacity sweeps the lazy HTM's speculative capacity
 // on labyrinth-style transactions, locating the serialization cliff.
 func BenchmarkAblationHTMCapacity(b *testing.B) {

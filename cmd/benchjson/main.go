@@ -7,6 +7,7 @@
 //
 //	go test -run=NONE -bench=. -benchtime=1x . | go run ./cmd/benchjson -out BENCH_smoke.json
 //	go run ./cmd/benchjson -in bench.out            # JSON to stdout
+//	go run ./cmd/benchjson -in five-runs.out -median -out BENCH_PR5.json
 //	go run ./cmd/benchjson -compare -tolerance 25 old.json new.json
 //
 // Every benchmark result line of the form
@@ -16,6 +17,13 @@
 // becomes one record with the trailing -procs suffix split off and every
 // value/unit pair collected under metrics. Context lines (goos, goarch,
 // pkg, cpu) are captured into the header.
+//
+// With -median, repeated occurrences of the same benchmark (the
+// interleaved-runs recording protocol: run the whole suite N times,
+// concatenate the output) are collapsed to one record holding the
+// per-metric median, which is how the committed BENCH_*.json baselines
+// are produced — medians of interleaved runs absorb the noise a single
+// pass would bake into the baseline.
 //
 // Compare mode matches results by name on the ns/op metric and prints a
 // markdown delta table (suitable for a CI job summary). It exits 1 when
@@ -58,6 +66,7 @@ func main() {
 		in        = flag.String("in", "", "input file with `go test -bench` output (default: stdin)")
 		out       = flag.String("out", "", "output JSON file (default: stdout)")
 		compare   = flag.Bool("compare", false, "compare two BENCH_*.json files (args: old.json new.json) and print a delta table")
+		median    = flag.Bool("median", false, "collapse repeated results (interleaved runs) to per-metric medians")
 		tolerance = flag.Float64("tolerance", 25, "with -compare: ns/op slowdown percentage above which a benchmark counts as regressed")
 	)
 	flag.Parse()
@@ -105,6 +114,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark result lines found in input")
 		os.Exit(1)
 	}
+	if *median {
+		doc.Results = Median(doc.Results)
+	}
 	enc, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -138,6 +150,40 @@ func load(path string) (*File, error) {
 // key identifies one benchmark across files (sub-benchmark path plus the
 // -procs suffix the parser split off).
 func key(r Result) string { return fmt.Sprintf("%s-%d", r.Name, r.Procs) }
+
+// Median collapses repeated occurrences of each benchmark into one record
+// per benchmark holding the per-metric median (lower of the middle pair
+// for even counts) and the summed iteration count. First-occurrence order
+// is preserved so a medianed file diffs cleanly against its inputs.
+func Median(results []Result) []Result {
+	order := make([]string, 0, len(results))
+	groups := make(map[string][]Result)
+	for _, r := range results {
+		k := key(r)
+		if _, seen := groups[k]; !seen {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], r)
+	}
+	out := make([]Result, 0, len(order))
+	for _, k := range order {
+		g := groups[k]
+		m := Result{Name: g[0].Name, Procs: g[0].Procs, Metrics: map[string]float64{}}
+		units := make(map[string][]float64)
+		for _, r := range g {
+			m.Iterations += r.Iterations
+			for unit, v := range r.Metrics {
+				units[unit] = append(units[unit], v)
+			}
+		}
+		for unit, vs := range units {
+			sort.Float64s(vs)
+			m.Metrics[unit] = vs[(len(vs)-1)/2]
+		}
+		out = append(out, m)
+	}
+	return out
+}
 
 // Compare renders a markdown delta table of the ns/op metric between two
 // documents and counts how many benchmarks slowed down by more than

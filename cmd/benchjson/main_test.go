@@ -129,3 +129,43 @@ func TestParseIgnoresNoise(t *testing.T) {
 		t.Fatalf("results = %d, want 0", len(doc.Results))
 	}
 }
+
+// TestMedianCollapsesInterleavedRuns pins the recording protocol: the same
+// benchmark appearing once per interleaved run collapses to one record per
+// benchmark with the per-metric median and summed iterations, preserving
+// first-occurrence order.
+func TestMedianCollapsesInterleavedRuns(t *testing.T) {
+	mk := func(name string, ns float64, extra float64) Result {
+		return Result{Name: name, Procs: 8, Iterations: 3,
+			Metrics: map[string]float64{"ns/op": ns, "tx/run": extra}}
+	}
+	in := []Result{
+		mk("B/x", 300, 10), mk("A/y", 50, 1),
+		mk("B/x", 100, 30), mk("A/y", 70, 3),
+		mk("B/x", 200, 20), mk("A/y", 60, 2),
+	}
+	got := Median(in)
+	if len(got) != 2 {
+		t.Fatalf("Median produced %d records, want 2", len(got))
+	}
+	if got[0].Name != "B/x" || got[1].Name != "A/y" {
+		t.Fatalf("order not preserved: %s, %s", got[0].Name, got[1].Name)
+	}
+	if got[0].Metrics["ns/op"] != 200 || got[0].Metrics["tx/run"] != 20 {
+		t.Fatalf("B/x medians = %v", got[0].Metrics)
+	}
+	if got[0].Iterations != 9 {
+		t.Fatalf("iterations = %d, want summed 9", got[0].Iterations)
+	}
+	// Even count: the lower middle is taken (deterministic, pessimistic for
+	// ns/op comparisons is the higher value, but stability matters more).
+	even := Median(in[:4])
+	if even[0].Metrics["ns/op"] != 100 {
+		t.Fatalf("even-count median = %v", even[0].Metrics["ns/op"])
+	}
+	// Singletons pass through unchanged.
+	single := Median(in[:2])
+	if len(single) != 2 || single[0].Metrics["ns/op"] != 300 {
+		t.Fatalf("singleton handling: %v", single)
+	}
+}

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	characterize [-scale 0.25] [-retry-threads 16] [-variants genome,kmeans-high]
-//	             [-systems stm-norec,stm-norec-ro] [-cm greedy] [-qualitative]
+//	             [-systems stm-norec,stm-norec-ro] [-cm greedy] [-clock gv4]
+//	             [-qualitative]
 package main
 
 import (
@@ -25,11 +26,17 @@ func main() {
 		only        = flag.String("variants", "", "comma-separated variant subset (default: all 20 simulation variants)")
 		sysFlag     = flag.String("systems", "", "comma-separated extra retry-column systems beyond the paper's six (see stamp -list-systems)")
 		cmFlag      = flag.String("cm", "", "contention-manager policy for the retry-column runs (see stamp -list-cms; default: per-runtime)")
+		clockFlag   = flag.String("clock", "", "TL2 commit-clock scheme for the retry-column runs (see stamp -list-clocks; default: gv1)")
 		qualitative = flag.Bool("qualitative", false, "also print the derived Table III buckets")
 	)
 	flag.Parse()
 
 	cm, err := stamp.ParseCM(*cmFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "characterize:", err)
+		os.Exit(2)
+	}
+	clock, err := stamp.ParseClock(*clockFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "characterize:", err)
 		os.Exit(2)
@@ -72,7 +79,7 @@ func main() {
 	var rows []stamp.Characterization
 	for _, v := range selected {
 		fmt.Fprintf(os.Stderr, "characterizing %s (scale %g)...\n", v.Name, *scale)
-		c, err := harness.Characterize(v, *scale, *retry, cm, extraSystems...)
+		c, err := harness.Characterize(v, *scale, *retry, harness.Options{CM: cm, Clock: clock}, extraSystems...)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "characterize:", err)
 			os.Exit(1)

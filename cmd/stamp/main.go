@@ -7,7 +7,8 @@
 //	stamp -list
 //	stamp -list-systems
 //	stamp -list-cms
-//	stamp -variant vacation-low -systems stm-lazy,stm-norec -threads 8 [-scale 1] [-cm greedy]
+//	stamp -list-clocks
+//	stamp -variant vacation-low -systems stm-lazy,stm-norec -threads 8 [-scale 1] [-cm greedy] [-clock gv4]
 package main
 
 import (
@@ -26,11 +27,13 @@ func main() {
 		list     = flag.Bool("list", false, "list all Table IV variants and exit")
 		listSys  = flag.Bool("list-systems", false, "list all registered TM systems and exit")
 		listCMs  = flag.Bool("list-cms", false, "list all registered contention-manager policies and exit")
+		listClks = flag.Bool("list-clocks", false, "list all registered TL2 commit-clock schemes and exit")
 		variant  = flag.String("variant", "", "variant name (see -list)")
 		sysNames = flag.String("systems", "stm-lazy", "comma-separated TM systems (see -list-systems)")
 		threads  = flag.Int("threads", 4, "worker threads")
 		scale    = flag.Float64("scale", 1.0, "workload scale (1 = the paper's configuration)")
 		cmFlag   = flag.String("cm", "", "contention-manager policy (see -list-cms; default: per-runtime)")
+		clkFlag  = flag.String("clock", "", "TL2 commit-clock scheme (see -list-clocks; default: gv1)")
 	)
 	flag.Parse()
 
@@ -53,6 +56,12 @@ func main() {
 		}
 		return
 	}
+	if *listClks {
+		for _, name := range stamp.ClockNames() {
+			fmt.Printf("%-10s %s\n", name, stamp.ClockDescription(name))
+		}
+		return
+	}
 	if *variant == "" {
 		fmt.Fprintln(os.Stderr, "stamp: -variant is required (use -list to enumerate)")
 		os.Exit(2)
@@ -67,6 +76,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "stamp:", err)
 		os.Exit(2)
 	}
+	clock, err := stamp.ParseClock(*clkFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stamp:", err)
+		os.Exit(2)
+	}
 
 	failed := false
 	for i, sysName := range systems {
@@ -77,7 +91,7 @@ func main() {
 		if sysName == "seq" {
 			n = 1 // seq has no concurrency control; >1 thread corrupts the run
 		}
-		res, err := stamp.RunCM(*variant, *scale, sysName, n, cm)
+		res, err := stamp.RunOpts(*variant, *scale, sysName, n, stamp.Options{CM: cm, Clock: clock})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "stamp:", err)
 			os.Exit(1)
@@ -93,6 +107,11 @@ func main() {
 			cmName, res.Stats.Total.CMWaits,
 			time.Duration(res.Stats.Total.CMWaitNs).Round(time.Microsecond),
 			res.Stats.Total.CMSerialized)
+		clockName := res.Clock
+		if clockName == "" {
+			clockName = "default (gv1)"
+		}
+		fmt.Printf("clock        %s\n", clockName)
 		fmt.Printf("wall time    %v\n", res.Wall)
 		fmt.Printf("transactions %d\n", res.Stats.Total.Commits)
 		if c, f := res.Stats.Total.CombinedCommits, res.Stats.Total.CombineFallbacks; c+f > 0 {

@@ -37,6 +37,15 @@
 // default. Priority policies arbitrate at encounter-time conflict points;
 // per-policy delay and serialization counts are reported in Stats.
 //
+// The TM hot path's shared serial points are configurable too. The TL2
+// commit clock is a pluggable scheme (ClockNames: "gv1" fetch-add — the
+// default, "gv4" pass-on-failure CAS, "gv5" no-tick; Config.Clock or the
+// -clock flag), transactional allocation draws from thread-private,
+// line-aligned reservation chunks (Config.AllocChunk; one contended
+// atomic per chunk instead of per tx.Alloc), and the TL2 stripe-lock
+// table is sized from the arena instead of a fixed 8 MiB
+// (Config.LockTableBits).
+//
 // Statistics can be attributed per atomic-block call site: register a site
 // with NewBlock and run it with Thread.AtomicAt, and Stats.Blocks() breaks
 // the run down into per-block commits, aborts, mean set sizes, and — under

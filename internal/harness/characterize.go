@@ -31,11 +31,12 @@ type Characterization struct {
 // provides the barrier counts and the per-transaction time proxy, the lazy
 // HTM provides read/write sets and time-in-transactions (as in the paper),
 // and every TM system at retryThreads threads provides retries per
-// transaction (the paper uses 16). cm selects the contention-manager policy
-// of the retry-column runs (contention management is what those columns
-// vary; "" keeps each runtime's default). extraSystems adds retry columns
-// for runtimes beyond the paper's six (e.g. "stm-norec").
-func Characterize(v Variant, scale float64, retryThreads int, cm string, extraSystems ...string) (Characterization, error) {
+// transaction (the paper uses 16). opt applies to the retry-column runs
+// (contention management and the commit-clock scheme are what those
+// columns vary; the zero Options keeps each runtime's defaults).
+// extraSystems adds retry columns for runtimes beyond the paper's six
+// (e.g. "stm-norec").
+func Characterize(v Variant, scale float64, retryThreads int, opt Options, extraSystems ...string) (Characterization, error) {
 	c := Characterization{Variant: v.Name, Retries: map[string]float64{}}
 	app := v.Make(scale)
 	c.ArenaWords = app.ArenaWords()
@@ -66,7 +67,7 @@ func Characterize(v Variant, scale float64, retryThreads int, cm string, extraSy
 	c.TxTimePct = htm.TxTimeFraction() * 100
 
 	for _, sysName := range append(TMSystems(), extraSystems...) {
-		r, err := RunOne(app, v.Name, sysName, retryThreads, Options{CM: cm})
+		r, err := RunOne(app, v.Name, sysName, retryThreads, opt)
 		if err != nil {
 			return c, err
 		}

@@ -103,7 +103,7 @@ func TestCharacterizeSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := Characterize(v, 0.1, 4, "")
+	c, err := Characterize(v, 0.1, 4, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

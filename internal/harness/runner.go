@@ -18,6 +18,9 @@ type Options struct {
 	// CM selects the contention-management policy (tm.CMNames); empty keeps
 	// each runtime's default.
 	CM string
+	// Clock selects the TL2 commit-clock scheme (tm.ClockNames); empty
+	// keeps the default (gv1). Runtimes without a version clock ignore it.
+	Clock string
 }
 
 // Result is the outcome of one app × system × thread-count run.
@@ -26,6 +29,7 @@ type Result struct {
 	System  string
 	Threads int
 	CM      string // contention manager requested ("" = runtime default)
+	Clock   string // commit-clock scheme requested ("" = gv1)
 
 	Wall   time.Duration // wall time of the parallel region (app.Run)
 	Stats  tm.Stats
@@ -64,6 +68,7 @@ func RunOne(app apps.App, variant, sysName string, threads int, opt Options) (Re
 		EnableEarlyRelease: true,
 		ProfileSets:        opt.Profile,
 		CM:                 opt.CM,
+		Clock:              opt.Clock,
 	})
 	if err != nil {
 		return Result{}, fmt.Errorf("harness: %w", err)
@@ -77,6 +82,7 @@ func RunOne(app apps.App, variant, sysName string, threads int, opt Options) (Re
 		System:  sysName,
 		Threads: threads,
 		CM:      opt.CM,
+		Clock:   opt.Clock,
 		Wall:    wall,
 		Stats:   sys.Stats(),
 		Verify:  app.Verify(arena),

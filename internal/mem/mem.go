@@ -65,7 +65,11 @@ func NewArena(nWords int) *Arena {
 // Cap returns the arena capacity in words.
 func (a *Arena) Cap() int { return len(a.words) }
 
-// Used returns the number of words allocated so far.
+// Used returns the allocation high-water mark in words: everything handed
+// out by Alloc/AllocLines plus everything reserved by Reservers, including
+// alignment gaps and the unconsumed tails of per-thread chunks. It is an
+// upper bound on the words actually written, not an exact live count —
+// sizing decisions should treat it as "words no longer available".
 func (a *Arena) Used() int { return int(a.next.Load()) }
 
 // Alloc bump-allocates n words and returns the address of the first.
@@ -90,7 +94,13 @@ func (a *Arena) AllocLines(n int) Addr {
 	if n <= 0 {
 		n = 1
 	}
-	n = (n + WordsPerLine - 1) &^ (WordsPerLine - 1)
+	return a.allocAligned((n + WordsPerLine - 1) &^ (WordsPerLine - 1))
+}
+
+// allocAligned carves n words (a whole-line multiple) off the shared bump
+// pointer, starting on a line boundary. Shared by AllocLines and Reserver
+// refills, so both exhaust with the same actionable message as Alloc.
+func (a *Arena) allocAligned(n int) Addr {
 	for {
 		cur := a.next.Load()
 		start := (cur + WordsPerLine - 1) &^ (WordsPerLine - 1)
@@ -103,6 +113,72 @@ func (a *Arena) AllocLines(n int) Addr {
 		}
 	}
 }
+
+// Reserver is a thread-private allocation handle over an Arena: it
+// bump-allocates from a private, line-aligned chunk and refills the chunk
+// from the shared bump pointer only on exhaustion — one contended atomic
+// per chunkWords allocations instead of one per allocation, which is what
+// keeps tx.Alloc off the shared `next` word in the allocation-heavy STAMP
+// apps (genome, vacation, yada, bayes). Because chunks start on a line
+// boundary and span whole lines, two threads' transactional allocations
+// never share a 32-byte line, so the line-granularity runtimes (HTMs,
+// hybrids) see no false conflicts from the allocator either.
+//
+// A Reserver is owned by one worker and is not safe for concurrent use;
+// the arena it draws from remains fully concurrent. Chunk tails abandoned
+// at refill are never reused (they are part of the Used() high-water
+// mark), mirroring STAMP's tmalloc, which leaks far more.
+type Reserver struct {
+	a       *Arena
+	next    uint32 // next free word of the private chunk
+	limit   uint32 // end of the private chunk (next == limit: empty)
+	chunk   uint32 // refill size in words (0: passthrough to Arena.Alloc)
+	refills uint64 // shared-pointer refills (the contended-atomic count)
+}
+
+// NewReserver returns a reservation handle that refills chunkWords words
+// (rounded up to whole lines) at a time. chunkWords < 1 yields a
+// passthrough Reserver whose every Alloc hits the shared bump pointer
+// directly — the pre-reservation behavior, kept for ablations and for
+// arenas too small to reserve from.
+func (a *Arena) NewReserver(chunkWords int) *Reserver {
+	if chunkWords < 1 {
+		return &Reserver{a: a}
+	}
+	c := (chunkWords + WordsPerLine - 1) &^ (WordsPerLine - 1)
+	return &Reserver{a: a, chunk: uint32(c)}
+}
+
+// Alloc bump-allocates n words from the private chunk, refilling from the
+// shared arena pointer when the chunk is exhausted. Requests larger than
+// the chunk go to the shared pointer directly (line-aligned, so the
+// cross-thread line-disjointness of reserved memory is preserved). Like
+// Arena.Alloc it panics when the arena is exhausted, and it never returns
+// Nil.
+func (r *Reserver) Alloc(n int) Addr {
+	if n <= 0 {
+		n = 1
+	}
+	if r.chunk == 0 {
+		return r.a.Alloc(n)
+	}
+	if uint32(n) > r.chunk {
+		return r.a.allocAligned((n + WordsPerLine - 1) &^ (WordsPerLine - 1))
+	}
+	if r.next+uint32(n) > r.limit {
+		r.refills++
+		start := uint32(r.a.allocAligned(int(r.chunk)))
+		r.next, r.limit = start, start+r.chunk
+	}
+	addr := Addr(r.next)
+	r.next += uint32(n)
+	return addr
+}
+
+// Refills returns how many times this Reserver went to the shared bump
+// pointer — the number of contended atomics its allocations have cost
+// (excluding oversized requests, which always go shared).
+func (r *Reserver) Refills() uint64 { return r.refills }
 
 // Load atomically reads the word at addr.
 func (a *Arena) Load(addr Addr) uint64 { return atomic.LoadUint64(&a.words[addr]) }

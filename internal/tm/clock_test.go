@@ -1,0 +1,140 @@
+package tm
+
+import (
+	"testing"
+	"unsafe"
+)
+
+func TestClockNames(t *testing.T) {
+	want := []string{"gv1", "gv4", "gv5"}
+	got := ClockNames()
+	if len(got) != len(want) {
+		t.Fatalf("ClockNames() = %v", got)
+	}
+	for i, n := range want {
+		if got[i] != n {
+			t.Fatalf("ClockNames() = %v, want %v", got, want)
+		}
+		if ClockDescription(n) == "" {
+			t.Fatalf("scheme %q has no description", n)
+		}
+	}
+	if ClockDescription("gv9") != "" {
+		t.Fatal("unknown scheme has a description")
+	}
+}
+
+func TestNewVersionClockSelection(t *testing.T) {
+	if c, err := NewVersionClock(Config{}); err != nil || c.Name() != DefaultClock {
+		t.Fatalf("empty Clock: clock=%v err=%v", c, err)
+	}
+	for _, name := range ClockNames() {
+		c, err := NewVersionClock(Config{Clock: name})
+		if err != nil || c.Name() != name {
+			t.Fatalf("Clock=%q: clock=%v err=%v", name, c, err)
+		}
+	}
+	if _, err := NewVersionClock(Config{Clock: "gv9"}); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}
+
+// TestGV1Semantics: every commit fetch-adds; validation is skipped exactly
+// when no commit intervened since begin.
+func TestGV1Semantics(t *testing.T) {
+	c, _ := NewVersionClock(Config{Clock: "gv1"})
+	rv := c.Begin()
+	wv, validate := c.CommitTick(rv)
+	if wv != rv+1 || validate {
+		t.Fatalf("uncontended tick: wv=%d validate=%v (rv=%d)", wv, validate, rv)
+	}
+	// A commit between begin and tick forces validation.
+	rv = c.Begin()
+	c.CommitTick(c.Begin()) // an intervening committer
+	wv, validate = c.CommitTick(rv)
+	if wv != rv+2 || !validate {
+		t.Fatalf("contended tick: wv=%d validate=%v (rv=%d)", wv, validate, rv)
+	}
+	c.OnAbort(rv)
+	if c.Now() != wv {
+		t.Fatal("gv1 OnAbort moved the clock")
+	}
+}
+
+// TestGV4PassOnFailure: a tick that loses the CAS race adopts the winner's
+// value (strictly newer than the loser's snapshot) without writing the
+// clock, and an uncontended tick from the snapshot skips validation.
+func TestGV4PassOnFailure(t *testing.T) {
+	g := &gv4Clock{}
+	rv := g.Begin()
+	wv, validate := g.CommitTick(rv)
+	if wv != rv+1 || validate {
+		t.Fatalf("uncontended tick: wv=%d validate=%v", wv, validate)
+	}
+	// Simulate the pass-on-failure window: the clock advances between the
+	// committer's load and its CAS. The committer must adopt a value > rv
+	// and must not advance the clock further.
+	rv = g.Begin()
+	g.c.Add(3) // three committers win the race
+	now := g.Now()
+	wv, validate = g.CommitTick(rv)
+	if !validate {
+		t.Fatal("contended tick skipped validation")
+	}
+	if wv <= rv {
+		t.Fatalf("wv=%d not newer than rv=%d", wv, rv)
+	}
+	// The tick CASed from its own load of the current value, so it either
+	// installed now+1 or (if it lost another race) adopted a newer value;
+	// either way the clock moved at most one past the pre-tick value.
+	if g.Now() > now+1 {
+		t.Fatalf("clock overshot: %d, pre-tick %d", g.Now(), now)
+	}
+}
+
+// TestGV5NoTickAndAbortBump: commits never write the clock; the abort hook
+// advances a stuck epoch by exactly one.
+func TestGV5NoTickAndAbortBump(t *testing.T) {
+	g := &gv5Clock{}
+	rv := g.Begin()
+	for i := 0; i < 5; i++ {
+		wv, validate := g.CommitTick(rv)
+		if wv != rv+1 || !validate {
+			t.Fatalf("tick %d: wv=%d validate=%v", i, wv, validate)
+		}
+	}
+	if g.Now() != rv {
+		t.Fatalf("gv5 commit moved the clock to %d", g.Now())
+	}
+	g.OnAbort(rv)
+	if g.Now() != rv+1 {
+		t.Fatalf("OnAbort: clock=%d, want %d", g.Now(), rv+1)
+	}
+	// A second abort from the old snapshot must not double-advance.
+	g.OnAbort(rv)
+	if g.Now() != rv+1 {
+		t.Fatalf("stale OnAbort moved the clock to %d", g.Now())
+	}
+}
+
+// TestPaddedUint64Isolation pins the layout contract: the atomic word of
+// two adjacent PaddedUint64s can never land on the same cache line, and
+// the accessors behave like sync/atomic.
+func TestPaddedUint64Isolation(t *testing.T) {
+	var pair [2]PaddedUint64
+	a0 := uintptr(unsafe.Pointer(&pair[0].v))
+	a1 := uintptr(unsafe.Pointer(&pair[1].v))
+	if d := a1 - a0; d < 64 {
+		t.Fatalf("padded words only %d bytes apart", d)
+	}
+	pair[0].Store(41)
+	if pair[0].Add(1) != 42 || pair[0].Load() != 42 {
+		t.Fatal("Add/Load broken")
+	}
+	if !pair[0].CompareAndSwap(42, 7) || pair[0].Load() != 7 {
+		t.Fatal("CompareAndSwap broken")
+	}
+	if pair[1].Load() != 0 {
+		t.Fatal("neighbor clobbered")
+	}
+}

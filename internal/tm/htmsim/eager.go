@@ -48,6 +48,7 @@ func NewEager(cfg tm.Config) (*Eager, error) {
 		x := &eagerTx{
 			sys:        s,
 			slot:       i,
+			res:        cfg.Arena.NewReserver(cfg.ReserveChunk()),
 			sets:       newSetTracker(cfg),
 			readLines:  make(map[mem.Line]struct{}),
 			writeLines: make(map[mem.Line]struct{}),
@@ -129,6 +130,7 @@ func (t *eagerThread) AtomicAt(b tm.BlockID, fn func(tm.Tx)) {
 type eagerTx struct {
 	sys  *Eager
 	slot int
+	res  *mem.Reserver // thread-private allocation chunk
 
 	active   atomic.Bool
 	aborted  atomic.Bool
@@ -366,7 +368,10 @@ func (x *eagerTx) spillToSignatures() {
 	x.overflowed.Store(true)
 }
 
-func (x *eagerTx) Alloc(n int) mem.Addr { return x.sys.cfg.Arena.Alloc(n) }
+// Alloc draws from the thread-private reservation chunk; line-aligned
+// chunks keep one thread's allocations off another's conflict-detection
+// lines (line granularity makes allocator false sharing a real abort).
+func (x *eagerTx) Alloc(n int) mem.Addr { return x.res.Alloc(n) }
 func (x *eagerTx) Free(mem.Addr)        {}
 
 // EarlyRelease drops the reader mark for a line ("the eager HTM cannot

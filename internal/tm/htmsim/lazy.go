@@ -52,6 +52,7 @@ func NewLazy(cfg tm.Config) (*Lazy, error) {
 		x := &lazyTx{
 			sys:        s,
 			slot:       i,
+			res:        cfg.Arena.NewReserver(cfg.ReserveChunk()),
 			readSet:    newLineSet(cfg.CapacityLines),
 			writeSet:   newLineSet(cfg.CapacityLines),
 			sets:       newSetTracker(cfg),
@@ -137,6 +138,7 @@ func (t *lazyThread) AtomicAt(b tm.BlockID, fn func(tm.Tx)) {
 type lazyTx struct {
 	sys  *Lazy
 	slot int
+	res  *mem.Reserver // thread-private allocation chunk
 
 	active  atomic.Bool
 	aborted atomic.Bool
@@ -269,7 +271,10 @@ func (x *lazyTx) Store(a mem.Addr, v uint64) {
 	}
 }
 
-func (x *lazyTx) Alloc(n int) mem.Addr { return x.sys.cfg.Arena.Alloc(n) }
+// Alloc draws from the thread-private reservation chunk; line-aligned
+// chunks keep one thread's allocations off another's conflict-detection
+// lines (line granularity makes allocator false sharing a real abort).
+func (x *lazyTx) Alloc(n int) mem.Addr { return x.res.Alloc(n) }
 func (x *lazyTx) Free(mem.Addr)        {}
 
 // EarlyRelease drops a line from the speculative read set so it no longer

@@ -40,7 +40,7 @@ func NewEager(cfg tm.Config) (*Eager, error) {
 	s.txs = make([]*eagerTx, cfg.Threads)
 	s.cms = make([]tm.ContentionManager, cfg.Threads)
 	for i := range s.threads {
-		x := &eagerTx{sys: s, slot: i}
+		x := &eagerTx{sys: s, slot: i, res: cfg.Arena.NewReserver(cfg.ReserveChunk())}
 		if cfg.ProfileSets {
 			x.readLines = make(map[mem.Line]struct{})
 			x.writeLines = make(map[mem.Line]struct{})
@@ -125,6 +125,7 @@ type eagerTx struct {
 	sys  *Eager
 	slot int
 	cm   tm.ContentionManager
+	res  *mem.Reserver // thread-private allocation chunk
 
 	active atomic.Bool
 
@@ -225,7 +226,9 @@ func (x *eagerTx) Store(a mem.Addr, v uint64) {
 	}
 }
 
-func (x *eagerTx) Alloc(n int) mem.Addr { return x.sys.cfg.Arena.Alloc(n) }
+// Alloc draws from the thread-private reservation chunk; line-aligned
+// chunks also keep one thread's allocations off another's signature lines.
+func (x *eagerTx) Alloc(n int) mem.Addr { return x.res.Alloc(n) }
 func (x *eagerTx) Free(mem.Addr)        {}
 
 // EarlyRelease is unsupported on signatures (no removal from a Bloom

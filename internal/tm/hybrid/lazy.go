@@ -46,7 +46,7 @@ func NewLazy(cfg tm.Config) (*Lazy, error) {
 	s.threads = make([]*lazyThread, cfg.Threads)
 	s.txs = make([]*lazyTx, cfg.Threads)
 	for i := range s.threads {
-		x := &lazyTx{sys: s, slot: i}
+		x := &lazyTx{sys: s, slot: i, res: cfg.Arena.NewReserver(cfg.ReserveChunk())}
 		if cfg.ProfileSets {
 			x.readLines = make(map[mem.Line]struct{})
 			x.writeLines = make(map[mem.Line]struct{})
@@ -131,6 +131,7 @@ func (t *lazyThread) AtomicAt(b tm.BlockID, fn func(tm.Tx)) {
 type lazyTx struct {
 	sys  *Lazy
 	slot int
+	res  *mem.Reserver // thread-private allocation chunk
 
 	active  atomic.Bool
 	aborted atomic.Bool
@@ -210,7 +211,9 @@ func (x *lazyTx) Store(a mem.Addr, v uint64) {
 	}
 }
 
-func (x *lazyTx) Alloc(n int) mem.Addr { return x.sys.cfg.Arena.Alloc(n) }
+// Alloc draws from the thread-private reservation chunk; line-aligned
+// chunks also keep one thread's allocations off another's signature lines.
+func (x *lazyTx) Alloc(n int) mem.Addr { return x.res.Alloc(n) }
 func (x *lazyTx) Free(mem.Addr)        {}
 
 // EarlyRelease cannot remove a line from a Bloom filter; like SigTM, the

@@ -109,8 +109,11 @@ type System struct {
 
 	// seq is the global sequence lock: even = quiescent, odd = a committer
 	// is writing back. It doubles as the version clock transactions
-	// snapshot at begin.
-	seq atomic.Uint64
+	// snapshot at begin. It is the hottest word in the system — every
+	// writer commit CASes it and every in-flight reader polls it — so it
+	// is padded onto its own cache line to stop the commit traffic from
+	// false-sharing with the counters below.
+	seq tm.PaddedUint64
 
 	// lockAcquires counts successful sequence-lock acquisitions, the test
 	// hook that lets callers assert the read-only fast path never takes
@@ -154,7 +157,7 @@ func newSystem(cfg tm.Config, name string, roFast bool) (*System, error) {
 	for i := range s.threads {
 		t := &norecThread{id: i, sys: s}
 		t.cm = pool.ForThread(i, &t.stats)
-		t.tx = &norecTx{sys: s, th: t}
+		t.tx = &norecTx{sys: s, th: t, res: cfg.Arena.NewReserver(cfg.ReserveChunk())}
 		if cfg.ProfileSets {
 			t.tx.readLines = make(map[mem.Line]struct{})
 			t.tx.writeLines = make(map[mem.Line]struct{})
@@ -311,6 +314,7 @@ func (t *norecThread) AtomicAt(b tm.BlockID, fn func(tm.Tx)) {
 type norecTx struct {
 	sys *System
 	th  *norecThread
+	res *mem.Reserver // thread-private allocation chunk
 
 	snapshot uint64         // even seq value the read set is known valid at
 	rset     txset.ReadSet  // value-validation log (NOrec validates by value)
@@ -390,7 +394,7 @@ func (x *norecTx) Store(a mem.Addr, v uint64) {
 	}
 }
 
-func (x *norecTx) Alloc(n int) mem.Addr { return x.sys.cfg.Arena.Alloc(n) }
+func (x *norecTx) Alloc(n int) mem.Addr { return x.res.Alloc(n) }
 func (x *norecTx) Free(mem.Addr)        {}
 
 // EarlyRelease is a no-op: there is no per-location metadata to release,

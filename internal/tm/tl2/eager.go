@@ -1,8 +1,6 @@
 package tl2
 
 import (
-	"sync/atomic"
-
 	"github.com/stamp-go/stamp/internal/mem"
 	"github.com/stamp-go/stamp/internal/tm"
 	"github.com/stamp-go/stamp/internal/tm/txset"
@@ -18,7 +16,7 @@ import (
 type Eager struct {
 	cfg     tm.Config
 	locks   *lockTable
-	clock   atomic.Uint64
+	clock   tm.VersionClock
 	threads []*eagerThread
 	cms     []tm.ContentionManager // per-slot, for conflict arbitration
 }
@@ -33,14 +31,18 @@ func NewEager(cfg tm.Config) (*Eager, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Eager{cfg: cfg, locks: newLockTable()}
+	clock, err := tm.NewVersionClock(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Eager{cfg: cfg, locks: newLockTable(lockTableBitsFor(cfg)), clock: clock}
 	s.threads = make([]*eagerThread, cfg.Threads)
 	s.cms = make([]tm.ContentionManager, cfg.Threads)
 	for i := range s.threads {
 		t := &eagerThread{id: i, sys: s}
 		t.cm = pool.ForThread(i, &t.stats)
 		s.cms[i] = t.cm
-		t.tx = &eagerTx{sys: s, slot: uint64(i), th: t}
+		t.tx = &eagerTx{sys: s, slot: uint64(i), th: t, res: cfg.Arena.NewReserver(cfg.ReserveChunk())}
 		if cfg.ProfileSets {
 			t.tx.readLines = make(map[mem.Line]struct{})
 			t.tx.writeLines = make(map[mem.Line]struct{})
@@ -49,6 +51,12 @@ func NewEager(cfg tm.Config) (*Eager, error) {
 	}
 	return s, nil
 }
+
+// ClockNow returns the current version-clock value (stats/bench hook).
+func (s *Eager) ClockNow() uint64 { return s.clock.Now() }
+
+// LockTableStripes returns the stripe count of this instance's lock table.
+func (s *Eager) LockTableStripes() int { return len(s.locks.entries) }
 
 // cmOf returns the contention manager of the transaction occupying slot, or
 // nil for an out-of-range slot.
@@ -128,6 +136,7 @@ type eagerTx struct {
 	sys  *Eager
 	th   *eagerThread
 	slot uint64
+	res  *mem.Reserver // thread-private allocation chunk
 
 	rv       uint64
 	reads    txset.IndexSet
@@ -142,7 +151,7 @@ type eagerTx struct {
 }
 
 func (x *eagerTx) begin() {
-	x.rv = x.sys.clock.Load()
+	x.rv = x.sys.clock.Begin()
 	x.reads.Reset()
 	x.acquired = x.acquired[:0]
 	x.undo.Reset()
@@ -153,9 +162,11 @@ func (x *eagerTx) begin() {
 	}
 }
 
-// rollback replays the undo log (newest first) and releases the stripe
-// locks, restoring their pre-acquisition entries.
+// rollback replays the undo log (newest first), releases the stripe locks
+// (restoring their pre-acquisition entries), and notifies the clock scheme
+// (gv5 advances an epoch the aborted attempt tripped on).
 func (x *eagerTx) rollback() {
+	x.sys.clock.OnAbort(x.rv)
 	undo := x.undo.Entries()
 	for i := len(undo) - 1; i >= 0; i-- {
 		x.sys.cfg.Arena.Store(undo[i].Addr, undo[i].Val)
@@ -240,7 +251,7 @@ func (x *eagerTx) Store(a mem.Addr, v uint64) {
 	}
 }
 
-func (x *eagerTx) Alloc(n int) mem.Addr { return x.sys.cfg.Arena.Alloc(n) }
+func (x *eagerTx) Alloc(n int) mem.Addr { return x.res.Alloc(n) }
 func (x *eagerTx) Free(mem.Addr)        {}
 
 // EarlyRelease is a no-op for the STM, as in the paper.
@@ -261,8 +272,8 @@ func (x *eagerTx) commit() bool {
 	if len(x.acquired) == 0 && x.undo.Len() == 0 {
 		return true // read-only
 	}
-	wv := x.sys.clock.Add(1)
-	if wv != x.rv+1 {
+	wv, validate := x.sys.clock.CommitTick(x.rv)
+	if validate {
 		for _, idx := range x.reads.Slice() {
 			e := x.sys.locks.load(idx)
 			if owner, locked := lockedBy(e); locked {

@@ -1,8 +1,6 @@
 package tl2
 
 import (
-	"sync/atomic"
-
 	"github.com/stamp-go/stamp/internal/mem"
 	"github.com/stamp-go/stamp/internal/tm"
 	"github.com/stamp-go/stamp/internal/tm/txset"
@@ -13,10 +11,16 @@ import (
 // versioned locks, and the write set is locked only at commit. Reads
 // validate against the transaction's read version on every load, so doomed
 // transactions never observe inconsistent state (opacity).
+//
+// The two shared serial points are configurable: the version clock's
+// commit scheme through tm.Config.Clock (gv1 fetch-add, gv4
+// pass-on-failure CAS, gv5 no-tick; see tm.ClockNames) and the stripe
+// table size through tm.Config.LockTableBits (derived from the arena by
+// default).
 type Lazy struct {
 	cfg     tm.Config
 	locks   *lockTable
-	clock   atomic.Uint64
+	clock   tm.VersionClock
 	threads []*lazyThread
 	cms     []tm.ContentionManager // per-slot, for conflict arbitration
 }
@@ -31,14 +35,18 @@ func NewLazy(cfg tm.Config) (*Lazy, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Lazy{cfg: cfg, locks: newLockTable()}
+	clock, err := tm.NewVersionClock(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Lazy{cfg: cfg, locks: newLockTable(lockTableBitsFor(cfg)), clock: clock}
 	s.threads = make([]*lazyThread, cfg.Threads)
 	s.cms = make([]tm.ContentionManager, cfg.Threads)
 	for i := range s.threads {
 		t := &lazyThread{id: i, sys: s}
 		t.cm = pool.ForThread(i, &t.stats)
 		s.cms[i] = t.cm
-		t.tx = &lazyTx{sys: s, slot: uint64(i), th: t}
+		t.tx = &lazyTx{sys: s, slot: uint64(i), th: t, res: cfg.Arena.NewReserver(cfg.ReserveChunk())}
 		if cfg.ProfileSets {
 			t.tx.readLines = make(map[mem.Line]struct{})
 			t.tx.writeLines = make(map[mem.Line]struct{})
@@ -47,6 +55,13 @@ func NewLazy(cfg tm.Config) (*Lazy, error) {
 	}
 	return s, nil
 }
+
+// ClockNow returns the current version-clock value (stats/bench hook: the
+// delta over a run counts the clock writes the selected scheme performed).
+func (s *Lazy) ClockNow() uint64 { return s.clock.Now() }
+
+// LockTableStripes returns the stripe count of this instance's lock table.
+func (s *Lazy) LockTableStripes() int { return len(s.locks.entries) }
 
 // cmOf returns the contention manager of the transaction occupying slot, or
 // nil for an out-of-range slot (a corrupt lock word arbitrates as unknown).
@@ -126,6 +141,7 @@ type lazyTx struct {
 	sys  *Lazy
 	th   *lazyThread
 	slot uint64
+	res  *mem.Reserver // thread-private allocation chunk
 
 	rv       uint64
 	reads    txset.IndexSet // stripe indices for commit-time validation
@@ -140,7 +156,7 @@ type lazyTx struct {
 }
 
 func (x *lazyTx) begin() {
-	x.rv = x.sys.clock.Load()
+	x.rv = x.sys.clock.Begin()
 	x.reads.Reset()
 	x.wset.Reset()
 	x.acquired = x.acquired[:0]
@@ -152,8 +168,9 @@ func (x *lazyTx) begin() {
 }
 
 // abort releases nothing (locks are only held inside commit, which releases
-// them itself on failure); it exists for symmetry and future bookkeeping.
-func (x *lazyTx) abort() {}
+// them itself on failure); it only notifies the clock scheme, which gv5
+// uses to advance an epoch the aborted attempt tripped on.
+func (x *lazyTx) abort() { x.sys.clock.OnAbort(x.rv) }
 
 // Load implements the TL2 read barrier: write-buffer lookup first (the cost
 // the paper calls out for lazy STM read barriers — the txset write filter
@@ -200,7 +217,7 @@ func (x *lazyTx) Store(a mem.Addr, v uint64) {
 	}
 }
 
-func (x *lazyTx) Alloc(n int) mem.Addr { return x.sys.cfg.Arena.Alloc(n) }
+func (x *lazyTx) Alloc(n int) mem.Addr { return x.res.Alloc(n) }
 func (x *lazyTx) Free(mem.Addr)        {}
 
 // EarlyRelease is a no-op: TL2's commit-time validation makes removal of
@@ -253,8 +270,8 @@ func (x *lazyTx) commit() bool {
 		}
 		x.acquired = append(x.acquired, lockRec{idx: idx, old: lw})
 	}
-	wv := x.sys.clock.Add(1)
-	if wv != x.rv+1 {
+	wv, validate := x.sys.clock.CommitTick(x.rv)
+	if validate {
 		for _, idx := range x.reads.Slice() {
 			e := x.sys.locks.load(idx)
 			if owner, locked := lockedBy(e); locked {

@@ -10,12 +10,43 @@ import (
 	"sync/atomic"
 
 	"github.com/stamp-go/stamp/internal/mem"
+	"github.com/stamp-go/stamp/internal/tm"
 )
 
-// lockTableBits sizes the versioned-lock array (stripes). One stripe per
-// word up to 2^20 stripes; beyond that, addresses hash onto stripes, which
-// only introduces (rare, harmless) false conflicts.
-const lockTableBits = 20
+// Lock-table size bounds, in log2 stripes. The table is sized from the
+// arena (one stripe per word, next power of two) unless
+// tm.Config.LockTableBits pins it; either way it stays within
+// [minLockTableBits, maxLockTableBits]. The historical table was a fixed
+// 2^20 stripes (8 MiB of metadata) regardless of workload — small
+// workloads paid that in cold cache misses on every barrier, and
+// stm-adaptive paid it twice. Beyond 2^maxLockTableBits words, addresses
+// hash onto stripes, which only introduces (rare, harmless) false
+// conflicts.
+const (
+	minLockTableBits = 12 // 4096 stripes, 32 KiB — floor for tiny arenas
+	maxLockTableBits = 20 // 2^20 stripes, 8 MiB — the historical fixed size
+)
+
+// lockTableBitsFor derives the stripe count for a config: explicit
+// LockTableBits clamped to the bounds, else the smallest power of two
+// covering the arena word for word.
+func lockTableBitsFor(cfg tm.Config) int {
+	bits := cfg.LockTableBits
+	if bits == 0 {
+		bits = minLockTableBits
+		for bits < maxLockTableBits && 1<<bits < cfg.Arena.Cap() {
+			bits++
+		}
+		return bits
+	}
+	if bits < minLockTableBits {
+		return minLockTableBits
+	}
+	if bits > maxLockTableBits {
+		return maxLockTableBits
+	}
+	return bits
+}
 
 // A lock entry encodes either a version (unlocked) or an owner (locked):
 //
@@ -23,18 +54,19 @@ const lockTableBits = 20
 //	locked:   owner<<1   | 1
 type lockTable struct {
 	entries []atomic.Uint64
-	mask    uint32
+	shift   uint32
 }
 
-func newLockTable() *lockTable {
-	n := uint32(1) << lockTableBits
-	return &lockTable{entries: make([]atomic.Uint64, n), mask: n - 1}
+func newLockTable(bits int) *lockTable {
+	return &lockTable{entries: make([]atomic.Uint64, uint32(1)<<bits), shift: uint32(32 - bits)}
 }
 
 // index maps a word address to its stripe (word granularity).
 func (t *lockTable) index(a mem.Addr) uint32 {
-	// Knuth multiplicative mix spreads structured address patterns.
-	return (uint32(a) * 2654435761) & t.mask
+	// Knuth multiplicative mix spreads structured address patterns; the
+	// high product bits carry the mixing, so a right-sized (smaller) table
+	// keeps them rather than the low bits.
+	return (uint32(a) * 2654435761) >> t.shift
 }
 
 func (t *lockTable) load(idx uint32) uint64     { return t.entries[idx].Load() }

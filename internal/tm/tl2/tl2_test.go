@@ -21,14 +21,61 @@ func TestLockEntryEncoding(t *testing.T) {
 }
 
 func TestLockTableIndexStable(t *testing.T) {
-	lt := newLockTable()
-	for _, a := range []mem.Addr{0, 1, 4, 1 << 20, 1<<31 - 1} {
-		if lt.index(a) != lt.index(a) {
-			t.Fatal("index not deterministic")
+	for _, bits := range []int{minLockTableBits, 16, maxLockTableBits} {
+		lt := newLockTable(bits)
+		for _, a := range []mem.Addr{0, 1, 4, 1 << 20, 1<<31 - 1} {
+			if lt.index(a) != lt.index(a) {
+				t.Fatal("index not deterministic")
+			}
+			if int(lt.index(a)) >= len(lt.entries) {
+				t.Fatal("index out of range")
+			}
 		}
-		if lt.index(a) > lt.mask {
-			t.Fatal("index out of range")
+	}
+}
+
+// TestLockTableRightSizing pins the arena-derived table size and the
+// clamping of explicit tm.Config.LockTableBits values.
+func TestLockTableRightSizing(t *testing.T) {
+	cases := []struct {
+		arenaWords int
+		bits       int // Config.LockTableBits
+		want       int // stripes
+	}{
+		{1 << 10, 0, 1 << minLockTableBits},  // tiny arena: floor
+		{1 << 14, 0, 1 << 14},                // one stripe per word
+		{1<<14 + 1, 0, 1 << 15},              // rounds up to the next power of two
+		{1 << 24, 0, 1 << maxLockTableBits},  // huge arena: historical cap
+		{1 << 10, 18, 1 << 18},               // explicit wins over derivation
+		{1 << 10, 30, 1 << maxLockTableBits}, // explicit clamps high
+		{1 << 24, 4, 1 << minLockTableBits},  // explicit clamps low
+	}
+	for _, c := range cases {
+		cfg := tm.Config{Arena: mem.NewArena(c.arenaWords), Threads: 2, LockTableBits: c.bits}
+		lazy, err := NewLazy(cfg)
+		if err != nil {
+			t.Fatal(err)
 		}
+		if got := lazy.LockTableStripes(); got != c.want {
+			t.Errorf("lazy stripes(arena=%d, bits=%d) = %d, want %d", c.arenaWords, c.bits, got, c.want)
+		}
+		eager, err := NewEager(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := eager.LockTableStripes(); got != c.want {
+			t.Errorf("eager stripes(arena=%d, bits=%d) = %d, want %d", c.arenaWords, c.bits, got, c.want)
+		}
+	}
+}
+
+func TestUnknownClockSchemeErrors(t *testing.T) {
+	cfg := tm.Config{Arena: mem.NewArena(64), Threads: 1, Clock: "gv9"}
+	if _, err := NewLazy(cfg); err == nil {
+		t.Fatal("NewLazy accepted an unknown clock scheme")
+	}
+	if _, err := NewEager(cfg); err == nil {
+		t.Fatal("NewEager accepted an unknown clock scheme")
 	}
 }
 
@@ -39,9 +86,9 @@ func TestLazyReadOnlyCommitsWithoutClockTick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	before := sys.clock.Load()
+	before := sys.clock.Now()
 	sys.Thread(0).Atomic(func(tx tm.Tx) { tx.Load(a) })
-	if sys.clock.Load() != before {
+	if sys.clock.Now() != before {
 		t.Fatal("read-only transaction advanced the global clock")
 	}
 }
@@ -50,10 +97,10 @@ func TestLazyWriteAdvancesClock(t *testing.T) {
 	arena := mem.NewArena(1 << 10)
 	a := arena.Alloc(1)
 	sys, _ := NewLazy(tm.Config{Arena: arena, Threads: 1})
-	before := sys.clock.Load()
+	before := sys.clock.Now()
 	sys.Thread(0).Atomic(func(tx tm.Tx) { tx.Store(a, 1) })
-	if sys.clock.Load() != before+1 {
-		t.Fatalf("clock moved %d, want 1", sys.clock.Load()-before)
+	if sys.clock.Now() != before+1 {
+		t.Fatalf("clock moved %d, want 1", sys.clock.Now()-before)
 	}
 }
 

@@ -132,6 +132,34 @@ type Config struct {
 	// filling it. Set to 0 to model a fully associative buffer.
 	CapacityAssoc int
 
+	// Clock selects the TL2 commit-clock scheme by registry name (see
+	// ClockNames): "gv1" (fetch-add per writer commit), "gv4"
+	// (pass-on-failure CAS; concurrent committers share one clock write),
+	// or "gv5" (commits publish clock+1 without ticking; aborts advance
+	// the clock). Empty selects DefaultClock (gv1), reproducing the
+	// original TL2 behavior. Runtimes without a version clock (NOrec, the
+	// simulated HTMs, the hybrids) ignore this field; the adaptive
+	// meta-runtime forwards it to its TL2 delegate.
+	Clock string
+
+	// AllocChunk is the per-thread arena reservation size in words: each
+	// worker's tx.Alloc bump-allocates from a private, line-aligned chunk
+	// of this many words and touches the shared arena pointer only to
+	// refill — one contended atomic per chunk instead of per allocation.
+	// 0 selects the default (4096 words, capped to a fraction of the
+	// arena so reservation tails cannot exhaust small arenas); a negative
+	// value disables reservation entirely (every tx.Alloc hits the shared
+	// pointer, the pre-reservation behavior — the ablation arm).
+	AllocChunk int
+
+	// LockTableBits sizes the TL2 versioned-lock table at 2^bits stripes.
+	// 0 derives the size from the arena (one stripe per word, rounded up
+	// to a power of two, clamped to [2^12, 2^20]), so small workloads stop
+	// paying 8 MiB of cold lock-table metadata per TL2 instance — doubled
+	// under stm-adaptive, which constructs two delegates. Explicit values
+	// are clamped to the same range. Only the TL2 runtimes read this.
+	LockTableBits int
+
 	// CM selects the contention-management policy by registry name (see
 	// CMNames): "randlin", "expo", "greedy", "karma", "serialize", or
 	// "none". Empty selects the runtime's historical default — randomized
@@ -241,7 +269,45 @@ func (c Config) Validate() error {
 	if c.Threads > 64 {
 		return fmt.Errorf("tm: at most 64 threads supported (reader masks), got %d", c.Threads)
 	}
+	// Clock is validated here — not just in the TL2 constructors that
+	// consume it — so a typoed scheme errors uniformly on every runtime
+	// instead of being silently ignored (and mislabeling Result.Clock) on
+	// the runtimes without a version clock.
+	if c.Clock != "" {
+		if _, ok := clockRegistry[c.Clock]; !ok {
+			return fmt.Errorf("tm: unknown clock scheme %q (known: %v)", c.Clock, ClockNames())
+		}
+	}
 	return nil
+}
+
+// DefaultAllocChunk is the per-thread reservation size tx.Alloc refills in
+// when Config.AllocChunk is 0 (in words; ~32 KiB of arena per refill).
+const DefaultAllocChunk = 4096
+
+// ReserveChunk resolves Config.AllocChunk to the effective per-thread
+// reservation size: negative disables reservation (returns 0), 0 selects
+// DefaultAllocChunk, and any chunk is capped to Cap/(Threads*16) so the
+// reserved-but-unconsumed tails can never exhaust a tightly sized arena
+// (a cap of 0 degrades to passthrough, which is exactly right for tiny
+// test arenas). The divisor budgets for *two* reservers per thread — the
+// stm-adaptive meta-runtime constructs two delegate systems over one
+// arena — keeping worst-case stranded tails at or below 1/8 of the arena
+// even there.
+func (c Config) ReserveChunk() int {
+	if c.AllocChunk < 0 {
+		return 0
+	}
+	chunk := c.AllocChunk
+	if chunk == 0 {
+		chunk = DefaultAllocChunk
+	}
+	if c.Arena != nil && c.Threads > 0 {
+		if most := c.Arena.Cap() / (c.Threads * 16); chunk > most {
+			chunk = most
+		}
+	}
+	return chunk
 }
 
 // RetrySignal is the panic value used to unwind an aborted attempt. It is

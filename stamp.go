@@ -66,6 +66,10 @@ type (
 type (
 	// Variant is one Table IV configuration row.
 	Variant = harness.Variant
+	// Options carries the per-run knobs beyond system and thread count:
+	// set-profiling, the contention-manager policy (CM), and the TL2
+	// commit-clock scheme (Clock).
+	Options = harness.Options
 	// Result is the outcome of one app × system × threads run.
 	Result = harness.Result
 	// Characterization is one Table VI row.
@@ -149,6 +153,34 @@ func CMNames() []string { return tm.CMNames() }
 // contention-manager policy (empty for unknown names).
 func CMDescription(name string) string { return tm.CMDescription(name) }
 
+// ClockNames returns every registered TL2 commit-clock scheme, sorted:
+// "gv1" (fetch-add per writer commit, the default), "gv4" (pass-on-failure
+// CAS — concurrent committers share one clock write), "gv5" (commits
+// publish clock+1 without ticking; aborts advance the clock). Schemes are
+// selected per run through Config.Clock (or the -clock flag of the
+// commands); runtimes without a version clock ignore the setting.
+func ClockNames() []string { return tm.ClockNames() }
+
+// ClockDescription returns the one-line description of a registered
+// commit-clock scheme (empty for unknown names).
+func ClockDescription(name string) string { return tm.ClockDescription(name) }
+
+// ParseClock validates a commit-clock scheme name against ClockNames. The
+// empty string is allowed and means the default scheme (gv1).
+func ParseClock(name string) (string, error) {
+	name = strings.TrimSpace(name)
+	if name == "" {
+		return "", nil
+	}
+	for _, known := range ClockNames() {
+		if name == known {
+			return name, nil
+		}
+	}
+	return "", fmt.Errorf("unknown clock scheme %q (known: %s)",
+		name, strings.Join(ClockNames(), ", "))
+}
+
 // ParseCM validates a contention-manager name against CMNames. The empty
 // string is allowed and means "each runtime's default policy".
 func ParseCM(name string) (string, error) {
@@ -214,11 +246,17 @@ func Run(variantName string, scale float64, system string, threads int) (Result,
 // RunCM is Run with an explicit contention-manager policy (see CMNames);
 // empty keeps the runtime's default.
 func RunCM(variantName string, scale float64, system string, threads int, cm string) (Result, error) {
+	return RunOpts(variantName, scale, system, threads, Options{CM: cm})
+}
+
+// RunOpts is Run with explicit per-run Options (contention manager,
+// commit-clock scheme, set profiling).
+func RunOpts(variantName string, scale float64, system string, threads int, opt Options) (Result, error) {
 	v, err := harness.FindVariant(variantName)
 	if err != nil {
 		return Result{}, err
 	}
-	return harness.RunVariant(v, scale, system, threads, harness.Options{CM: cm})
+	return harness.RunVariant(v, scale, system, threads, opt)
 }
 
 // Characterize regenerates one Table VI row for a variant.
@@ -229,11 +267,17 @@ func Characterize(variantName string, scale float64, retryThreads int) (Characte
 // CharacterizeCM is Characterize with an explicit contention-manager policy
 // applied to the retry-column runs.
 func CharacterizeCM(variantName string, scale float64, retryThreads int, cm string) (Characterization, error) {
+	return CharacterizeOpts(variantName, scale, retryThreads, Options{CM: cm})
+}
+
+// CharacterizeOpts is Characterize with explicit per-run Options applied to
+// the retry-column runs.
+func CharacterizeOpts(variantName string, scale float64, retryThreads int, opt Options) (Characterization, error) {
 	v, err := harness.FindVariant(variantName)
 	if err != nil {
 		return Characterization{}, err
 	}
-	return harness.Characterize(v, scale, retryThreads, cm)
+	return harness.Characterize(v, scale, retryThreads, opt)
 }
 
 // MeasureSpeedup runs one Figure 1 panel for a variant.
@@ -244,9 +288,15 @@ func MeasureSpeedup(variantName string, scale float64, threads []int, systems []
 // MeasureSpeedupCM is MeasureSpeedup with an explicit contention-manager
 // policy applied to every TM run.
 func MeasureSpeedupCM(variantName string, scale float64, threads []int, systems []string, cm string) (SpeedupSeries, error) {
+	return MeasureSpeedupOpts(variantName, scale, threads, systems, Options{CM: cm})
+}
+
+// MeasureSpeedupOpts is MeasureSpeedup with explicit per-run Options
+// applied to every TM run.
+func MeasureSpeedupOpts(variantName string, scale float64, threads []int, systems []string, opt Options) (SpeedupSeries, error) {
 	v, err := harness.FindVariant(variantName)
 	if err != nil {
 		return SpeedupSeries{}, err
 	}
-	return harness.MeasureSpeedup(v, scale, threads, systems, harness.Options{CM: cm})
+	return harness.MeasureSpeedup(v, scale, threads, systems, opt)
 }
