@@ -562,6 +562,84 @@ func BenchmarkAblationAllocChunk(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationTraceOverhead measures what the observability layer
+// costs on a contended workload (hot counter plus scattered transfers on
+// the lazy STM at 8 threads — the same shape as the contention-manager
+// ablation, where the abort path with its cause stamping and sketch
+// recording actually runs): tracing off (the default; the acceptance bar is
+// that the always-on attribution keeps ns/op within noise of the
+// pre-observability baseline), sampling every 64th block, and tracing every
+// block. The sampled arms also report how many ring events a run produces
+// and the abort-cause mix, so the BENCH_*.json trajectory carries the cause
+// counters.
+func BenchmarkAblationTraceOverhead(b *testing.B) {
+	const threads = 8
+	const perT = 1500
+	for _, arm := range []struct {
+		name  string
+		trace int
+	}{
+		{"trace=off", 0},
+		{"trace=64", 64},
+		{"trace=full", 1},
+	} {
+		b.Run(arm.name, func(b *testing.B) {
+			var aborts, commits, events uint64
+			var causes [tm.NumCauses]uint64
+			for i := 0; i < b.N; i++ {
+				b.StopTimer() // arena/system construction stays out of ns/op
+				arena := stamp.NewArena(1 << 12)
+				hot := arena.Alloc(1)
+				cells := make([]stamp.Addr, 32)
+				for j := range cells {
+					cells[j] = arena.AllocLines(1)
+				}
+				sys, err := factory.New("stm-lazy", tm.Config{
+					Arena: arena, Threads: threads, Trace: arm.trace,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				team := thread.NewTeam(threads)
+				team.Run(func(tid int) {
+					th := sys.Thread(tid)
+					for j := 0; j < perT; j++ {
+						if j%4 == 0 {
+							a := cells[(tid*7+j)%len(cells)]
+							c := cells[(tid+j*5)%len(cells)]
+							th.Atomic(func(tx tm.Tx) {
+								tx.Store(a, tx.Load(a)+1)
+								tx.Store(c, tx.Load(c)+1)
+							})
+							continue
+						}
+						th.Atomic(func(tx tm.Tx) {
+							tx.Store(hot, tx.Load(hot)+1)
+						})
+					}
+				})
+				b.StopTimer()
+				st := sys.Stats()
+				aborts += st.Total.Aborts
+				commits += st.Total.Commits
+				for c, n := range st.AbortCauses() {
+					causes[c] += n
+				}
+				events += uint64(len(tm.TraceEvents(sys)))
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(aborts)/float64(max(commits, 1)), "retries/tx")
+			b.ReportMetric(float64(events)/float64(b.N), "events/run")
+			for c, n := range causes {
+				if n != 0 {
+					b.ReportMetric(float64(n)/float64(b.N), tm.AbortCause(c).String()+"/run")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkAblationHTMCapacity sweeps the lazy HTM's speculative capacity
 // on labyrinth-style transactions, locating the serialization cliff.
 func BenchmarkAblationHTMCapacity(b *testing.B) {

@@ -8,13 +8,16 @@
 //	stamp -list-systems
 //	stamp -list-cms
 //	stamp -list-clocks
+//	stamp -list-causes
 //	stamp -variant vacation-low -systems stm-lazy,stm-norec -threads 8 [-scale 1] [-cm greedy] [-clock gv4]
+//	stamp -variant vacation-low -systems stm-lazy -threads 8 -trace 16 -trace-out tx.trace.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"time"
@@ -28,14 +31,20 @@ func main() {
 		listSys  = flag.Bool("list-systems", false, "list all registered TM systems and exit")
 		listCMs  = flag.Bool("list-cms", false, "list all registered contention-manager policies and exit")
 		listClks = flag.Bool("list-clocks", false, "list all registered TL2 commit-clock schemes and exit")
+		listCaus = flag.Bool("list-causes", false, "list the abort-cause taxonomy and exit")
 		variant  = flag.String("variant", "", "variant name (see -list)")
 		sysNames = flag.String("systems", "stm-lazy", "comma-separated TM systems (see -list-systems)")
 		threads  = flag.Int("threads", 4, "worker threads")
 		scale    = flag.Float64("scale", 1.0, "workload scale (1 = the paper's configuration)")
 		cmFlag   = flag.String("cm", "", "contention-manager policy (see -list-cms; default: per-runtime)")
 		clkFlag  = flag.String("clock", "", "TL2 commit-clock scheme (see -list-clocks; default: gv1)")
+		traceN   = flag.Int("trace", 0, "sample every Nth atomic block into the event tracer (0 = off)")
+		traceOut = flag.String("trace-out", "", "write sampled events as Chrome trace-event JSON (Perfetto-loadable); implies -trace 1 if -trace is unset")
 	)
 	flag.Parse()
+	if *traceOut != "" && *traceN == 0 {
+		*traceN = 1
+	}
 
 	if *list {
 		fmt.Printf("%-18s %-10s %s\n", "VARIANT", "APP", "TABLE IV ARGS")
@@ -59,6 +68,12 @@ func main() {
 	if *listClks {
 		for _, name := range stamp.ClockNames() {
 			fmt.Printf("%-10s %s\n", name, stamp.ClockDescription(name))
+		}
+		return
+	}
+	if *listCaus {
+		for _, name := range stamp.CauseNames() {
+			fmt.Println(name)
 		}
 		return
 	}
@@ -91,7 +106,8 @@ func main() {
 		if sysName == "seq" {
 			n = 1 // seq has no concurrency control; >1 thread corrupts the run
 		}
-		res, err := stamp.RunOpts(*variant, *scale, sysName, n, stamp.Options{CM: cm, Clock: clock})
+		res, err := stamp.RunOpts(*variant, *scale, sysName, n,
+			stamp.Options{CM: cm, Clock: clock, Trace: *traceN})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "stamp:", err)
 			os.Exit(1)
@@ -121,7 +137,15 @@ func main() {
 		fmt.Printf("barriers     %d loads, %d stores (%d wasted in aborted attempts)\n",
 			res.Stats.Total.Loads, res.Stats.Total.Stores, res.Stats.Total.Wasted)
 		fmt.Printf("tx time      %.1f%% of thread time\n", res.TxTimeFraction()*100)
+		printCauses(res.Stats)
 		printBlocks(res.Stats)
+		printConflicts(res.Stats)
+		if *traceOut != "" {
+			if err := writeTrace(*traceOut, sysName, len(systems) > 1, res); err != nil {
+				fmt.Fprintln(os.Stderr, "stamp:", err)
+				os.Exit(1)
+			}
+		}
 		if res.Verify != nil {
 			fmt.Printf("VERIFY       FAILED: %v\n", res.Verify)
 			failed = true
@@ -134,22 +158,108 @@ func main() {
 	}
 }
 
+// printCauses renders the run's abort breakdown by taxonomy cause, largest
+// bucket first. Runs with no aborts print nothing.
+func printCauses(st stamp.Stats) {
+	counts := st.AbortCauses()
+	if line := formatCauses(counts[:]); line != "" {
+		fmt.Printf("abort causes %s\n", line)
+	}
+}
+
 // printBlocks renders the per-block breakdown (the paper's per-region view:
 // which atomic call sites commit, abort, and how big their sets are), with
 // the protocol-residency split that shows where stm-adaptive ran each
-// block. Runs whose app predates block annotation print nothing extra.
+// block and the abort-cause mix per call site. Runs whose app predates
+// block annotation print nothing extra.
 func printBlocks(st stamp.Stats) {
 	rows := st.Blocks()
 	if len(rows) == 0 {
 		return
 	}
-	fmt.Printf("per block    %-28s %10s %9s %8s %8s  %s\n",
-		"BLOCK", "COMMITS", "ABORTS", "LOADS/TX", "STORES/TX", "PROTOCOL RESIDENCY")
+	fmt.Printf("per block    %-28s %10s %9s %8s %8s  %-24s %s\n",
+		"BLOCK", "COMMITS", "ABORTS", "LOADS/TX", "STORES/TX", "PROTOCOL RESIDENCY", "ABORT CAUSES")
 	for _, row := range rows {
-		fmt.Printf("             %-28s %10d %9d %8.1f %8.1f  %s\n",
+		causes := formatCauses(row.Causes[:])
+		if causes == "" {
+			causes = "-"
+		}
+		fmt.Printf("             %-28s %10d %9d %8.1f %8.1f  %-24s %s\n",
 			row.Name, row.Commits, row.Aborts, row.MeanLoads(), row.MeanStores(),
-			formatResidency(row))
+			formatResidency(row), causes)
 	}
+}
+
+// printConflicts renders the conflict heatmap: the hottest contended
+// locations (addresses, lock-table stripes, or cache lines) with their
+// abort counts, the majority-blamed enemy block, and the cause mix.
+func printConflicts(st stamp.Stats) {
+	rows := st.TopConflicts()
+	if len(rows) == 0 {
+		return
+	}
+	const maxRows = 8
+	if len(rows) > maxRows {
+		rows = rows[:maxRows]
+	}
+	fmt.Printf("top conflicts %-16s %8s %-24s %s\n", "LOCATION", "ABORTS", "BLAMED BLOCK", "CAUSES")
+	for _, row := range rows {
+		blame := "-"
+		if row.Blame != 0 {
+			if name := stamp.BlockName(stamp.BlockID(row.Blame)); name != "" {
+				blame = name
+			}
+		}
+		fmt.Printf("              %-16s %8d %-24s %s\n",
+			row.Key.String(), row.Count, blame, formatCauses(row.Causes[:]))
+	}
+}
+
+// formatCauses renders non-zero per-cause counters as "name N, ...",
+// largest first (empty when all are zero). The slice is indexed by
+// stamp.AbortCause, matching stamp.CauseNames.
+func formatCauses(counts []uint64) string {
+	names := stamp.CauseNames()
+	order := make([]int, 0, len(counts))
+	for c, n := range counts {
+		if n != 0 {
+			order = append(order, c)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if counts[order[i]] != counts[order[j]] {
+			return counts[order[i]] > counts[order[j]]
+		}
+		return order[i] < order[j]
+	})
+	parts := make([]string, len(order))
+	for i, c := range order {
+		parts[i] = fmt.Sprintf("%s %d", names[c], counts[c])
+	}
+	return strings.Join(parts, ", ")
+}
+
+// writeTrace dumps a run's sampled events as Chrome trace-event JSON. With
+// several systems in one invocation each system gets its own file (the
+// system name is spliced in before the extension).
+func writeTrace(path, sysName string, multi bool, res stamp.Result) error {
+	if multi {
+		ext := filepath.Ext(path)
+		path = strings.TrimSuffix(path, ext) + "." + sysName + ext
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := stamp.WriteChromeTrace(f, res.Trace); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("trace        %d events -> %s\n", len(res.Trace), path)
+	return nil
 }
 
 // formatResidency renders a block's commits-per-protocol split, largest

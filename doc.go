@@ -52,6 +52,21 @@
 // stm-adaptive — the protocol residency of each block (the paper's
 // per-region view; cmd/stamp prints the table).
 //
+// Every abort is attributed to a cause from a closed taxonomy
+// (AbortCause; CauseNames lists them: "unknown" — always zero on a
+// healthy runtime — "read-validation", "stripe-lock-busy", "seq-changed",
+// "write-write", "signature-conflict", "htm-conflict", "htm-capacity",
+// "cm-kill", and "explicit-retry"), stamped at the conflict site inside
+// the runtime: Stats.AbortCauses() sums to exactly Total.Aborts, and the
+// per-block rows carry the same breakdown. Aborts also feed a conflict
+// heatmap of the hottest contended locations (Stats.TopConflicts: address,
+// stripe, or line key, per-cause counts, and the majority blamed block).
+// A sampled event tracer (Config.Trace, or -trace on cmd/stamp) records
+// begin/abort/commit/wait events into per-thread fixed rings with zero
+// allocation; WriteChromeTrace exports them as Chrome trace-event JSON
+// (Perfetto-loadable; -trace-out on cmd/stamp), and harness workers carry
+// pprof labels (app, system, thread) so CPU profiles slice the same way.
+//
 // Quick start:
 //
 //	arena := stamp.NewArena(1 << 16)

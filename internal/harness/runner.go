@@ -21,6 +21,12 @@ type Options struct {
 	// Clock selects the TL2 commit-clock scheme (tm.ClockNames); empty
 	// keeps the default (gv1). Runtimes without a version clock ignore it.
 	Clock string
+	// Trace samples every Nth atomic block into per-thread event rings
+	// (0 = tracing off; see tm.Config.Trace).
+	Trace int
+	// TraceBuf overrides the per-thread ring capacity in events
+	// (0 = tm.DefaultTraceBuf).
+	TraceBuf int
 }
 
 // Result is the outcome of one app × system × thread-count run.
@@ -33,6 +39,7 @@ type Result struct {
 
 	Wall   time.Duration // wall time of the parallel region (app.Run)
 	Stats  tm.Stats
+	Trace  []tm.TraceEvent // sampled tracer events (nil when Options.Trace == 0)
 	Verify error
 }
 
@@ -69,11 +76,14 @@ func RunOne(app apps.App, variant, sysName string, threads int, opt Options) (Re
 		ProfileSets:        opt.Profile,
 		CM:                 opt.CM,
 		Clock:              opt.Clock,
+		Trace:              opt.Trace,
+		TraceBuf:           opt.TraceBuf,
 	})
 	if err != nil {
 		return Result{}, fmt.Errorf("harness: %w", err)
 	}
 	team := thread.NewTeam(threads)
+	team.SetLabels("app", variant, "system", sysName)
 	start := time.Now()
 	app.Run(sys, team)
 	wall := time.Since(start)
@@ -85,6 +95,7 @@ func RunOne(app apps.App, variant, sysName string, threads int, opt Options) (Re
 		Clock:   opt.Clock,
 		Wall:    wall,
 		Stats:   sys.Stats(),
+		Trace:   tm.TraceEvents(sys),
 		Verify:  app.Verify(arena),
 	}, nil
 }

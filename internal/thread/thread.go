@@ -5,6 +5,9 @@
 package thread
 
 import (
+	"context"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 )
 
@@ -12,6 +15,7 @@ import (
 type Team struct {
 	n       int
 	barrier *Barrier
+	labels  []string // pprof label pairs applied to every worker goroutine
 }
 
 // NewTeam returns a team of n workers (n >= 1).
@@ -24,6 +28,12 @@ func NewTeam(n int) *Team {
 
 // N returns the team size.
 func (t *Team) N() int { return t.n }
+
+// SetLabels attaches pprof label pairs (key, value, key, value, ...) to
+// every worker goroutine of subsequent Run calls, plus a per-worker
+// "thread" label. CPU and goroutine profiles then break down by app,
+// system, and worker instead of one anonymous blob.
+func (t *Team) SetLabels(kv ...string) { t.labels = kv }
 
 // Run invokes body(tid) on n goroutines with tid = 0..n-1 and waits for all
 // of them. Panics in workers are re-raised on the caller.
@@ -39,7 +49,10 @@ func (t *Team) Run(body func(tid int)) {
 					panics[tid] = r
 				}
 			}()
-			body(tid)
+			kv := append(append([]string{}, t.labels...), "thread", strconv.Itoa(tid))
+			pprof.Do(context.Background(), pprof.Labels(kv...), func(context.Context) {
+				body(tid)
+			})
 		}(tid)
 	}
 	wg.Wait()

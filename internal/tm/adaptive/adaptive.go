@@ -217,6 +217,21 @@ func (s *System) Stats() tm.Stats {
 	return st
 }
 
+// TraceEvents exposes both delegates' sampled tracer events (the tm layer's
+// optional event source). The per-thread Stats facade returns fresh merged
+// records that carry no ring, so the rings are read straight off the
+// delegates' own worker records instead; tm.TraceEvents time-sorts the
+// concatenation.
+func (s *System) TraceEvents() []tm.TraceEvent {
+	var evs []tm.TraceEvent
+	for _, d := range s.dels {
+		for i := 0; i < s.cfg.Threads; i++ {
+			evs = append(evs, d.Thread(i).Stats().Tracer.Snapshot()...)
+		}
+	}
+	return evs
+}
+
 // Current returns the registry name of the active delegate (waiting out an
 // in-progress handoff, so it never reports the transient switching state).
 func (s *System) Current() string {

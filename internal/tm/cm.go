@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/stamp-go/stamp/internal/rng"
+	"github.com/stamp-go/stamp/internal/tm/trace"
 )
 
 // ContentionManager is the per-thread contention-management policy a runtime
@@ -160,23 +161,26 @@ func (p *CMPool) ForThread(id int, st *ThreadStats) ContentionManager {
 }
 
 func (p *CMPool) base(id int, st *ThreadStats) cmBase {
-	return cmBase{pool: p, st: st, r: rng.New(p.cfg.Seed + uint64(id)*0x9e3779b97f4a7c15)}
+	return cmBase{pool: p, id: id, st: st, r: rng.New(p.cfg.Seed + uint64(id)*0x9e3779b97f4a7c15)}
 }
 
 // cmBase is the state shared by the policy implementations: the pool, the
-// owning thread's statistics record, and a per-thread jitter stream.
+// owning thread's id and statistics record, and a per-thread jitter stream.
 type cmBase struct {
 	pool *CMPool
+	id   int
 	st   *ThreadStats
 	r    *rng.Rand
 }
 
-// delay spins for n iterations and accounts the wait in the thread's stats.
+// delay spins for n iterations and accounts the wait in the thread's stats
+// (and, when the current block is being traced, as an EvWait event).
 func (b *cmBase) delay(n int) {
 	if n <= 0 {
 		return
 	}
 	b.st.CMWaits++
+	b.st.Tracer.Emit(trace.EvWait, trace.CauseUnknown, b.id, int32(NoBlock), 0)
 	t0 := time.Now()
 	Spin(n)
 	b.st.CMWaitNs += int64(time.Since(t0))

@@ -1,6 +1,7 @@
 package htmsim
 
 import (
+	"math/bits"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -8,6 +9,7 @@ import (
 	"github.com/stamp-go/stamp/internal/mem"
 	"github.com/stamp-go/stamp/internal/tm"
 	"github.com/stamp-go/stamp/internal/tm/sig"
+	"github.com/stamp-go/stamp/internal/tm/trace"
 	"github.com/stamp-go/stamp/internal/tm/txset"
 )
 
@@ -55,6 +57,7 @@ func NewEager(cfg tm.Config) (*Eager, error) {
 		}
 		s.txs[i] = x
 		t := &eagerThread{id: i, sys: s, tx: x}
+		t.stats.Tracer = cfg.NewTracer()
 		t.cm = pool.ForThread(i, &t.stats)
 		s.threads[i] = t
 	}
@@ -82,6 +85,16 @@ func (s *Eager) Stats() tm.Stats {
 	return tm.Aggregate(per)
 }
 
+// blockOf returns the atomic block the transaction in slot is currently
+// executing (tm.NoBlock when idle or out of range), for blaming the enemy
+// call site in conflict attribution.
+func (s *Eager) blockOf(slot int) tm.BlockID {
+	if slot >= 0 && slot < len(s.threads) {
+		return tm.BlockID(s.threads[slot].curBlock.Load())
+	}
+	return tm.NoBlock
+}
+
 type eagerThread struct {
 	id    int
 	sys   *Eager
@@ -89,6 +102,11 @@ type eagerThread struct {
 	tx    *eagerTx
 	cm    tm.ContentionManager
 	timer tm.AtomicTimer
+
+	// curBlock publishes the block this thread is currently inside, so
+	// enemies that abort against us (or that we kill) can blame the call
+	// site.
+	curBlock atomic.Int32
 }
 
 func (t *eagerThread) ID() int                { return t.id }
@@ -99,6 +117,8 @@ func (t *eagerThread) Atomic(fn func(tm.Tx)) { t.AtomicAt(tm.NoBlock, fn) }
 func (t *eagerThread) AtomicAt(b tm.BlockID, fn func(tm.Tx)) {
 	t.timer.BeginBlock()
 	t.stats.Starts++
+	t.stats.Tracer.SampleBlock(t.id, int32(b))
+	t.curBlock.Store(int32(b))
 	t.cm.OnStart()
 	aborts := 0
 	for {
@@ -109,14 +129,18 @@ func (t *eagerThread) AtomicAt(b tm.BlockID, fn func(tm.Tx)) {
 		t.tx.rollback()
 		aborts++
 		t.stats.Aborts++
+		t.stats.RecordAbort(b, t.tx.info.Cause, t.tx.info.Key, t.tx.info.Blame)
+		t.stats.Tracer.Emit(trace.EvAbort, t.tx.info.Cause, t.id, int32(b), t.tx.info.Key)
 		t.stats.Wasted += t.tx.loads + t.tx.stores
 		// Default policy is "none": immediate restart, no backoff (Section
 		// IV); the undo-log replay itself is the only delay, as the paper
 		// notes. An explicit Config.CM adds its delay here.
 		t.cm.OnAbort(aborts)
 	}
+	t.curBlock.Store(int32(tm.NoBlock))
 	t.cm.OnCommit()
 	t.stats.Commits++
+	t.stats.Tracer.Emit(trace.EvCommit, tm.CauseUnknown, t.id, int32(b), 0)
 	t.stats.RecordBlock(b, "htm-eager", uint64(aborts), t.tx.loads, t.tx.stores)
 	t.stats.Loads += t.tx.loads
 	t.stats.Stores += t.tx.stores
@@ -135,6 +159,8 @@ type eagerTx struct {
 	active   atomic.Bool
 	aborted  atomic.Bool
 	priority atomic.Bool
+	killedBy atomic.Uint64 // who flagged us and on what line (see killPack)
+	info     tm.AbortInfo  // pending-abort cause/location/blame registers
 
 	readLines  map[mem.Line]struct{} // lines I hold reader marks on (or sig entries)
 	writeLines map[mem.Line]struct{} // lines I hold the writer mark on (or sig entries)
@@ -153,10 +179,12 @@ type eagerTx struct {
 
 func (x *eagerTx) begin(priority bool) {
 	x.loads, x.stores = 0, 0
+	x.info.Reset()
 	clear(x.readLines)
 	clear(x.writeLines)
 	x.sets.reset()
 	x.undo.Reset()
+	x.killedBy.Store(0)
 	x.aborted.Store(false)
 	x.priority.Store(priority)
 	x.readSig.Clear()
@@ -184,6 +212,8 @@ func (x *eagerTx) commit() bool {
 	// commit-time validation is needed; only a pending abort request (from a
 	// priority transaction) can invalidate us here.
 	if x.aborted.Load() {
+		blame, key := tm.KillUnpack(x.killedBy.Load())
+		x.info.Set(tm.CauseCMKill, key, blame)
 		return false
 	}
 	x.undo.Reset()
@@ -209,24 +239,30 @@ func (x *eagerTx) releaseMarks() {
 
 func (x *eagerTx) pollAbort() {
 	if x.aborted.Load() {
-		tm.Retry()
+		// Flagged by a priority transaction — arbitration killed us.
+		blame, key := tm.KillUnpack(x.killedBy.Load())
+		x.info.Fail(tm.CauseCMKill, key, blame)
 	}
 }
 
-// conflictWith resolves a conflict against victim. Requester loses: the
-// caller aborts itself — unless it holds priority and outranks the victim,
-// in which case the victim is flagged and the caller waits for it to
-// withdraw (the paper's high-priority escape). When both hold priority the
-// lower slot wins, so priority conflicts always have a global winner and
-// cannot livelock. Returns only when the caller may retry the barrier.
-func (x *eagerTx) conflictWith(victim *eagerTx) {
+// conflictWith resolves a conflict on line l against victim, attributing a
+// requester-loses abort to cause (htm-conflict for precise directory hits,
+// signature-conflict for Bloom hits). Requester loses: the caller aborts
+// itself — unless it holds priority and outranks the victim, in which case
+// the victim is flagged and the caller waits for it to withdraw (the
+// paper's high-priority escape). When both hold priority the lower slot
+// wins, so priority conflicts always have a global winner and cannot
+// livelock. Returns only when the caller may retry the barrier.
+func (x *eagerTx) conflictWith(victim *eagerTx, l mem.Line, cause tm.AbortCause) {
 	if victim == nil {
-		tm.Retry()
+		x.info.Fail(cause, trace.LineKey(uint64(l)), tm.NoBlock)
 	}
 	win := x.priority.Load() && (!victim.priority.Load() || x.slot < victim.slot)
 	if !win {
-		tm.Retry() // requester loses
+		// Requester loses; blame the line's current holder.
+		x.info.Fail(cause, trace.LineKey(uint64(l)), x.sys.blockOf(victim.slot))
 	}
+	victim.killedBy.Store(tm.KillPack(x.sys.blockOf(x.slot), l))
 	victim.aborted.Store(true)
 	for victim.active.Load() && victim.aborted.Load() {
 		x.pollAbort() // a cycle of priority waits resolves through flags
@@ -246,7 +282,9 @@ func (x *eagerTx) checkOverflowSigs(l mem.Line, write bool) {
 		}
 		for other.active.Load() && other.overflowed.Load() &&
 			(other.writeSig.Test(uint32(l)) || (write && other.readSig.Test(uint32(l)))) {
-			x.conflictWith(other) // retries us, or waits out the victim
+			// Retries us, or waits out the victim. Bloom hits include false
+			// positives, so they carry their own cause.
+			x.conflictWith(other, l, tm.CauseSignatureConflict)
 		}
 	}
 }
@@ -291,7 +329,7 @@ func (x *eagerTx) Load(a mem.Addr) uint64 {
 		if writer < 0 {
 			break
 		}
-		x.conflictWith(x.sys.txs[writer])
+		x.conflictWith(x.sys.txs[writer], l, tm.CauseHTMConflict)
 	}
 	x.checkOverflowSigs(l, false)
 	return x.sys.cfg.Arena.Load(a)
@@ -317,14 +355,17 @@ func (x *eagerTx) Store(a mem.Addr, v uint64) {
 			x.pollAbort()
 			writerVictim, readers := x.sys.dir.claimWriter(l, x.slot, sigOnly, x.priority.Load())
 			if writerVictim >= 0 {
-				x.conflictWith(x.sys.txs[writerVictim])
+				x.conflictWith(x.sys.txs[writerVictim], l, tm.CauseHTMConflict)
 				continue
 			}
 			if readers == 0 {
 				break
 			}
 			if !x.priority.Load() {
-				tm.Retry() // requester loses against the reader set
+				// Requester loses against the reader set; blame the first
+				// reader holding the line.
+				x.info.Fail(tm.CauseHTMConflict, trace.LineKey(uint64(l)),
+					x.sys.blockOf(bits.TrailingZeros64(readers)))
 			}
 			// Priority: the reservation above blocks new readers; flag the
 			// current ones and wait until each drops its mark.
@@ -336,9 +377,12 @@ func (x *eagerTx) Store(a mem.Addr, v uint64) {
 				for x.sys.dir.hasReader(l, r) {
 					x.pollAbort()
 					if !victim.priority.Load() || x.slot < victim.slot {
+						victim.killedBy.Store(tm.KillPack(x.sys.blockOf(x.slot), l))
 						victim.aborted.Store(true)
 					} else {
-						tm.Retry() // outranked; give way
+						// Outranked; give way.
+						x.info.Fail(tm.CauseHTMConflict, trace.LineKey(uint64(l)),
+							x.sys.blockOf(victim.slot))
 					}
 					tm.Spin(64)
 					runtime.Gosched()
@@ -400,7 +444,7 @@ func (x *eagerTx) EarlyRelease(a mem.Addr) {
 func (x *eagerTx) Peek(a mem.Addr) uint64 { return x.sys.cfg.Arena.Load(a) }
 
 // Restart implements tm.Tx.
-func (x *eagerTx) Restart() { tm.Retry() }
+func (x *eagerTx) Restart() { x.info.Fail(tm.CauseExplicitRetry, 0, tm.NoBlock) }
 
 // directory models the coherence-protocol side of conflict detection: for
 // each line touched by a running transaction it records the writing

@@ -7,6 +7,7 @@ import (
 
 	"github.com/stamp-go/stamp/internal/mem"
 	"github.com/stamp-go/stamp/internal/tm"
+	"github.com/stamp-go/stamp/internal/tm/trace"
 	"github.com/stamp-go/stamp/internal/tm/txset"
 )
 
@@ -61,6 +62,7 @@ func NewLazy(cfg tm.Config) (*Lazy, error) {
 		}
 		s.txs[i] = x
 		t := &lazyThread{id: i, sys: s, tx: x}
+		t.stats.Tracer = cfg.NewTracer()
 		t.cm = pool.ForThread(i, &t.stats)
 		s.threads[i] = t
 	}
@@ -95,6 +97,11 @@ type lazyThread struct {
 	tx    *lazyTx
 	cm    tm.ContentionManager
 	timer tm.AtomicTimer
+
+	// curBlock publishes the block this thread is currently inside, so a
+	// committer that flags us can blame the call site in the attribution
+	// it deposits (see killPack).
+	curBlock atomic.Int32
 }
 
 func (t *lazyThread) ID() int                { return t.id }
@@ -105,6 +112,8 @@ func (t *lazyThread) Atomic(fn func(tm.Tx)) { t.AtomicAt(tm.NoBlock, fn) }
 func (t *lazyThread) AtomicAt(b tm.BlockID, fn func(tm.Tx)) {
 	t.timer.BeginBlock()
 	t.stats.Starts++
+	t.stats.Tracer.SampleBlock(t.id, int32(b))
+	t.curBlock.Store(int32(b))
 	t.cm.OnStart()
 	aborts := 0
 	for {
@@ -116,14 +125,18 @@ func (t *lazyThread) AtomicAt(b tm.BlockID, fn func(tm.Tx)) {
 		}
 		aborts++
 		t.stats.Aborts++
+		t.stats.RecordAbort(b, t.tx.info.Cause, t.tx.info.Key, t.tx.info.Blame)
+		t.stats.Tracer.Emit(trace.EvAbort, t.tx.info.Cause, t.id, int32(b), t.tx.info.Key)
 		t.stats.Wasted += t.tx.loads + t.tx.stores
 		// Default policy is "none": the lazy HTM restarts aborted
 		// transactions immediately (Section IV). Overflowed attempts retry
 		// in serial mode; that switch happens inside begin via tx.serial.
 		t.cm.OnAbort(aborts)
 	}
+	t.curBlock.Store(int32(tm.NoBlock))
 	t.cm.OnCommit()
 	t.stats.Commits++
+	t.stats.Tracer.Emit(trace.EvCommit, tm.CauseUnknown, t.id, int32(b), 0)
 	t.stats.RecordBlock(b, "htm-lazy", uint64(aborts), t.tx.loads, t.tx.stores)
 	t.stats.Loads += t.tx.loads
 	t.stats.Stores += t.tx.stores
@@ -140,8 +153,10 @@ type lazyTx struct {
 	slot int
 	res  *mem.Reserver // thread-private allocation chunk
 
-	active  atomic.Bool
-	aborted atomic.Bool
+	active   atomic.Bool
+	aborted  atomic.Bool
+	killedBy atomic.Uint64 // who flagged us and on what line (see killPack)
+	info     tm.AbortInfo  // pending-abort cause/location/blame registers
 
 	readSet  *lineSet
 	writeSet *lineSet
@@ -177,6 +192,7 @@ func (x *lazyTx) writeLineCount() int {
 
 func (x *lazyTx) begin() {
 	x.loads, x.stores = 0, 0
+	x.info.Reset()
 	x.heldSerial = x.serial
 	if x.serial {
 		// Overflow: wait until we are the only transaction in the system,
@@ -192,8 +208,23 @@ func (x *lazyTx) begin() {
 	x.writeSet.clear()
 	x.sets.reset()
 	x.wbuf.Reset()
+	x.killedBy.Store(0)
 	x.aborted.Store(false)
 	x.active.Store(true)
+}
+
+// setKilled stamps the pending-abort registers from the attribution the
+// flagging committer deposited in killedBy.
+func (x *lazyTx) setKilled() {
+	blame, key := tm.KillUnpack(x.killedBy.Load())
+	x.info.Set(tm.CauseHTMConflict, key, blame)
+}
+
+// failKilled is setKilled plus the retry unwind, for flag polls inside the
+// attempt.
+func (x *lazyTx) failKilled() {
+	x.setKilled()
+	tm.Retry()
 }
 
 // end releases begin's locks after a commit or an abort.
@@ -206,10 +237,12 @@ func (x *lazyTx) end() {
 	x.sys.serialMu.RUnlock()
 }
 
-// overflow switches the next attempt to serial mode and aborts this one.
-func (x *lazyTx) overflow() {
+// overflow switches the next attempt to serial mode and aborts this one,
+// attributing the abort to the line whose insert tripped the capacity or
+// associativity limit.
+func (x *lazyTx) overflow(l mem.Line) {
 	x.serial = true
-	tm.Retry()
+	x.info.Fail(tm.CauseHTMCapacity, trace.LineKey(uint64(l)), tm.NoBlock)
 }
 
 // Load implements the HTM read barrier (in hardware this is an implicit,
@@ -226,7 +259,7 @@ func (x *lazyTx) Load(a mem.Addr) uint64 {
 	l := mem.LineOf(a)
 	for {
 		if x.aborted.Load() {
-			tm.Retry()
+			x.failKilled()
 		}
 		e := x.sys.epoch.Load()
 		if e&1 == 1 { // a commit is being arbitrated; wait like a snooping cache
@@ -235,10 +268,10 @@ func (x *lazyTx) Load(a mem.Addr) uint64 {
 		}
 		added, ok := x.readSet.insert(l)
 		if !ok || (added && x.readSet.len()+x.writeSet.len() > x.sys.cfg.CapacityLines) {
-			x.overflow()
+			x.overflow(l)
 		}
 		if added && !x.writeSet.contains(l) && !x.sets.add(l) {
-			x.overflow() // associativity conflict in the speculative buffer
+			x.overflow(l) // associativity conflict in the speculative buffer
 		}
 		v := x.sys.cfg.Arena.Load(a)
 		if x.sys.epoch.Load() == e {
@@ -258,16 +291,16 @@ func (x *lazyTx) Store(a mem.Addr, v uint64) {
 		return
 	}
 	if x.aborted.Load() {
-		tm.Retry()
+		x.failKilled()
 	}
 	x.wbuf.Put(a, v)
 	l := mem.LineOf(a)
 	added, ok := x.writeSet.insert(l)
 	if !ok || (added && x.readSet.len()+x.writeSet.len() > x.sys.cfg.CapacityLines) {
-		x.overflow()
+		x.overflow(l)
 	}
 	if added && !x.readSet.contains(l) && !x.sets.add(l) {
-		x.overflow()
+		x.overflow(l)
 	}
 }
 
@@ -303,7 +336,7 @@ func (x *lazyTx) EarlyRelease(a mem.Addr) {
 func (x *lazyTx) Peek(a mem.Addr) uint64 { return x.sys.cfg.Arena.Load(a) }
 
 // Restart implements tm.Tx.
-func (x *lazyTx) Restart() { tm.Retry() }
+func (x *lazyTx) Restart() { x.info.Fail(tm.CauseExplicitRetry, 0, tm.NoBlock) }
 
 // commit arbitrates: flag every active transaction whose read or write set
 // overlaps our write set, then write back. Committer wins.
@@ -314,14 +347,20 @@ func (x *lazyTx) commit() bool {
 	if x.wbuf.Len() == 0 {
 		// Read-only: correctness is guaranteed by the abort flag (any
 		// conflicting committer flagged us before writing back).
-		return !x.aborted.Load()
+		if x.aborted.Load() {
+			x.setKilled()
+			return false
+		}
+		return true
 	}
 	x.sys.commitMu.Lock()
 	if x.aborted.Load() {
+		x.setKilled()
 		x.sys.commitMu.Unlock()
 		return false
 	}
 	writes := x.wbuf.Entries()
+	myBlock := tm.BlockID(x.sys.threads[x.slot].curBlock.Load())
 	x.sys.epoch.Add(1) // odd: commit in progress
 	for _, other := range x.sys.txs {
 		if other.slot == x.slot || !other.active.Load() {
@@ -330,6 +369,9 @@ func (x *lazyTx) commit() bool {
 		for _, e := range writes {
 			l := mem.LineOf(e.Addr)
 			if other.readSet.contains(l) || other.writeSet.contains(l) {
+				// Deposit the attribution before raising the flag so the
+				// victim's flag poll always finds it.
+				other.killedBy.Store(tm.KillPack(myBlock, l))
 				other.aborted.Store(true)
 				break
 			}

@@ -6,6 +6,7 @@ import (
 	"github.com/stamp-go/stamp/internal/mem"
 	"github.com/stamp-go/stamp/internal/tm"
 	"github.com/stamp-go/stamp/internal/tm/sig"
+	"github.com/stamp-go/stamp/internal/tm/trace"
 	"github.com/stamp-go/stamp/internal/tm/txset"
 )
 
@@ -47,6 +48,7 @@ func NewEager(cfg tm.Config) (*Eager, error) {
 		}
 		s.txs[i] = x
 		t := &eagerThread{id: i, sys: s, tx: x}
+		t.stats.Tracer = cfg.NewTracer()
 		t.cm = pool.ForThread(i, &t.stats)
 		s.cms[i] = t.cm
 		x.cm = t.cm
@@ -76,6 +78,16 @@ func (s *Eager) Stats() tm.Stats {
 	return tm.Aggregate(per)
 }
 
+// blockOf returns the atomic block the transaction in slot is currently
+// executing (tm.NoBlock when idle), for blaming the enemy's call site at
+// signature-probe conflicts.
+func (s *Eager) blockOf(slot int) tm.BlockID {
+	if slot >= 0 && slot < len(s.threads) {
+		return tm.BlockID(s.threads[slot].curBlock.Load())
+	}
+	return tm.NoBlock
+}
+
 type eagerThread struct {
 	id    int
 	sys   *Eager
@@ -83,6 +95,10 @@ type eagerThread struct {
 	tx    *eagerTx
 	cm    tm.ContentionManager
 	timer tm.AtomicTimer
+
+	// curBlock publishes the block this thread is currently inside, so
+	// enemies that abort against our signatures can blame the call site.
+	curBlock atomic.Int32
 }
 
 func (t *eagerThread) ID() int                { return t.id }
@@ -93,6 +109,8 @@ func (t *eagerThread) Atomic(fn func(tm.Tx)) { t.AtomicAt(tm.NoBlock, fn) }
 func (t *eagerThread) AtomicAt(b tm.BlockID, fn func(tm.Tx)) {
 	t.timer.BeginBlock()
 	t.stats.Starts++
+	t.stats.Tracer.SampleBlock(t.id, int32(b))
+	t.curBlock.Store(int32(b))
 	t.cm.OnStart()
 	aborts := 0
 	for {
@@ -104,11 +122,15 @@ func (t *eagerThread) AtomicAt(b tm.BlockID, fn func(tm.Tx)) {
 		t.tx.rollback()
 		aborts++
 		t.stats.Aborts++
+		t.stats.RecordAbort(b, t.tx.info.Cause, t.tx.info.Key, t.tx.info.Blame)
+		t.stats.Tracer.Emit(trace.EvAbort, t.tx.info.Cause, t.id, int32(b), t.tx.info.Key)
 		t.stats.Wasted += t.tx.loads + t.tx.stores
 		t.cm.OnAbort(aborts)
 	}
+	t.curBlock.Store(int32(tm.NoBlock))
 	t.cm.OnCommit()
 	t.stats.Commits++
+	t.stats.Tracer.Emit(trace.EvCommit, tm.CauseUnknown, t.id, int32(b), 0)
 	t.stats.RecordBlock(b, "hybrid-eager", uint64(aborts), t.tx.loads, t.tx.stores)
 	t.stats.Loads += t.tx.loads
 	t.stats.Stores += t.tx.stores
@@ -128,6 +150,7 @@ type eagerTx struct {
 	res  *mem.Reserver // thread-private allocation chunk
 
 	active atomic.Bool
+	info   tm.AbortInfo // pending-abort cause/location/blame registers
 
 	readSig  sig.Signature
 	writeSig sig.Signature
@@ -142,6 +165,7 @@ type eagerTx struct {
 
 func (x *eagerTx) begin() {
 	x.loads, x.stores = 0, 0
+	x.info.Reset()
 	x.readSig.Clear()
 	x.writeSig.Clear()
 	x.undo.Reset()
@@ -189,7 +213,8 @@ func (x *eagerTx) Load(a mem.Addr) uint64 {
 		}
 		for probe := 0; other.active.Load() && other.writeSig.Test(l); probe++ {
 			if tm.WaitOrAbort(x.cm, x.sys.cms[other.slot], probe) {
-				tm.Retry()
+				x.info.Fail(tm.CauseSignatureConflict, trace.LineKey(uint64(l)),
+					x.sys.blockOf(other.slot))
 			}
 		}
 	}
@@ -212,7 +237,8 @@ func (x *eagerTx) Store(a mem.Addr, v uint64) {
 		}
 		for probe := 0; other.active.Load() && (other.readSig.Test(l) || other.writeSig.Test(l)); probe++ {
 			if tm.WaitOrAbort(x.cm, x.sys.cms[other.slot], probe) {
-				tm.Retry()
+				x.info.Fail(tm.CauseSignatureConflict, trace.LineKey(uint64(l)),
+					x.sys.blockOf(other.slot))
 			}
 		}
 	}
@@ -241,4 +267,4 @@ func (x *eagerTx) EarlyRelease(mem.Addr) {}
 func (x *eagerTx) Peek(a mem.Addr) uint64 { return x.sys.cfg.Arena.Load(a) }
 
 // Restart implements tm.Tx.
-func (x *eagerTx) Restart() { tm.Retry() }
+func (x *eagerTx) Restart() { x.info.Fail(tm.CauseExplicitRetry, 0, tm.NoBlock) }

@@ -19,6 +19,7 @@ import (
 	"github.com/stamp-go/stamp/internal/mem"
 	"github.com/stamp-go/stamp/internal/tm"
 	"github.com/stamp-go/stamp/internal/tm/sig"
+	"github.com/stamp-go/stamp/internal/tm/trace"
 	"github.com/stamp-go/stamp/internal/tm/txset"
 )
 
@@ -53,6 +54,7 @@ func NewLazy(cfg tm.Config) (*Lazy, error) {
 		}
 		s.txs[i] = x
 		t := &lazyThread{id: i, sys: s, tx: x}
+		t.stats.Tracer = cfg.NewTracer()
 		t.cm = pool.ForThread(i, &t.stats)
 		s.threads[i] = t
 	}
@@ -80,6 +82,15 @@ func (s *Lazy) Stats() tm.Stats {
 	return tm.Aggregate(per)
 }
 
+// blockOf returns the atomic block the transaction in slot is currently
+// executing (tm.NoBlock when idle), for blaming the killer's call site.
+func (s *Lazy) blockOf(slot int) tm.BlockID {
+	if slot >= 0 && slot < len(s.threads) {
+		return tm.BlockID(s.threads[slot].curBlock.Load())
+	}
+	return tm.NoBlock
+}
+
 type lazyThread struct {
 	id    int
 	sys   *Lazy
@@ -87,6 +98,10 @@ type lazyThread struct {
 	tx    *lazyTx
 	cm    tm.ContentionManager
 	timer tm.AtomicTimer
+
+	// curBlock publishes the block this thread is currently inside, so a
+	// committer that flags us can blame the call site.
+	curBlock atomic.Int32
 }
 
 func (t *lazyThread) ID() int                { return t.id }
@@ -97,6 +112,8 @@ func (t *lazyThread) Atomic(fn func(tm.Tx)) { t.AtomicAt(tm.NoBlock, fn) }
 func (t *lazyThread) AtomicAt(b tm.BlockID, fn func(tm.Tx)) {
 	t.timer.BeginBlock()
 	t.stats.Starts++
+	t.stats.Tracer.SampleBlock(t.id, int32(b))
+	t.curBlock.Store(int32(b))
 	t.cm.OnStart()
 	aborts := 0
 	for {
@@ -108,14 +125,18 @@ func (t *lazyThread) AtomicAt(b tm.BlockID, fn func(tm.Tx)) {
 		}
 		aborts++
 		t.stats.Aborts++
+		t.stats.RecordAbort(b, t.tx.info.Cause, t.tx.info.Key, t.tx.info.Blame)
+		t.stats.Tracer.Emit(trace.EvAbort, t.tx.info.Cause, t.id, int32(b), t.tx.info.Key)
 		t.stats.Wasted += t.tx.loads + t.tx.stores
 		// Conflicts here are commit-time (committer wins, victims are only
 		// flagged), so there is no encounter-time arbitration point; the
 		// delay hooks are the whole policy surface on this runtime.
 		t.cm.OnAbort(aborts)
 	}
+	t.curBlock.Store(int32(tm.NoBlock))
 	t.cm.OnCommit()
 	t.stats.Commits++
+	t.stats.Tracer.Emit(trace.EvCommit, tm.CauseUnknown, t.id, int32(b), 0)
 	t.stats.RecordBlock(b, "hybrid-lazy", uint64(aborts), t.tx.loads, t.tx.stores)
 	t.stats.Loads += t.tx.loads
 	t.stats.Stores += t.tx.stores
@@ -133,8 +154,10 @@ type lazyTx struct {
 	slot int
 	res  *mem.Reserver // thread-private allocation chunk
 
-	active  atomic.Bool
-	aborted atomic.Bool
+	active   atomic.Bool
+	aborted  atomic.Bool
+	killedBy atomic.Uint64 // who flagged us and on what line (see tm.KillPack)
+	info     tm.AbortInfo  // pending-abort cause/location/blame registers
 
 	readSig  sig.Signature
 	writeSig sig.Signature
@@ -149,6 +172,8 @@ type lazyTx struct {
 
 func (x *lazyTx) begin() {
 	x.loads, x.stores = 0, 0
+	x.info.Reset()
+	x.killedBy.Store(0)
 	x.readSig.Clear()
 	x.writeSig.Clear()
 	x.wset.Reset()
@@ -169,6 +194,19 @@ func (x *lazyTx) end() {
 	x.writeSig.Clear()
 }
 
+// setKilled stamps the pending abort from the killedBy word a committer
+// deposited before flagging us. All flag aborts here are signature hits —
+// possibly false positives, which is exactly why the cause is its own bucket.
+func (x *lazyTx) setKilled() {
+	blame, key := tm.KillUnpack(x.killedBy.Load())
+	x.info.Set(tm.CauseSignatureConflict, key, blame)
+}
+
+func (x *lazyTx) failKilled() {
+	x.setKilled()
+	tm.Retry()
+}
+
 // Load: write-buffer lookup, then a signature-tracked read. The epoch
 // seqlock (see commit) guarantees a read that overlaps a commit is redone,
 // so doomed transactions never hold an inconsistent snapshot.
@@ -180,7 +218,7 @@ func (x *lazyTx) Load(a mem.Addr) uint64 {
 	l := mem.LineOf(a)
 	for {
 		if x.aborted.Load() {
-			tm.Retry()
+			x.failKilled()
 		}
 		e := x.sys.epoch.Load()
 		if e&1 == 1 {
@@ -202,7 +240,7 @@ func (x *lazyTx) Load(a mem.Addr) uint64 {
 func (x *lazyTx) Store(a mem.Addr, v uint64) {
 	x.stores++
 	if x.aborted.Load() {
-		tm.Retry()
+		x.failKilled()
 	}
 	x.wset.Put(a, v)
 	x.writeSig.Insert(uint32(mem.LineOf(a)))
@@ -225,21 +263,27 @@ func (x *lazyTx) EarlyRelease(mem.Addr) {}
 func (x *lazyTx) Peek(a mem.Addr) uint64 { return x.sys.cfg.Arena.Load(a) }
 
 // Restart implements tm.Tx.
-func (x *lazyTx) Restart() { tm.Retry() }
+func (x *lazyTx) Restart() { x.info.Fail(tm.CauseExplicitRetry, 0, tm.NoBlock) }
 
 // commit arbitrates exactly like the TCC HTM, but probes signatures instead
 // of precise line sets: flag every active transaction whose read or write
 // signature admits one of our write lines, then write back.
 func (x *lazyTx) commit() bool {
 	if x.wset.Len() == 0 {
-		return !x.aborted.Load()
+		if x.aborted.Load() {
+			x.setKilled()
+			return false
+		}
+		return true
 	}
 	x.sys.commitMu.Lock()
 	if x.aborted.Load() {
 		x.sys.commitMu.Unlock()
+		x.setKilled()
 		return false
 	}
 	writes := x.wset.Entries()
+	myBlock := x.sys.blockOf(x.slot)
 	x.sys.epoch.Add(1)
 	for _, other := range x.sys.txs {
 		if other.slot == x.slot || !other.active.Load() {
@@ -248,6 +292,7 @@ func (x *lazyTx) commit() bool {
 		for _, e := range writes {
 			l := uint32(mem.LineOf(e.Addr))
 			if other.readSig.Test(l) || other.writeSig.Test(l) {
+				other.killedBy.Store(tm.KillPack(myBlock, mem.LineOf(e.Addr)))
 				other.aborted.Store(true)
 				break
 			}

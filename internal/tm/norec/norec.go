@@ -58,6 +58,7 @@ import (
 
 	"github.com/stamp-go/stamp/internal/mem"
 	"github.com/stamp-go/stamp/internal/tm"
+	"github.com/stamp-go/stamp/internal/tm/trace"
 	"github.com/stamp-go/stamp/internal/tm/txset"
 )
 
@@ -156,6 +157,7 @@ func newSystem(cfg tm.Config, name string, roFast bool) (*System, error) {
 	s.threads = make([]*norecThread, cfg.Threads)
 	for i := range s.threads {
 		t := &norecThread{id: i, sys: s}
+		t.stats.Tracer = cfg.NewTracer()
 		t.cm = pool.ForThread(i, &t.stats)
 		t.tx = &norecTx{sys: s, th: t, res: cfg.Arena.NewReserver(cfg.ReserveChunk())}
 		if cfg.ProfileSets {
@@ -282,6 +284,7 @@ func (t *norecThread) Atomic(fn func(tm.Tx)) { t.AtomicAt(tm.NoBlock, fn) }
 func (t *norecThread) AtomicAt(b tm.BlockID, fn func(tm.Tx)) {
 	t.timer.BeginBlock()
 	t.stats.Starts++
+	t.stats.Tracer.SampleBlock(t.id, int32(b))
 	t.cm.OnStart()
 	aborts := 0
 	for {
@@ -291,14 +294,19 @@ func (t *norecThread) AtomicAt(b tm.BlockID, fn func(tm.Tx)) {
 		}
 		aborts++
 		t.stats.Aborts++
+		t.stats.RecordAbort(b, t.tx.info.Cause, t.tx.info.Key, t.tx.info.Blame)
+		t.stats.Tracer.Emit(trace.EvAbort, t.tx.info.Cause, t.id, int32(b), t.tx.info.Key)
 		t.stats.Wasted += t.tx.loads + t.tx.stores
 		// NOrec conflicts surface as value-validation failures with no
 		// identifiable enemy, so only the delay hooks apply here; priority
-		// policies degrade to their delay behavior on this runtime.
+		// policies degrade to their delay behavior on this runtime (and
+		// conflict attribution blames no block — only the first stale
+		// address the revalidation pass tripped on is known).
 		t.cm.OnAbort(aborts)
 	}
 	t.cm.OnCommit()
 	t.stats.Commits++
+	t.stats.Tracer.Emit(trace.EvCommit, tm.CauseUnknown, t.id, int32(b), 0)
 	t.stats.RecordBlock(b, t.sys.name, uint64(aborts), t.tx.loads, t.tx.stores)
 	t.stats.Loads += t.tx.loads
 	t.stats.Stores += t.tx.stores
@@ -319,6 +327,7 @@ type norecTx struct {
 	snapshot uint64         // even seq value the read set is known valid at
 	rset     txset.ReadSet  // value-validation log (NOrec validates by value)
 	wset     txset.WriteSet // redo log (insertion order = writeback order)
+	info     tm.AbortInfo   // pending-abort cause/location registers
 
 	loads  uint64
 	stores uint64
@@ -331,6 +340,7 @@ func (x *norecTx) begin() {
 	x.snapshot = x.sys.waitQuiescent()
 	x.rset.Reset()
 	x.wset.Reset()
+	x.info.Reset()
 	x.loads, x.stores = 0, 0
 	if x.readLines != nil {
 		clear(x.readLines)
@@ -351,9 +361,9 @@ func (x *norecTx) Load(a mem.Addr) uint64 {
 	}
 	v := x.sys.cfg.Arena.Load(a)
 	for x.sys.seq.Load() != x.snapshot {
-		s, ok := x.revalidate()
+		s, bad, ok := x.revalidate()
 		if !ok {
-			tm.Retry()
+			x.info.Fail(tm.CauseSeqChanged, trace.AddrKey(uint64(bad)), tm.NoBlock)
 		}
 		x.snapshot = s
 		v = x.sys.cfg.Arena.Load(a)
@@ -368,19 +378,22 @@ func (x *norecTx) Load(a mem.Addr) uint64 {
 // revalidate is NOrec's value-based validation: wait for a quiescent seq,
 // re-read every read-set address, and succeed only if all values still
 // match and seq did not move during the pass. On success the returned seq
-// becomes the transaction's new snapshot. The read set deduplicates
-// consecutive re-reads, so this pass is O(distinct-ish addresses) rather
-// than O(total loads) on re-read-heavy workloads.
-func (x *norecTx) revalidate() (uint64, bool) {
+// becomes the transaction's new snapshot; on failure bad is the first
+// read-set address whose value no longer matches (the conflict-heatmap
+// location — the only one NOrec can name, having no per-location metadata).
+// The read set deduplicates consecutive re-reads, so this pass is
+// O(distinct-ish addresses) rather than O(total loads) on re-read-heavy
+// workloads.
+func (x *norecTx) revalidate() (seq uint64, bad mem.Addr, ok bool) {
 	for {
 		t := x.sys.waitQuiescent()
 		for _, r := range x.rset.Entries() {
 			if x.sys.cfg.Arena.Load(r.Addr) != r.Val {
-				return 0, false
+				return 0, r.Addr, false
 			}
 		}
 		if x.sys.seq.Load() == t {
-			return t, true
+			return t, 0, true
 		}
 	}
 }
@@ -408,7 +421,7 @@ func (x *norecTx) EarlyRelease(mem.Addr) {}
 func (x *norecTx) Peek(a mem.Addr) uint64 { return x.sys.cfg.Arena.Load(a) }
 
 // Restart implements tm.Tx.
-func (x *norecTx) Restart() { tm.Retry() }
+func (x *norecTx) Restart() { x.info.Fail(tm.CauseExplicitRetry, 0, tm.NoBlock) }
 
 // commit acquires the sequence lock (CAS even -> odd), writes the redo log
 // back, and releases (snapshot+2). A failed CAS means some other commit
@@ -439,8 +452,9 @@ func (x *norecTx) commit() bool {
 // disabled): CAS loop with revalidation, then writeback under the lock.
 func (x *norecTx) commitDirect() bool {
 	for !x.sys.seq.CompareAndSwap(x.snapshot, x.snapshot+1) {
-		s, ok := x.revalidate()
+		s, bad, ok := x.revalidate()
 		if !ok {
+			x.info.Set(tm.CauseSeqChanged, trace.AddrKey(uint64(bad)), tm.NoBlock)
 			return false
 		}
 		x.snapshot = s
@@ -485,8 +499,9 @@ func (x *norecTx) commitCombining() bool {
 			// back, in which case we republish).
 			r.status.Store(reqIdle)
 			x.th.stats.CombineFallbacks++
-			s, ok := x.revalidate()
+			s, bad, ok := x.revalidate()
 			if !ok {
+				x.info.Set(tm.CauseSeqChanged, trace.AddrKey(uint64(bad)), tm.NoBlock)
 				return false
 			}
 			x.snapshot = s
@@ -525,7 +540,7 @@ func (x *norecTx) commitCombining() bool {
 		// Quiescent but our snapshot is stale. Revalidate while still
 		// published (a new lock holder may absorb us meanwhile), then
 		// re-check the slot before acting on the result.
-		s, ok := x.revalidate()
+		s, bad, ok := x.revalidate()
 		switch r.status.Load() {
 		case reqDone:
 			r.status.Store(reqIdle)
@@ -535,6 +550,7 @@ func (x *norecTx) commitCombining() bool {
 			r.status.Store(reqIdle)
 			x.th.stats.CombineFallbacks++
 			if !ok {
+				x.info.Set(tm.CauseSeqChanged, trace.AddrKey(uint64(bad)), tm.NoBlock)
 				return false
 			}
 			x.snapshot = s
@@ -548,6 +564,7 @@ func (x *norecTx) commitCombining() bool {
 			// race to a claimer means the outcome is about to be decided
 			// for us, so loop and honor it instead.
 			if r.status.CompareAndSwap(reqPending, reqIdle) {
+				x.info.Set(tm.CauseSeqChanged, trace.AddrKey(uint64(bad)), tm.NoBlock)
 				return false
 			}
 			continue

@@ -1,0 +1,143 @@
+package tm
+
+import (
+	"sort"
+
+	"github.com/stamp-go/stamp/internal/mem"
+	"github.com/stamp-go/stamp/internal/tm/trace"
+)
+
+// Re-exported observability types (see internal/tm/trace for the
+// implementations; tm is the layer applications and the harness import).
+type (
+	// AbortCause classifies why one transactional attempt failed.
+	AbortCause = trace.AbortCause
+	// ConflictKey names the contended location of an abort (address,
+	// stripe, or line; 0 = no identifiable location).
+	ConflictKey = trace.Key
+	// ConflictRow is one row of the aggregated conflict heatmap
+	// (Stats.TopConflicts).
+	ConflictRow = trace.ConflictRow
+	// TraceEvent is one decoded tracer record (see TraceEvents).
+	TraceEvent = trace.Event
+	// TraceEventKind discriminates TraceEvent records.
+	TraceEventKind = trace.EventKind
+)
+
+// Re-exported tracer event kinds (TraceEvent.Kind).
+const (
+	EvBegin  = trace.EvBegin
+	EvAbort  = trace.EvAbort
+	EvCommit = trace.EvCommit
+	EvWait   = trace.EvWait
+)
+
+// The closed abort-cause taxonomy (see the trace package for what each
+// cause means; CauseNames lists the display names in this order).
+const (
+	CauseUnknown           = trace.CauseUnknown
+	CauseReadValidation    = trace.CauseReadValidation
+	CauseStripeLockBusy    = trace.CauseStripeLockBusy
+	CauseSeqChanged        = trace.CauseSeqChanged
+	CauseWriteWrite        = trace.CauseWriteWrite
+	CauseSignatureConflict = trace.CauseSignatureConflict
+	CauseHTMConflict       = trace.CauseHTMConflict
+	CauseHTMCapacity       = trace.CauseHTMCapacity
+	CauseCMKill            = trace.CauseCMKill
+	CauseExplicitRetry     = trace.CauseExplicitRetry
+	NumCauses              = trace.NumCauses
+)
+
+// CauseNames returns every abort-cause name in enum order, "unknown" first.
+func CauseNames() []string { return trace.CauseNames() }
+
+// DefaultTraceBuf is the per-thread tracer ring capacity (in events) when
+// Config.TraceBuf is 0.
+const DefaultTraceBuf = 4096
+
+// NewTracer allocates one per-thread event ring according to the config, or
+// returns nil when tracing is off (Config.Trace == 0) — the nil ring's
+// methods are no-ops, so runtimes store the result unconditionally. Every
+// runtime constructor calls this once per worker slot.
+func (c Config) NewTracer() *trace.Ring {
+	if c.Trace <= 0 {
+		return nil
+	}
+	size := c.TraceBuf
+	if size <= 0 {
+		size = DefaultTraceBuf
+	}
+	return trace.NewRing(size, c.Trace)
+}
+
+// AbortInfo is the pending-abort registers a transaction carries between
+// the conflict site that detects the abort and the retry loop that accounts
+// it: the taxonomy cause, the contended location, and the enemy's block
+// where the owner was identifiable. Runtimes embed one in their per-attempt
+// transaction state, Reset it at attempt start, and stamp it at every abort
+// site.
+type AbortInfo struct {
+	Cause AbortCause
+	Key   ConflictKey
+	Blame BlockID
+}
+
+// Reset clears the registers for a new attempt.
+func (a *AbortInfo) Reset() { *a = AbortInfo{} }
+
+// Set stamps the pending abort's cause, location, and blamed enemy block.
+// Used on paths that return false instead of unwinding (commit failures).
+func (a *AbortInfo) Set(cause AbortCause, key ConflictKey, blame BlockID) {
+	a.Cause, a.Key, a.Blame = cause, key, blame
+}
+
+// Fail stamps the registers and unwinds the attempt via Retry. It never
+// returns.
+func (a *AbortInfo) Fail(cause AbortCause, key ConflictKey, blame BlockID) {
+	a.Set(cause, key, blame)
+	Retry()
+}
+
+// KillPack encodes a flag-based kill's attribution into one word. Flag-based
+// aborts (committer-wins arbitration, priority kills) are detected far from
+// the conflicting access: the victim just polls its aborted flag. So the
+// killer deposits the attribution — its own current block and the contended
+// line — into the victim's killedBy word *before* raising the flag, packed
+// into one atomic store. Bit 63 marks the word as set, distinguishing a real
+// (block 0, line 0) attribution from "never written".
+func KillPack(blk BlockID, line mem.Line) uint64 {
+	return 1<<63 | uint64(uint32(blk)&0x7fffffff)<<32 | uint64(line)&0xffffffff
+}
+
+// KillUnpack decodes a killedBy word into the blamed block and conflict key
+// (NoBlock and no key when the word was never written).
+func KillUnpack(k uint64) (BlockID, ConflictKey) {
+	if k == 0 {
+		return NoBlock, 0
+	}
+	return BlockID(int32(uint32(k>>32) & 0x7fffffff)), trace.LineKey(k & 0xffffffff)
+}
+
+// eventSource is the optional System interface for runtimes whose worker
+// rings are not reachable through Thread.Stats() — the adaptive
+// meta-runtime implements it to expose both delegates' rings.
+type eventSource interface {
+	TraceEvents() []TraceEvent
+}
+
+// TraceEvents collects a system's sampled tracer events across all worker
+// rings, time-sorted. It returns nil when tracing was off. Pass the result
+// to trace.WriteChrome for a Perfetto-loadable timeline.
+func TraceEvents(sys System) []TraceEvent {
+	if src, ok := sys.(eventSource); ok {
+		evs := src.TraceEvents()
+		sort.Slice(evs, func(i, j int) bool { return evs[i].TimeNs < evs[j].TimeNs })
+		return evs
+	}
+	var evs []TraceEvent
+	for id := 0; id < sys.NThreads(); id++ {
+		evs = append(evs, sys.Thread(id).Stats().Tracer.Snapshot()...)
+	}
+	sort.Slice(evs, func(i, j int) bool { return evs[i].TimeNs < evs[j].TimeNs })
+	return evs
+}

@@ -2,6 +2,7 @@ package tm
 
 import (
 	"github.com/stamp-go/stamp/internal/mem"
+	"github.com/stamp-go/stamp/internal/tm/trace"
 )
 
 // Seq is the sequential baseline system: no concurrency control at all.
@@ -29,6 +30,7 @@ func NewSeq(cfg Config) (*Seq, error) {
 	for i := range s.threads {
 		t := &seqThread{id: i, sys: s}
 		t.tx.t = t
+		t.stats.Tracer = cfg.NewTracer()
 		if cfg.ProfileSets {
 			t.tx.readLines = make(map[mem.Line]struct{})
 			t.tx.writeLines = make(map[mem.Line]struct{})
@@ -75,6 +77,7 @@ func (t *seqThread) Atomic(fn func(Tx)) { t.AtomicAt(NoBlock, fn) }
 func (t *seqThread) AtomicAt(b BlockID, fn func(Tx)) {
 	t.timer.BeginBlock()
 	t.stats.Starts++
+	t.stats.Tracer.SampleBlock(t.id, int32(b))
 	aborts := uint64(0)
 	for {
 		t.tx.reset()
@@ -86,8 +89,11 @@ func (t *seqThread) AtomicAt(b BlockID, fn func(Tx)) {
 		// honor the retry semantics anyway.
 		aborts++
 		t.stats.Aborts++
+		t.stats.RecordAbort(b, CauseExplicitRetry, 0, NoBlock)
+		t.stats.Tracer.Emit(trace.EvAbort, CauseExplicitRetry, t.id, int32(b), 0)
 	}
 	t.stats.Commits++
+	t.stats.Tracer.Emit(trace.EvCommit, CauseUnknown, t.id, int32(b), 0)
 	t.stats.RecordBlock(b, "seq", aborts, t.tx.loads, t.tx.stores)
 	t.stats.Loads += t.tx.loads
 	t.stats.Stores += t.tx.stores

@@ -1,5 +1,7 @@
 package tm
 
+import "github.com/stamp-go/stamp/internal/tm/trace"
+
 // Hist is a simple exact histogram over small non-negative integers, used
 // for per-transaction read/write-set sizes and barrier counts (Table VI
 // reports means and 90th percentiles of these distributions).
@@ -99,6 +101,10 @@ type BlockStats struct {
 	Loads   uint64 // read barriers in committed attempts
 	Stores  uint64 // write barriers in committed attempts
 
+	// Causes breaks Aborts down by AbortCause (see RecordAbort); entries
+	// sum to Aborts once the block's attempts have all completed.
+	Causes [trace.NumCauses]uint64
+
 	// Protocol residency. A live per-thread record only ever sees its own
 	// runtime's name, so the hot path (RecordBlock, once per commit) is an
 	// inline pointer-equal string compare and an add — no map operation. A
@@ -160,6 +166,9 @@ func (b *BlockStats) merge(o *BlockStats) {
 	b.Aborts += o.Aborts
 	b.Loads += o.Loads
 	b.Stores += o.Stores
+	for c := range o.Causes {
+		b.Causes[c] += o.Causes[c]
+	}
 	if o.protoCommits != 0 {
 		b.addResidency(o.proto, o.protoCommits)
 	}
@@ -197,6 +206,20 @@ type ThreadStats struct {
 	ReadLinesHist  Hist // unique 32-byte lines read
 	WriteLinesHist Hist // unique 32-byte lines written
 
+	// AbortCauses breaks Aborts down by taxonomy cause (see RecordAbort);
+	// the conformance suite asserts the entries sum to Aborts with the
+	// CauseUnknown slot at zero.
+	AbortCauses [trace.NumCauses]uint64
+
+	// Conflicts is the per-thread top-K heatmap of contended locations
+	// (RecordAbort feeds it; sketches merge at aggregation).
+	Conflicts trace.ConflictSketch
+
+	// Tracer is the thread's sampled event ring (nil when tracing is off;
+	// see Config.NewTracer). Rings are not merged — TraceEvents collects
+	// them.
+	Tracer *trace.Ring
+
 	// Blocks attributes the counters above to atomic-block call sites,
 	// indexed by BlockID (grown on demand; see RecordBlock).
 	Blocks []BlockStats
@@ -204,11 +227,9 @@ type ThreadStats struct {
 	_ [64]byte // pad against false sharing between worker slots
 }
 
-// RecordBlock attributes one committed atomic block to call site b: one
-// commit under runtime proto, the attempt's failed tries, and the committed
-// attempt's barrier counts. Runtimes call it once per completed Atomic /
-// AtomicAt, right where they bump the aggregate Commits counter.
-func (s *ThreadStats) RecordBlock(b BlockID, proto string, aborts, loads, stores uint64) {
+// blockAt returns the call site's BlockStats slot, growing Blocks on demand
+// (shared by RecordBlock and RecordAbort).
+func (s *ThreadStats) blockAt(b BlockID) *BlockStats {
 	if int(b) >= len(s.Blocks) {
 		n := NumBlocks()
 		if n <= int(b) {
@@ -218,7 +239,27 @@ func (s *ThreadStats) RecordBlock(b BlockID, proto string, aborts, loads, stores
 		copy(grow, s.Blocks)
 		s.Blocks = grow
 	}
-	blk := &s.Blocks[b]
+	return &s.Blocks[b]
+}
+
+// RecordAbort attributes one failed attempt of call site b: the taxonomy
+// cause (both aggregate and per block) and, when the abort has an
+// identifiable location, the conflict-heatmap entry with the enemy's block
+// where known. Runtimes call it once per abort inside the retry loop,
+// right where they bump the aggregate Aborts counter; it does not bump
+// Aborts itself.
+func (s *ThreadStats) RecordAbort(b BlockID, cause trace.AbortCause, key trace.Key, blame BlockID) {
+	s.AbortCauses[cause]++
+	s.blockAt(b).Causes[cause]++
+	s.Conflicts.Record(key, cause, int32(blame))
+}
+
+// RecordBlock attributes one committed atomic block to call site b: one
+// commit under runtime proto, the attempt's failed tries, and the committed
+// attempt's barrier counts. Runtimes call it once per completed Atomic /
+// AtomicAt, right where they bump the aggregate Commits counter.
+func (s *ThreadStats) RecordBlock(b BlockID, proto string, aborts, loads, stores uint64) {
+	blk := s.blockAt(b)
 	blk.Commits++
 	blk.Aborts += aborts
 	blk.Loads += loads
@@ -245,6 +286,10 @@ func (s *ThreadStats) merge(o *ThreadStats) {
 	s.CMSerialized += o.CMSerialized
 	s.CombinedCommits += o.CombinedCommits
 	s.CombineFallbacks += o.CombineFallbacks
+	for c := range o.AbortCauses {
+		s.AbortCauses[c] += o.AbortCauses[c]
+	}
+	s.Conflicts.Merge(&o.Conflicts)
 	s.LoadsHist.Merge(&o.LoadsHist)
 	s.StoresHist.Merge(&o.StoresHist)
 	s.ReadLinesHist.Merge(&o.ReadLinesHist)
@@ -297,6 +342,16 @@ func (s Stats) Blocks() []BlockRow {
 	}
 	return rows
 }
+
+// AbortCauses returns the aggregate per-cause abort counters, indexed by
+// AbortCause (CauseNames gives the matching display names). Entries sum to
+// Total.Aborts on a completed run, with the CauseUnknown slot at zero.
+func (s Stats) AbortCauses() [trace.NumCauses]uint64 { return s.Total.AbortCauses }
+
+// TopConflicts returns the run's conflict heatmap, hottest location first:
+// contended addresses/stripes/lines with their abort-cause mix and the
+// majority-blamed enemy block (NoBlock when no owner was identifiable).
+func (s Stats) TopConflicts() []trace.ConflictRow { return s.Total.Conflicts.Top() }
 
 // RetriesPerTx returns mean aborts per committed transaction.
 func (s Stats) RetriesPerTx() float64 {

@@ -1,8 +1,11 @@
 package tl2
 
 import (
+	"sync/atomic"
+
 	"github.com/stamp-go/stamp/internal/mem"
 	"github.com/stamp-go/stamp/internal/tm"
+	"github.com/stamp-go/stamp/internal/tm/trace"
 	"github.com/stamp-go/stamp/internal/tm/txset"
 )
 
@@ -40,6 +43,7 @@ func NewEager(cfg tm.Config) (*Eager, error) {
 	s.cms = make([]tm.ContentionManager, cfg.Threads)
 	for i := range s.threads {
 		t := &eagerThread{id: i, sys: s}
+		t.stats.Tracer = cfg.NewTracer()
 		t.cm = pool.ForThread(i, &t.stats)
 		s.cms[i] = t.cm
 		t.tx = &eagerTx{sys: s, slot: uint64(i), th: t, res: cfg.Arena.NewReserver(cfg.ReserveChunk())}
@@ -65,6 +69,16 @@ func (s *Eager) cmOf(slot uint64) tm.ContentionManager {
 		return s.cms[slot]
 	}
 	return nil
+}
+
+// blockOf returns the atomic block the transaction occupying slot is
+// currently executing (tm.NoBlock when idle or out of range), for blaming
+// the enemy call site in conflict attribution.
+func (s *Eager) blockOf(slot uint64) tm.BlockID {
+	if slot < uint64(len(s.threads)) {
+		return tm.BlockID(s.threads[slot].curBlock.Load())
+	}
+	return tm.NoBlock
 }
 
 // Name implements tm.System.
@@ -95,6 +109,10 @@ type eagerThread struct {
 	tx    *eagerTx
 	cm    tm.ContentionManager
 	timer tm.AtomicTimer
+
+	// curBlock publishes the block this thread is currently inside, so
+	// enemies that abort against our stripe locks can blame the call site.
+	curBlock atomic.Int32
 }
 
 func (t *eagerThread) ID() int                { return t.id }
@@ -105,6 +123,8 @@ func (t *eagerThread) Atomic(fn func(tm.Tx)) { t.AtomicAt(tm.NoBlock, fn) }
 func (t *eagerThread) AtomicAt(b tm.BlockID, fn func(tm.Tx)) {
 	t.timer.BeginBlock()
 	t.stats.Starts++
+	t.stats.Tracer.SampleBlock(t.id, int32(b))
+	t.curBlock.Store(int32(b))
 	t.cm.OnStart()
 	aborts := 0
 	for {
@@ -115,11 +135,15 @@ func (t *eagerThread) AtomicAt(b tm.BlockID, fn func(tm.Tx)) {
 		t.tx.rollback()
 		aborts++
 		t.stats.Aborts++
+		t.stats.RecordAbort(b, t.tx.info.Cause, t.tx.info.Key, t.tx.info.Blame)
+		t.stats.Tracer.Emit(trace.EvAbort, t.tx.info.Cause, t.id, int32(b), t.tx.info.Key)
 		t.stats.Wasted += t.tx.loads + t.tx.stores
 		t.cm.OnAbort(aborts)
 	}
+	t.curBlock.Store(int32(tm.NoBlock))
 	t.cm.OnCommit()
 	t.stats.Commits++
+	t.stats.Tracer.Emit(trace.EvCommit, tm.CauseUnknown, t.id, int32(b), 0)
 	t.stats.RecordBlock(b, "stm-eager", uint64(aborts), t.tx.loads, t.tx.stores)
 	t.stats.Loads += t.tx.loads
 	t.stats.Stores += t.tx.stores
@@ -142,6 +166,7 @@ type eagerTx struct {
 	reads    txset.IndexSet
 	acquired []lockRec
 	undo     txset.WriteSet // addr → old value; doubles as the written-set
+	info     tm.AbortInfo   // pending-abort cause/location/blame registers
 
 	loads  uint64
 	stores uint64
@@ -155,6 +180,7 @@ func (x *eagerTx) begin() {
 	x.reads.Reset()
 	x.acquired = x.acquired[:0]
 	x.undo.Reset()
+	x.info.Reset()
 	x.loads, x.stores = 0, 0
 	if x.readLines != nil {
 		clear(x.readLines)
@@ -196,16 +222,16 @@ func (x *eagerTx) Load(a mem.Addr) uint64 {
 		// Requester-loses policies fail fast here; priority policies may
 		// wait the holder out and re-probe.
 		if tm.WaitOrAbort(x.th.cm, x.sys.cmOf(owner), probe) {
-			tm.Retry()
+			x.info.Fail(tm.CauseStripeLockBusy, trace.AddrKey(uint64(a)), x.sys.blockOf(owner))
 		}
 		e1 = x.sys.locks.load(idx)
 	}
 	if versionOf(e1) > x.rv {
-		tm.Retry()
+		x.info.Fail(tm.CauseReadValidation, trace.AddrKey(uint64(a)), tm.NoBlock)
 	}
 	v := x.sys.cfg.Arena.Load(a)
 	if x.sys.locks.load(idx) != e1 {
-		tm.Retry()
+		x.info.Fail(tm.CauseReadValidation, trace.AddrKey(uint64(a)), tm.NoBlock)
 	}
 	x.reads.Add(idx)
 	if x.readLines != nil {
@@ -227,12 +253,13 @@ func (x *eagerTx) Store(a mem.Addr, v uint64) {
 		}
 		if locked {
 			if tm.WaitOrAbort(x.th.cm, x.sys.cmOf(owner), probe) {
-				tm.Retry()
+				x.info.Fail(tm.CauseWriteWrite, trace.AddrKey(uint64(a)), x.sys.blockOf(owner))
 			}
 			continue
 		}
 		if versionOf(e) > x.rv {
-			tm.Retry() // stripe committed past our snapshot; keep it simple and retry
+			// Stripe committed past our snapshot; keep it simple and retry.
+			x.info.Fail(tm.CauseWriteWrite, trace.AddrKey(uint64(a)), tm.NoBlock)
 		}
 		if x.sys.locks.cas(idx, e, x.slot<<1|1) {
 			x.acquired = append(x.acquired, lockRec{idx: idx, old: e})
@@ -264,7 +291,7 @@ func (x *eagerTx) EarlyRelease(mem.Addr) {}
 func (x *eagerTx) Peek(a mem.Addr) uint64 { return x.sys.cfg.Arena.Load(a) }
 
 // Restart implements tm.Tx.
-func (x *eagerTx) Restart() { tm.Retry() }
+func (x *eagerTx) Restart() { x.info.Fail(tm.CauseExplicitRetry, 0, tm.NoBlock) }
 
 // commit validates the read set and publishes by releasing locks at the new
 // version; data is already in place.
@@ -278,10 +305,12 @@ func (x *eagerTx) commit() bool {
 			e := x.sys.locks.load(idx)
 			if owner, locked := lockedBy(e); locked {
 				if owner != x.slot {
+					x.info.Set(tm.CauseReadValidation, trace.StripeKey(uint64(idx)), x.sys.blockOf(owner))
 					x.failCommit()
 					return false
 				}
 			} else if versionOf(e) > x.rv {
+				x.info.Set(tm.CauseReadValidation, trace.StripeKey(uint64(idx)), tm.NoBlock)
 				x.failCommit()
 				return false
 			}

@@ -1,8 +1,11 @@
 package tl2
 
 import (
+	"sync/atomic"
+
 	"github.com/stamp-go/stamp/internal/mem"
 	"github.com/stamp-go/stamp/internal/tm"
+	"github.com/stamp-go/stamp/internal/tm/trace"
 	"github.com/stamp-go/stamp/internal/tm/txset"
 )
 
@@ -44,6 +47,7 @@ func NewLazy(cfg tm.Config) (*Lazy, error) {
 	s.cms = make([]tm.ContentionManager, cfg.Threads)
 	for i := range s.threads {
 		t := &lazyThread{id: i, sys: s}
+		t.stats.Tracer = cfg.NewTracer()
 		t.cm = pool.ForThread(i, &t.stats)
 		s.cms[i] = t.cm
 		t.tx = &lazyTx{sys: s, slot: uint64(i), th: t, res: cfg.Arena.NewReserver(cfg.ReserveChunk())}
@@ -70,6 +74,16 @@ func (s *Lazy) cmOf(slot uint64) tm.ContentionManager {
 		return s.cms[slot]
 	}
 	return nil
+}
+
+// blockOf returns the atomic block the transaction occupying slot is
+// currently executing (tm.NoBlock when idle or out of range), for blaming
+// the enemy call site in conflict attribution.
+func (s *Lazy) blockOf(slot uint64) tm.BlockID {
+	if slot < uint64(len(s.threads)) {
+		return tm.BlockID(s.threads[slot].curBlock.Load())
+	}
+	return tm.NoBlock
 }
 
 // Name implements tm.System.
@@ -100,6 +114,10 @@ type lazyThread struct {
 	tx    *lazyTx
 	cm    tm.ContentionManager
 	timer tm.AtomicTimer
+
+	// curBlock publishes the block this thread is currently inside, so
+	// enemies that abort against our stripe locks can blame the call site.
+	curBlock atomic.Int32
 }
 
 func (t *lazyThread) ID() int                { return t.id }
@@ -110,6 +128,8 @@ func (t *lazyThread) Atomic(fn func(tm.Tx)) { t.AtomicAt(tm.NoBlock, fn) }
 func (t *lazyThread) AtomicAt(b tm.BlockID, fn func(tm.Tx)) {
 	t.timer.BeginBlock()
 	t.stats.Starts++
+	t.stats.Tracer.SampleBlock(t.id, int32(b))
+	t.curBlock.Store(int32(b))
 	t.cm.OnStart()
 	aborts := 0
 	for {
@@ -120,11 +140,15 @@ func (t *lazyThread) AtomicAt(b tm.BlockID, fn func(tm.Tx)) {
 		t.tx.abort()
 		aborts++
 		t.stats.Aborts++
+		t.stats.RecordAbort(b, t.tx.info.Cause, t.tx.info.Key, t.tx.info.Blame)
+		t.stats.Tracer.Emit(trace.EvAbort, t.tx.info.Cause, t.id, int32(b), t.tx.info.Key)
 		t.stats.Wasted += t.tx.loads + t.tx.stores
 		t.cm.OnAbort(aborts)
 	}
+	t.curBlock.Store(int32(tm.NoBlock))
 	t.cm.OnCommit()
 	t.stats.Commits++
+	t.stats.Tracer.Emit(trace.EvCommit, tm.CauseUnknown, t.id, int32(b), 0)
 	t.stats.RecordBlock(b, "stm-lazy", uint64(aborts), t.tx.loads, t.tx.stores)
 	t.stats.Loads += t.tx.loads
 	t.stats.Stores += t.tx.stores
@@ -147,6 +171,7 @@ type lazyTx struct {
 	reads    txset.IndexSet // stripe indices for commit-time validation
 	wset     txset.WriteSet // redo log (insertion order = writeback order)
 	acquired []lockRec
+	info     tm.AbortInfo // pending-abort cause/location/blame registers
 
 	loads  uint64
 	stores uint64
@@ -160,6 +185,7 @@ func (x *lazyTx) begin() {
 	x.reads.Reset()
 	x.wset.Reset()
 	x.acquired = x.acquired[:0]
+	x.info.Reset()
 	x.loads, x.stores = 0, 0
 	if x.readLines != nil {
 		clear(x.readLines)
@@ -192,14 +218,14 @@ func (x *lazyTx) Load(a mem.Addr) uint64 {
 		// Arbitrate — requester-loses policies abort here; priority
 		// policies may wait the (short) commit out and re-probe.
 		if tm.WaitOrAbort(x.th.cm, x.sys.cmOf(owner), probe) {
-			tm.Retry()
+			x.info.Fail(tm.CauseStripeLockBusy, trace.AddrKey(uint64(a)), x.sys.blockOf(owner))
 		}
 		e1 = x.sys.locks.load(idx)
 	}
 	v := x.sys.cfg.Arena.Load(a)
 	e2 := x.sys.locks.load(idx)
 	if e2 != e1 || versionOf(e1) > x.rv {
-		tm.Retry()
+		x.info.Fail(tm.CauseReadValidation, trace.AddrKey(uint64(a)), tm.NoBlock)
 	}
 	x.reads.Add(idx)
 	if x.readLines != nil {
@@ -231,7 +257,7 @@ func (x *lazyTx) EarlyRelease(mem.Addr) {}
 func (x *lazyTx) Peek(a mem.Addr) uint64 { return x.sys.cfg.Arena.Load(a) }
 
 // Restart implements tm.Tx.
-func (x *lazyTx) Restart() { tm.Retry() }
+func (x *lazyTx) Restart() { x.info.Fail(tm.CauseExplicitRetry, 0, tm.NoBlock) }
 
 func (x *lazyTx) releaseAcquired() {
 	for _, rec := range x.acquired {
@@ -253,6 +279,7 @@ func (x *lazyTx) commit() bool {
 			if owner == x.slot {
 				continue // stripe already acquired (another word, same stripe)
 			}
+			x.info.Set(tm.CauseWriteWrite, trace.AddrKey(uint64(e.Addr)), x.sys.blockOf(owner))
 			x.releaseAcquired()
 			return false
 		}
@@ -261,10 +288,12 @@ func (x *lazyTx) commit() bool {
 			// hide that from read-set validation (a self-locked stripe
 			// validates trivially), so abort here. This is the standard TL2
 			// guard; it is slightly conservative for blind writes.
+			x.info.Set(tm.CauseWriteWrite, trace.AddrKey(uint64(e.Addr)), tm.NoBlock)
 			x.releaseAcquired()
 			return false
 		}
 		if !x.sys.locks.cas(idx, lw, x.slot<<1|1) {
+			x.info.Set(tm.CauseWriteWrite, trace.AddrKey(uint64(e.Addr)), tm.NoBlock)
 			x.releaseAcquired()
 			return false
 		}
@@ -276,10 +305,12 @@ func (x *lazyTx) commit() bool {
 			e := x.sys.locks.load(idx)
 			if owner, locked := lockedBy(e); locked {
 				if owner != x.slot {
+					x.info.Set(tm.CauseReadValidation, trace.StripeKey(uint64(idx)), x.sys.blockOf(owner))
 					x.releaseAcquired()
 					return false
 				}
 			} else if versionOf(e) > x.rv {
+				x.info.Set(tm.CauseReadValidation, trace.StripeKey(uint64(idx)), tm.NoBlock)
 				x.releaseAcquired()
 				return false
 			}

@@ -216,6 +216,18 @@ type Config struct {
 	// characterization (the concurrent systems track them anyway).
 	ProfileSets bool
 
+	// Trace enables the sampled event tracer: every Trace-th atomic block
+	// per thread records begin/abort/commit/wait events into that thread's
+	// ring buffer (1 traces every block). 0 — the default — disables
+	// tracing entirely: no rings are allocated and the per-event hot path
+	// is a nil-receiver no-op.
+	Trace int
+
+	// TraceBuf is the per-thread tracer ring capacity in events (rounded up
+	// to a power of two; 0 selects DefaultTraceBuf). The ring keeps the
+	// newest events when it wraps.
+	TraceBuf int
+
 	// Seed seeds per-thread backoff jitter.
 	Seed uint64
 }
@@ -268,6 +280,9 @@ func (c Config) Validate() error {
 	}
 	if c.Threads > 64 {
 		return fmt.Errorf("tm: at most 64 threads supported (reader masks), got %d", c.Threads)
+	}
+	if c.Trace < 0 {
+		return fmt.Errorf("tm: trace sampling interval must be >= 0, got %d", c.Trace)
 	}
 	// Clock is validated here — not just in the TL2 constructors that
 	// consume it — so a typoed scheme errors uniformly on every runtime

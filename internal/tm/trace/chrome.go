@@ -1,0 +1,50 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteChrome renders events as a Chrome trace-event JSON array (the format
+// Perfetto and chrome://tracing load): one "B"/"E" duration pair per traced
+// block on a per-thread track, plus instant events for aborts (with cause
+// and conflict key) and CM waits. blockName resolves block IDs to display
+// names; nil falls back to "block<id>". Timestamps are microseconds from
+// the tracer epoch.
+func WriteChrome(w io.Writer, events []Event, blockName func(int32) string) error {
+	if blockName == nil {
+		blockName = func(id int32) string { return "block" + strconv.Itoa(int(id)) }
+	}
+	bw := bufio.NewWriter(w)
+	bw.WriteString("[\n")
+	first := true
+	for _, ev := range events {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		us := float64(ev.TimeNs) / 1e3
+		name := blockName(ev.Block)
+		if name == "" {
+			name = "block" + strconv.Itoa(int(ev.Block))
+		}
+		switch ev.Kind {
+		case EvBegin:
+			fmt.Fprintf(bw, `{"name":%q,"ph":"B","ts":%.3f,"pid":1,"tid":%d}`,
+				name, us, ev.Thread)
+		case EvCommit:
+			fmt.Fprintf(bw, `{"name":%q,"ph":"E","ts":%.3f,"pid":1,"tid":%d}`,
+				name, us, ev.Thread)
+		case EvAbort:
+			fmt.Fprintf(bw, `{"name":"abort","ph":"i","s":"t","ts":%.3f,"pid":1,"tid":%d,"args":{"block":%q,"cause":%q,"at":%q}}`,
+				us, ev.Thread, name, ev.Cause.String(), ev.Key.String())
+		case EvWait:
+			fmt.Fprintf(bw, `{"name":"cm-wait","ph":"i","s":"t","ts":%.3f,"pid":1,"tid":%d,"args":{"block":%q}}`,
+				us, ev.Thread, name)
+		}
+	}
+	bw.WriteString("\n]\n")
+	return bw.Flush()
+}

@@ -1,0 +1,47 @@
+package trace
+
+import "fmt"
+
+// A conflict Key names the contended location of an abort in one word, so
+// the hot-path recording (sketch slot compare, ring word) never touches a
+// string or an interface. The top two bits tag the granularity the runtime
+// detects conflicts at — a word address (NOrec value validation), a TL2
+// stripe index, or a 32-byte line (the HTMs and hybrids) — and the low 62
+// bits carry the index. Key 0 ("no location") is reserved: conflict points
+// with no identifiable location (e.g. a pending-abort flag polled far from
+// the conflicting access) record nothing in the heatmap.
+type Key uint64
+
+const (
+	keyTagShift      = 62
+	keyTagAddr   Key = 1 << keyTagShift
+	keyTagStripe Key = 2 << keyTagShift
+	keyTagLine   Key = 3 << keyTagShift
+	keyIndexMask Key = 1<<keyTagShift - 1
+)
+
+// AddrKey tags a word address.
+func AddrKey(a uint64) Key { return keyTagAddr | (Key(a) & keyIndexMask) }
+
+// StripeKey tags a TL2 lock-table stripe index.
+func StripeKey(idx uint64) Key { return keyTagStripe | (Key(idx) & keyIndexMask) }
+
+// LineKey tags a 32-byte conflict-detection line.
+func LineKey(l uint64) Key { return keyTagLine | (Key(l) & keyIndexMask) }
+
+// Index returns the untagged location index.
+func (k Key) Index() uint64 { return uint64(k & keyIndexMask) }
+
+// String renders the key for reports: "addr 0x2a", "stripe 17", "line 0x3".
+func (k Key) String() string {
+	switch k & ^keyIndexMask {
+	case keyTagAddr:
+		return fmt.Sprintf("addr 0x%x", k.Index())
+	case keyTagStripe:
+		return fmt.Sprintf("stripe %d", k.Index())
+	case keyTagLine:
+		return fmt.Sprintf("line 0x%x", k.Index())
+	default:
+		return "(none)"
+	}
+}

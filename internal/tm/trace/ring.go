@@ -1,0 +1,158 @@
+package trace
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// EventKind discriminates the tracer's event stream.
+type EventKind uint8
+
+const (
+	// EvBegin marks the first attempt of an atomic block (re-executions
+	// after an abort do not re-emit it, so Begin/Commit pairs bracket the
+	// whole block including its retries).
+	EvBegin EventKind = iota + 1
+	// EvAbort marks one failed attempt, stamped with its cause and key.
+	EvAbort
+	// EvCommit marks the successful attempt completing the block.
+	EvCommit
+	// EvWait marks a contention-manager delay (backoff spin).
+	EvWait
+)
+
+var kindNames = [...]string{"", "begin", "abort", "commit", "wait"}
+
+// String returns "begin", "abort", "commit", or "wait".
+func (k EventKind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "invalid"
+}
+
+// Event is one decoded tracer record.
+type Event struct {
+	TimeNs int64 // monotonic, relative to the package epoch (process start)
+	Kind   EventKind
+	Cause  AbortCause // EvAbort only
+	Thread int
+	Block  int32
+	Key    Key // conflict location for EvAbort (0 when none)
+}
+
+// epoch anchors all tracer timestamps so now() is a plain time.Since —
+// monotonic and allocation-free.
+var epoch = time.Now()
+
+func now() int64 { return int64(time.Since(epoch)) }
+
+// ringSlot is one published event: a per-slot sequence word guarding three
+// payload words. The writer publishes seq = 2*gen+1 (busy), fills the
+// payload, then seq = 2*gen+2 (done); a reader that sees an odd or changed
+// sequence discards the slot. gen = i/len(slots) disambiguates wraparound,
+// so a torn read across lap boundaries is detected, never misdecoded.
+type ringSlot struct {
+	seq    atomic.Uint64
+	ts     atomic.Int64
+	packed atomic.Uint64 // kind<<56 | cause<<48 | thread<<32 | uint32(block)
+	key    atomic.Uint64
+}
+
+// Ring is a per-thread fixed-size event buffer. Exactly one goroutine (the
+// owning worker) writes; Snapshot may run concurrently from any goroutine
+// and is race-detector-clean thanks to the per-slot seqlock. When the ring
+// wraps, the oldest events are overwritten — a tracer is a tail window, not
+// a log. A nil *Ring is the "tracing off" state: every method no-ops.
+type Ring struct {
+	sample uint64 // record every sample-th block (1 = all)
+	count  uint64 // blocks seen, for the sampling decision (owner-only)
+	open   bool   // current block is being recorded (owner-only)
+	next   uint64 // next slot index, monotonically increasing (owner-only)
+	slots  []ringSlot
+}
+
+// NewRing returns a ring of n slots recording every sample-th atomic block
+// (sample <= 1 records all). n is rounded up to a power of two.
+func NewRing(n, sample int) *Ring {
+	if n < 2 {
+		n = 2
+	}
+	size := 2
+	for size < n {
+		size *= 2
+	}
+	if sample < 1 {
+		sample = 1
+	}
+	return &Ring{sample: uint64(sample), slots: make([]ringSlot, size)}
+}
+
+// SampleBlock decides whether the block starting now is traced, and if so
+// emits its EvBegin. Call once per atomic block, before the retry loop.
+func (r *Ring) SampleBlock(thread int, block int32) {
+	if r == nil {
+		return
+	}
+	r.count++
+	r.open = (r.count-1)%r.sample == 0
+	if r.open {
+		r.emit(EvBegin, CauseUnknown, thread, block, 0)
+	}
+}
+
+// Emit records one event for the current block if it is being traced.
+func (r *Ring) Emit(kind EventKind, cause AbortCause, thread int, block int32, key Key) {
+	if r == nil || !r.open {
+		return
+	}
+	r.emit(kind, cause, thread, block, key)
+}
+
+func (r *Ring) emit(kind EventKind, cause AbortCause, thread int, block int32, key Key) {
+	i := r.next
+	r.next++
+	mask := uint64(len(r.slots) - 1)
+	sl := &r.slots[i&mask]
+	gen := i / uint64(len(r.slots))
+	sl.seq.Store(2*gen + 1)
+	sl.ts.Store(now())
+	sl.packed.Store(uint64(kind)<<56 | uint64(cause)<<48 |
+		uint64(uint16(thread))<<32 | uint64(uint32(block)))
+	sl.key.Store(uint64(key))
+	sl.seq.Store(2*gen + 2)
+}
+
+// Snapshot decodes the ring's currently readable events, oldest first. It
+// is safe against a concurrently writing owner: slots caught mid-write (or
+// lapped during the read) are skipped.
+func (r *Ring) Snapshot() []Event {
+	if r == nil {
+		return nil
+	}
+	evs := make([]Event, 0, len(r.slots))
+	for i := range r.slots {
+		sl := &r.slots[i]
+		seq1 := sl.seq.Load()
+		if seq1 == 0 || seq1%2 == 1 {
+			continue
+		}
+		ts := sl.ts.Load()
+		packed := sl.packed.Load()
+		key := sl.key.Load()
+		if sl.seq.Load() != seq1 {
+			continue
+		}
+		evs = append(evs, Event{
+			TimeNs: ts,
+			Kind:   EventKind(packed >> 56),
+			Cause:  AbortCause(packed >> 48),
+			Thread: int(uint16(packed >> 32)),
+			Block:  int32(uint32(packed)),
+			Key:    Key(key),
+		})
+	}
+	sort.Slice(evs, func(i, j int) bool { return evs[i].TimeNs < evs[j].TimeNs })
+	return evs
+}

@@ -1,0 +1,144 @@
+package trace
+
+import "sort"
+
+// SketchSlots is the fixed slot count of a ConflictSketch. Space-saving
+// guarantees that any location responsible for more than 1/SketchSlots of
+// the recorded conflicts is present in the sketch, which is far finer than
+// a heatmap needs — STAMP conflict mass concentrates on a handful of
+// structures (queue heads, tree roots, counters).
+const SketchSlots = 32
+
+// ConflictSketch is a fixed-size space-saving top-K sketch over conflict
+// keys. Each worker owns one inside its ThreadStats and records into it
+// without synchronization (the same single-writer discipline as every other
+// per-thread counter); sketches are merged after the team joins. Recording
+// is a linear scan over at most SketchSlots inline slots — no allocation,
+// no hashing, no pointers — so it is safe on the abort path of every
+// runtime.
+type ConflictSketch struct {
+	used  int
+	slots [SketchSlots]sketchSlot
+}
+
+type sketchSlot struct {
+	key   Key
+	count uint64 // space-saving overestimate (inherits the evicted minimum)
+	// causes attributes the conflicts recorded since the key (last) entered
+	// the sketch; their sum can undercut count by the inherited error.
+	causes [NumCauses]uint64
+	// Blamed block: Boyer–Moore majority vote over the enemy block IDs seen
+	// at this key (0 = unattributed / unknown owner).
+	blameID    int32
+	blameVotes uint64
+}
+
+// Record accounts one conflict at key with the given cause, optionally
+// blaming the enemy transaction's block (blame 0 = unknown). Key 0 is
+// ignored.
+func (s *ConflictSketch) Record(key Key, cause AbortCause, blame int32) {
+	if key == 0 {
+		return
+	}
+	min := 0
+	for i := 0; i < s.used; i++ {
+		if s.slots[i].key == key {
+			s.slots[i].bump(1, cause, blame, 1)
+			return
+		}
+		if s.slots[i].count < s.slots[min].count {
+			min = i
+		}
+	}
+	if s.used < SketchSlots {
+		i := s.used
+		s.used++
+		s.slots[i] = sketchSlot{key: key}
+		s.slots[i].bump(1, cause, blame, 1)
+		return
+	}
+	// Space-saving eviction: the new key takes the minimum slot and
+	// inherits its count (the classical overestimate bound).
+	inherited := s.slots[min].count
+	s.slots[min] = sketchSlot{key: key, count: inherited}
+	s.slots[min].bump(1, cause, blame, 1)
+}
+
+func (sl *sketchSlot) bump(n uint64, cause AbortCause, blame int32, votes uint64) {
+	sl.count += n
+	sl.causes[cause] += n
+	if blame == 0 {
+		return
+	}
+	switch {
+	case sl.blameVotes == 0:
+		sl.blameID, sl.blameVotes = blame, votes
+	case sl.blameID == blame:
+		sl.blameVotes += votes
+	case sl.blameVotes <= votes:
+		sl.blameID, sl.blameVotes = blame, votes-sl.blameVotes
+	default:
+		sl.blameVotes -= votes
+	}
+}
+
+// Merge folds o into s (aggregation after the team joins; both sketches are
+// quiescent). Shared keys combine exactly; distinct keys compete through
+// the same space-saving eviction as Record.
+func (s *ConflictSketch) Merge(o *ConflictSketch) {
+	for i := 0; i < o.used; i++ {
+		s.mergeSlot(&o.slots[i])
+	}
+}
+
+func (s *ConflictSketch) mergeSlot(in *sketchSlot) {
+	min := 0
+	for i := 0; i < s.used; i++ {
+		if s.slots[i].key == in.key {
+			s.slots[i].count += in.count
+			for c := range in.causes {
+				s.slots[i].causes[c] += in.causes[c]
+			}
+			s.slots[i].bump(0, CauseUnknown, in.blameID, in.blameVotes)
+			return
+		}
+		if s.slots[i].count < s.slots[min].count {
+			min = i
+		}
+	}
+	if s.used < SketchSlots {
+		s.slots[s.used] = *in
+		s.used++
+		return
+	}
+	if s.slots[min].count < in.count {
+		s.slots[min] = *in
+	}
+}
+
+// ConflictRow is one entry of the aggregated heatmap: a contended location,
+// its (over)estimated conflict count, the cause mix recorded against it,
+// and the majority-blamed enemy block (0 when no owner was identifiable).
+type ConflictRow struct {
+	Key    Key
+	Count  uint64
+	Causes [NumCauses]uint64
+	Blame  int32
+}
+
+// Top returns the sketch's rows, hottest first (ties broken by key for
+// deterministic output).
+func (s *ConflictSketch) Top() []ConflictRow {
+	rows := make([]ConflictRow, 0, s.used)
+	for i := 0; i < s.used; i++ {
+		sl := &s.slots[i]
+		rows = append(rows, ConflictRow{Key: sl.key, Count: sl.count, Causes: sl.causes, Blame: sl.blameID})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Count != rows[j].Count {
+			return rows[i].Count > rows[j].Count
+		}
+		return rows[i].Key < rows[j].Key
+	})
+	return rows
+}

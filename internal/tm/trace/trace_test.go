@@ -1,0 +1,255 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCauseNames(t *testing.T) {
+	names := CauseNames()
+	if len(names) != int(NumCauses) {
+		t.Fatalf("CauseNames returned %d names, want %d", len(names), NumCauses)
+	}
+	seen := make(map[string]bool)
+	for c := AbortCause(0); c < NumCauses; c++ {
+		name := c.String()
+		if name == "" || name == "invalid" {
+			t.Fatalf("cause %d has no name", c)
+		}
+		if seen[name] {
+			t.Fatalf("duplicate cause name %q", name)
+		}
+		seen[name] = true
+		if names[c] != name {
+			t.Fatalf("CauseNames()[%d] = %q, want %q", c, names[c], name)
+		}
+	}
+	if names[0] != "unknown" {
+		t.Fatalf("cause 0 = %q, want unknown", names[0])
+	}
+	if AbortCause(200).String() != "invalid" {
+		t.Fatalf("out-of-range cause should stringify as invalid")
+	}
+}
+
+func TestKeyTags(t *testing.T) {
+	cases := []struct {
+		key  Key
+		idx  uint64
+		text string
+	}{
+		{AddrKey(42), 42, "addr 0x2a"},
+		{StripeKey(17), 17, "stripe 17"},
+		{LineKey(3), 3, "line 0x3"},
+		{0, 0, "(none)"},
+	}
+	for _, c := range cases {
+		if c.key.Index() != c.idx {
+			t.Errorf("%v.Index() = %d, want %d", c.key, c.key.Index(), c.idx)
+		}
+		if c.key.String() != c.text {
+			t.Errorf("key string = %q, want %q", c.key.String(), c.text)
+		}
+	}
+	if AddrKey(7) == StripeKey(7) || StripeKey(7) == LineKey(7) {
+		t.Fatalf("tags must distinguish equal indices")
+	}
+}
+
+func TestSketchRecordAndTop(t *testing.T) {
+	var s ConflictSketch
+	for i := 0; i < 10; i++ {
+		s.Record(AddrKey(1), CauseWriteWrite, 3)
+	}
+	for i := 0; i < 5; i++ {
+		s.Record(AddrKey(2), CauseReadValidation, 0)
+	}
+	s.Record(AddrKey(3), CauseStripeLockBusy, 7)
+	s.Record(0, CauseWriteWrite, 1) // key 0 is ignored
+
+	rows := s.Top()
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	if rows[0].Key != AddrKey(1) || rows[0].Count != 10 {
+		t.Fatalf("hottest row = %+v, want addr 1 x10", rows[0])
+	}
+	if rows[0].Causes[CauseWriteWrite] != 10 || rows[0].Blame != 3 {
+		t.Fatalf("row 0 cause/blame = %+v", rows[0])
+	}
+	if rows[1].Key != AddrKey(2) || rows[1].Blame != 0 {
+		t.Fatalf("row 1 = %+v, want addr 2 unblamed", rows[1])
+	}
+}
+
+func TestSketchEviction(t *testing.T) {
+	var s ConflictSketch
+	// Fill every slot with count-2 keys, then hammer one new key: it must
+	// evict a minimum slot and, by the space-saving bound, end with
+	// count >= its true frequency.
+	for i := 0; i < SketchSlots; i++ {
+		s.Record(AddrKey(uint64(100+i)), CauseWriteWrite, 0)
+		s.Record(AddrKey(uint64(100+i)), CauseWriteWrite, 0)
+	}
+	const hot = 50
+	for i := 0; i < hot; i++ {
+		s.Record(AddrKey(7), CauseSeqChanged, 0)
+	}
+	rows := s.Top()
+	if rows[0].Key != AddrKey(7) {
+		t.Fatalf("hot key missing after eviction: top = %+v", rows[0])
+	}
+	if rows[0].Count < hot {
+		t.Fatalf("space-saving count %d undercuts true frequency %d", rows[0].Count, hot)
+	}
+	if got := rows[0].Causes[CauseSeqChanged]; got != hot {
+		t.Fatalf("cause counter = %d, want %d", got, hot)
+	}
+}
+
+func TestSketchMerge(t *testing.T) {
+	var a, b ConflictSketch
+	for i := 0; i < 4; i++ {
+		a.Record(AddrKey(1), CauseWriteWrite, 2)
+	}
+	a.Record(AddrKey(9), CauseReadValidation, 0)
+	for i := 0; i < 6; i++ {
+		b.Record(AddrKey(1), CauseStripeLockBusy, 2)
+	}
+	b.Record(AddrKey(5), CauseHTMConflict, 4)
+
+	a.Merge(&b)
+	rows := a.Top()
+	if rows[0].Key != AddrKey(1) || rows[0].Count != 10 {
+		t.Fatalf("merged hot row = %+v, want addr 1 x10", rows[0])
+	}
+	if rows[0].Causes[CauseWriteWrite] != 4 || rows[0].Causes[CauseStripeLockBusy] != 6 {
+		t.Fatalf("merged cause mix = %+v", rows[0].Causes)
+	}
+	if rows[0].Blame != 2 {
+		t.Fatalf("merged blame = %d, want 2", rows[0].Blame)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("merged row count = %d, want 3", len(rows))
+	}
+}
+
+func TestRingSamplingAndWrap(t *testing.T) {
+	r := NewRing(4, 2) // 4 slots, every 2nd block
+	for block := int32(1); block <= 4; block++ {
+		r.SampleBlock(0, block)
+		r.Emit(EvCommit, CauseUnknown, 0, block, 0)
+	}
+	evs := r.Snapshot()
+	// Blocks 1 and 3 are sampled (4 events); the ring holds exactly 4.
+	if len(evs) != 4 {
+		t.Fatalf("got %d events, want 4: %+v", len(evs), evs)
+	}
+	wantBlocks := []int32{1, 1, 3, 3}
+	wantKinds := []EventKind{EvBegin, EvCommit, EvBegin, EvCommit}
+	for i, ev := range evs {
+		if ev.Block != wantBlocks[i] || ev.Kind != wantKinds[i] {
+			t.Fatalf("event %d = %+v, want block %d kind %v", i, ev, wantBlocks[i], wantKinds[i])
+		}
+	}
+	// Two more sampled blocks must overwrite the oldest lap.
+	for block := int32(5); block <= 6; block++ {
+		r.SampleBlock(0, block)
+		r.Emit(EvAbort, CauseWriteWrite, 0, block, AddrKey(9))
+	}
+	evs = r.Snapshot()
+	if len(evs) != 4 {
+		t.Fatalf("after wrap: got %d events, want 4", len(evs))
+	}
+	if evs[0].Block != 3 || evs[3].Block != 5 && evs[3].Block != 6 {
+		t.Fatalf("after wrap: unexpected window %+v", evs)
+	}
+	for _, ev := range evs {
+		if ev.Kind == EvAbort && (ev.Cause != CauseWriteWrite || ev.Key != AddrKey(9)) {
+			t.Fatalf("abort event lost cause/key: %+v", ev)
+		}
+	}
+}
+
+func TestRingNilAndDisabled(t *testing.T) {
+	var r *Ring
+	r.SampleBlock(0, 1) // must not panic
+	r.Emit(EvCommit, CauseUnknown, 0, 1, 0)
+	if evs := r.Snapshot(); evs != nil {
+		t.Fatalf("nil ring snapshot = %+v, want nil", evs)
+	}
+}
+
+// TestRingConcurrentSnapshot is the -race tracer stress: one owner writing
+// flat out while other goroutines snapshot mid-run. The seqlock must keep
+// the race detector quiet and every decoded event well-formed.
+func TestRingConcurrentSnapshot(t *testing.T) {
+	r := NewRing(64, 1)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				for _, ev := range r.Snapshot() {
+					if ev.Kind < EvBegin || ev.Kind > EvWait {
+						panic("torn event escaped the seqlock")
+					}
+				}
+			}
+		}()
+	}
+	for block := int32(1); block <= 5000; block++ {
+		r.SampleBlock(3, block)
+		r.Emit(EvAbort, CauseHTMConflict, 3, block, LineKey(uint64(block)))
+		r.Emit(EvCommit, CauseUnknown, 3, block, 0)
+	}
+	close(done)
+	wg.Wait()
+	for _, ev := range r.Snapshot() {
+		if ev.Thread != 3 {
+			t.Fatalf("event thread = %d, want 3", ev.Thread)
+		}
+	}
+}
+
+func TestWriteChrome(t *testing.T) {
+	r := NewRing(16, 1)
+	r.SampleBlock(1, 7)
+	r.Emit(EvAbort, CauseSeqChanged, 1, 7, AddrKey(33))
+	r.Emit(EvWait, CauseUnknown, 1, 7, 0)
+	r.Emit(EvCommit, CauseUnknown, 1, 7, 0)
+
+	var sb strings.Builder
+	err := WriteChrome(&sb, r.Snapshot(), func(id int32) string { return "deposit" })
+	if err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	out := sb.String()
+	var parsed []map[string]any
+	if err := json.Unmarshal([]byte(out), &parsed); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out)
+	}
+	if len(parsed) != 4 {
+		t.Fatalf("got %d records, want 4: %s", len(parsed), out)
+	}
+	if parsed[0]["ph"] != "B" || parsed[0]["name"] != "deposit" {
+		t.Fatalf("first record = %+v, want B/deposit", parsed[0])
+	}
+	if parsed[3]["ph"] != "E" {
+		t.Fatalf("last record = %+v, want E", parsed[3])
+	}
+	abort := parsed[1]
+	args, _ := abort["args"].(map[string]any)
+	if abort["ph"] != "i" || args["cause"] != "seq-changed" || args["at"] != "addr 0x21" {
+		t.Fatalf("abort record = %+v", abort)
+	}
+}

@@ -2,6 +2,7 @@ package stamp
 
 import (
 	"fmt"
+	"io"
 	"strings"
 
 	"github.com/stamp-go/stamp/internal/container"
@@ -10,6 +11,7 @@ import (
 	"github.com/stamp-go/stamp/internal/thread"
 	"github.com/stamp-go/stamp/internal/tm"
 	"github.com/stamp-go/stamp/internal/tm/factory"
+	"github.com/stamp-go/stamp/internal/tm/trace"
 )
 
 // Core transactional-memory types (see the tm package docs on each).
@@ -42,6 +44,18 @@ type (
 	BlockRow = tm.BlockRow
 	// Team is the fork/join worker group with a reusable barrier.
 	Team = thread.Team
+	// AbortCause classifies why one transactional attempt failed (see
+	// CauseNames for the closed taxonomy).
+	AbortCause = tm.AbortCause
+	// ConflictKey names the contended location of an abort: an address, a
+	// lock-table stripe, or a cache line (0 = no identifiable location).
+	ConflictKey = tm.ConflictKey
+	// ConflictRow is one row of the aggregated conflict heatmap
+	// (Stats.TopConflicts): a contended location, its abort count, the
+	// per-cause split, and the most-blamed enemy block.
+	ConflictRow = tm.ConflictRow
+	// TraceEvent is one sampled tracer record of a run (Result.Trace).
+	TraceEvent = tm.TraceEvent
 )
 
 // Container types (arena-resident, usable inside and outside transactions).
@@ -80,6 +94,22 @@ type (
 
 // NilAddr is the null arena address.
 const NilAddr = mem.Nil
+
+// The closed abort-cause taxonomy (Stats.AbortCauses indexes by these;
+// CauseNames gives the matching display names in the same order).
+const (
+	CauseUnknown           = tm.CauseUnknown
+	CauseReadValidation    = tm.CauseReadValidation
+	CauseStripeLockBusy    = tm.CauseStripeLockBusy
+	CauseSeqChanged        = tm.CauseSeqChanged
+	CauseWriteWrite        = tm.CauseWriteWrite
+	CauseSignatureConflict = tm.CauseSignatureConflict
+	CauseHTMConflict       = tm.CauseHTMConflict
+	CauseHTMCapacity       = tm.CauseHTMCapacity
+	CauseCMKill            = tm.CauseCMKill
+	CauseExplicitRetry     = tm.CauseExplicitRetry
+	NumCauses              = tm.NumCauses
+)
 
 // NewArena returns an arena with capacity for nWords 8-byte words.
 func NewArena(nWords int) *Arena { return mem.NewArena(nWords) }
@@ -139,6 +169,27 @@ func ParseSystems(list string, allowSeq bool) ([]string, error) {
 			strings.Join(Systems(), ", "))
 	}
 	return systems, nil
+}
+
+// CauseNames returns every abort-cause display name in enum order,
+// "unknown" first: the closed taxonomy every runtime stamps its aborts
+// with (Stats.AbortCauses indexes by the same order).
+func CauseNames() []string { return tm.CauseNames() }
+
+// TraceEvents collects a system's sampled tracer events across all worker
+// rings, time-sorted — nil unless the system was built with Config.Trace
+// > 0. Library users call this after their workers join; harness runs get
+// the same slice in Result.Trace.
+func TraceEvents(sys System) []TraceEvent { return tm.TraceEvents(sys) }
+
+// WriteChromeTrace renders a run's sampled tracer events (Result.Trace,
+// produced with Options.Trace > 0) as Chrome trace-event JSON — loadable in
+// Perfetto or chrome://tracing — resolving block IDs through the block
+// registry.
+func WriteChromeTrace(w io.Writer, events []TraceEvent) error {
+	return trace.WriteChrome(w, events, func(id int32) string {
+		return tm.BlockName(tm.BlockID(id))
+	})
 }
 
 // CMNames returns every registered contention-manager policy name, sorted:
