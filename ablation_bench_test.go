@@ -668,3 +668,77 @@ func BenchmarkAblationHTMCapacity(b *testing.B) {
 		})
 	}
 }
+
+// mvBenchBlocks are registered once: the read-only mark is what routes the
+// sum blocks onto stm-mv's snapshot path (the other runtimes ignore it).
+var (
+	mvBenchSum   = tm.NewROBlock("mv-bench/sum")
+	mvBenchWrite = tm.NewBlock("mv-bench/write")
+)
+
+// BenchmarkAblationMVReadHeavy: a read-dominated mix (15/16 read-only sums
+// over a shared table, 1/16 writer increments) on the multi-version STM
+// against the single-version TL2 and the read-only-optimized NOrec, across
+// thread counts. The paper's read-dominated workloads are where validation
+// and lock-probe costs dominate STM overhead; stm-mv's claim is that its
+// snapshot readers pay zero validation and zero aborts (retries/tx stays at
+// the writers' share) at the cost of the writers' ring maintenance. The
+// lock-acquires/tx metric shows the reader side staying off the lock table
+// entirely on stm-mv.
+func BenchmarkAblationMVReadHeavy(b *testing.B) {
+	const (
+		cells = 64
+		sumN  = 16 // cells read per read-only transaction
+		perT  = 2000
+	)
+	for _, sysName := range []string{"stm-mv", "stm-lazy", "stm-norec-ro"} {
+		for _, threads := range []int{1, 4, 8} {
+			b.Run(fmt.Sprintf("%s/threads=%d", sysName, threads), func(b *testing.B) {
+				var aborts, commits, lockAcqs uint64
+				hasLockMetric := false
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					arena := mem.NewArena(1 << 12)
+					base := arena.Alloc(cells)
+					sys, err := factory.New(sysName, tm.Config{Arena: arena, Threads: threads})
+					if err != nil {
+						b.Fatal(err)
+					}
+					team := thread.NewTeam(threads)
+					team.Run(func(tid int) {
+						th := sys.Thread(tid)
+						var sink uint64
+						for j := 0; j < perT; j++ {
+							if j%16 == 0 {
+								a := base + mem.Addr((tid*31+j)%cells)
+								th.AtomicAt(mvBenchWrite, func(tx tm.Tx) {
+									tx.Store(a, tx.Load(a)+1)
+								})
+								continue
+							}
+							th.AtomicAt(mvBenchSum, func(tx tm.Tx) {
+								var s uint64
+								for k := 0; k < sumN; k++ {
+									s += tx.Load(base + mem.Addr((tid*17+j*7+k*5)%cells))
+								}
+								sink = s
+							})
+						}
+						_ = sink
+					})
+					st := sys.Stats()
+					aborts += st.Total.Aborts
+					commits += st.Total.Commits
+					if la, ok := sys.(interface{ LockAcquires() uint64 }); ok {
+						lockAcqs += la.LockAcquires()
+						hasLockMetric = true
+					}
+				}
+				b.ReportMetric(float64(aborts)/float64(max(commits, 1)), "retries/tx")
+				if hasLockMetric { // tl2 exposes no acquisition counter
+					b.ReportMetric(float64(lockAcqs)/float64(max(commits, 1)), "lock-acquires/tx")
+				}
+			})
+		}
+	}
+}

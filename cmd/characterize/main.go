@@ -27,6 +27,7 @@ func main() {
 		sysFlag     = flag.String("systems", "", "comma-separated extra retry-column systems beyond the paper's six (see stamp -list-systems)")
 		cmFlag      = flag.String("cm", "", "contention-manager policy for the retry-column runs (see stamp -list-cms; default: per-runtime)")
 		clockFlag   = flag.String("clock", "", "TL2 commit-clock scheme for the retry-column runs (see stamp -list-clocks; default: gv1)")
+		mvVers      = flag.Int("mv-versions", 0, "stm-mv per-stripe version-ring depth (0 = default 8)")
 		qualitative = flag.Bool("qualitative", false, "also print the derived Table III buckets")
 	)
 	flag.Parse()
@@ -79,7 +80,7 @@ func main() {
 	var rows []stamp.Characterization
 	for _, v := range selected {
 		fmt.Fprintf(os.Stderr, "characterizing %s (scale %g)...\n", v.Name, *scale)
-		c, err := harness.Characterize(v, *scale, *retry, harness.Options{CM: cm, Clock: clock}, extraSystems...)
+		c, err := harness.Characterize(v, *scale, *retry, harness.Options{CM: cm, Clock: clock, MVVersions: *mvVers}, extraSystems...)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "characterize:", err)
 			os.Exit(1)

@@ -26,6 +26,7 @@ func main() {
 		sysFlag   = flag.String("systems", "", "comma-separated TM systems (default: the paper's six; see stamp -list-systems)")
 		cmFlag    = flag.String("cm", "", "contention-manager policy for every TM run (see stamp -list-cms; default: per-runtime)")
 		clockFlag = flag.String("clock", "", "TL2 commit-clock scheme for every TM run (see stamp -list-clocks; default: gv1)")
+		mvVers    = flag.Int("mv-versions", 0, "stm-mv per-stripe version-ring depth (0 = default 8)")
 		csv       = flag.Bool("csv", false, "emit CSV instead of aligned text")
 	)
 	flag.Parse()
@@ -79,7 +80,7 @@ func main() {
 	var series []stamp.SpeedupSeries
 	for _, v := range selected {
 		fmt.Fprintf(os.Stderr, "measuring %s (scale %g)...\n", v.Name, *scale)
-		s, err := harness.MeasureSpeedup(v, *scale, ts, systems, harness.Options{CM: cm, Clock: clock})
+		s, err := harness.MeasureSpeedup(v, *scale, ts, systems, harness.Options{CM: cm, Clock: clock, MVVersions: *mvVers})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "speedup:", err)
 			os.Exit(1)

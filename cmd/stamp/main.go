@@ -9,7 +9,7 @@
 //	stamp -list-cms
 //	stamp -list-clocks
 //	stamp -list-causes
-//	stamp -variant vacation-low -systems stm-lazy,stm-norec -threads 8 [-scale 1] [-cm greedy] [-clock gv4]
+//	stamp -variant vacation-low -systems stm-lazy,stm-norec -threads 8 [-scale 1] [-cm greedy] [-clock gv4] [-mv-versions 16]
 //	stamp -variant vacation-low -systems stm-lazy -threads 8 -trace 16 -trace-out tx.trace.json
 package main
 
@@ -38,6 +38,7 @@ func main() {
 		scale    = flag.Float64("scale", 1.0, "workload scale (1 = the paper's configuration)")
 		cmFlag   = flag.String("cm", "", "contention-manager policy (see -list-cms; default: per-runtime)")
 		clkFlag  = flag.String("clock", "", "TL2 commit-clock scheme (see -list-clocks; default: gv1)")
+		mvVers   = flag.Int("mv-versions", 0, "stm-mv per-stripe version-ring depth (0 = default 8; 1 = single-version)")
 		traceN   = flag.Int("trace", 0, "sample every Nth atomic block into the event tracer (0 = off)")
 		traceOut = flag.String("trace-out", "", "write sampled events as Chrome trace-event JSON (Perfetto-loadable); implies -trace 1 if -trace is unset")
 	)
@@ -107,7 +108,7 @@ func main() {
 			n = 1 // seq has no concurrency control; >1 thread corrupts the run
 		}
 		res, err := stamp.RunOpts(*variant, *scale, sysName, n,
-			stamp.Options{CM: cm, Clock: clock, Trace: *traceN})
+			stamp.Options{CM: cm, Clock: clock, Trace: *traceN, MVVersions: *mvVers})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "stamp:", err)
 			os.Exit(1)

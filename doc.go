@@ -1,19 +1,23 @@
 // Package stamp is a from-scratch Go reproduction of STAMP — the Stanford
 // Transactional Applications for Multi-Processing benchmark suite (Cao Minh,
-// Chung, Kozyrakis, Olukotun; IISWC 2008) — together with ten
+// Chung, Kozyrakis, Olukotun; IISWC 2008) — together with eleven
 // transactional-memory runtimes: the seven the paper evaluates, two NOrec
-// STM variants, and an adaptive meta-runtime that picks the protocol
-// online.
+// STM variants, a multi-version STM whose read-only transactions never
+// abort, and an adaptive meta-runtime that picks the protocol online.
 //
 // The package exposes three layers:
 //
 //   - A portable transactional-memory API (System, Thread, Tx) over a
-//     word-addressed shared-memory Arena, with ten interchangeable
+//     word-addressed shared-memory Arena, with eleven interchangeable
 //     runtimes: a sequential baseline, TL2-style lazy and eager STMs,
 //     NOrec STMs with value-based validation ("stm-norec", and
-//     "stm-norec-ro" with the read-only commit fast path), simulated
-//     TCC-style (lazy) and LogTM-style (eager) HTMs, SigTM-style lazy
-//     and eager hybrids, and "stm-adaptive", which wraps two of the STMs
+//     "stm-norec-ro" with the read-only commit fast path), "stm-mv" —
+//     multi-version: writers keep per-stripe rings of Config.MVVersions
+//     committed values, and blocks registered through NewROBlock read a
+//     begin-time snapshot with zero validation and zero aborts —
+//     simulated TCC-style (lazy) and LogTM-style (eager) HTMs, SigTM-style
+//     lazy and eager hybrids, and "stm-adaptive", which wraps two of the
+//     STMs
 //     (NOrec and TL2 by default, Config.AdaptiveRead/AdaptiveWrite) and
 //     switches between them online from sampled commit/abort and
 //     read/write-set signals, quiescing in-flight transactions at each
@@ -55,8 +59,9 @@
 // Every abort is attributed to a cause from a closed taxonomy
 // (AbortCause; CauseNames lists them: "unknown" — always zero on a
 // healthy runtime — "read-validation", "stripe-lock-busy", "seq-changed",
-// "write-write", "signature-conflict", "htm-conflict", "htm-capacity",
-// "cm-kill", and "explicit-retry"), stamped at the conflict site inside
+// "write-write", "mv-version-missing", "signature-conflict",
+// "htm-conflict", "htm-capacity", "cm-kill", and "explicit-retry"),
+// stamped at the conflict site inside
 // the runtime: Stats.AbortCauses() sums to exactly Total.Aborts, and the
 // per-block rows carry the same breakdown. Aborts also feed a conflict
 // heatmap of the hottest contended locations (Stats.TopConflicts: address,

@@ -20,10 +20,15 @@ import (
 )
 
 // Atomic-block call sites, registered once for per-block statistics
-// attribution (tm.Stats.Blocks) and adaptive protocol selection.
+// attribution (tm.Stats.Blocks) and adaptive protocol selection. The
+// learn-edge block is a long read-mostly scan (it scores every candidate
+// parent before deciding whether to insert one edge), so it carries the
+// read-only mark: on stm-mv the scan runs on the zero-abort snapshot path,
+// and the minority of attempts that insert fall through to the write-path
+// commit.
 var (
 	blkPopTask  = tm.NewBlock("bayes/pop-task")
-	blkLearn    = tm.NewBlock("bayes/learn-edge")
+	blkLearn    = tm.NewROBlock("bayes/learn-edge")
 	blkPushTask = tm.NewBlock("bayes/push-task")
 )
 

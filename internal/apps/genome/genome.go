@@ -19,11 +19,16 @@ import (
 )
 
 // Atomic-block call sites, registered once for per-block statistics
-// attribution (tm.Stats.Blocks) and adaptive protocol selection.
+// attribution (tm.Stats.Blocks) and adaptive protocol selection. The
+// publish and link phases are read-mostly — most attempts bail out after a
+// few loads (already matched, no hash hit, failed string confirm) without
+// storing — so they carry the read-only mark and begin on stm-mv's
+// zero-abort snapshot path; the attempts that do store fall through to the
+// write-path commit.
 var (
 	blkDedup   = tm.NewBlock("genome/dedup-insert")
-	blkPublish = tm.NewBlock("genome/publish-ends")
-	blkLink    = tm.NewBlock("genome/link-overlap")
+	blkPublish = tm.NewROBlock("genome/publish-ends")
+	blkLink    = tm.NewROBlock("genome/link-overlap")
 )
 
 // Config mirrors the Table IV arguments: -g (gene length), -s (segment

@@ -126,6 +126,52 @@ func TestGenomeAllSystems(t *testing.T) {
 	}, 4)
 }
 
+// TestReadOnlyBlockAnnotations pins the harness's read-only block audit:
+// the app call sites whose common path performs no store are registered
+// through tm.NewROBlock — so stm-mv begins them on its zero-abort snapshot
+// path — and the marks survive lookups (the mark is sticky; a plain
+// NewBlock re-registration must not clear it). A genome run on stm-mv then
+// proves the annotated blocks actually execute and commit there, with the
+// whole run's abort accounting staying attributed.
+func TestReadOnlyBlockAnnotations(t *testing.T) {
+	roBlocks := []string{"genome/publish-ends", "genome/link-overlap", "bayes/learn-edge"}
+	for _, name := range roBlocks {
+		if !tm.BlockReadOnly(tm.NewBlock(name)) {
+			t.Errorf("%s is not marked read-only", name)
+		}
+	}
+	for _, name := range []string{"genome/dedup-insert", "bayes/pop-task"} {
+		if tm.BlockReadOnly(tm.NewBlock(name)) {
+			t.Errorf("%s is marked read-only but its common path stores", name)
+		}
+	}
+
+	app := genome.New(genome.Config{
+		GeneLength: 256, SegmentLength: 16, Segments: 4096, Seed: 6,
+	})
+	arena := mem.NewArena(app.ArenaWords())
+	app.Setup(arena)
+	sys := mustSys(t, "stm-mv", arena, 4)
+	app.Run(sys, thread.NewTeam(4))
+	if err := app.Verify(arena); err != nil {
+		t.Fatalf("genome on stm-mv: %v", err)
+	}
+	st := sys.Stats()
+	rows := make(map[string]tm.BlockRow)
+	for _, row := range st.Blocks() {
+		rows[row.Name] = row
+	}
+	for _, name := range []string{"genome/publish-ends", "genome/link-overlap"} {
+		row, ok := rows[name]
+		if !ok || row.Commits == 0 {
+			t.Errorf("no commits recorded for annotated block %s (%+v)", name, rows)
+		}
+	}
+	if unattr := st.AbortCauses()[tm.CauseUnknown]; unattr != 0 {
+		t.Errorf("%d aborts left unattributed (CauseUnknown)", unattr)
+	}
+}
+
 func TestGenomeSeededReconstruction(t *testing.T) {
 	// Several seeds: the assembly oracle is exact (result == gene). Segment
 	// length stays >= 16 as in all Table IV configs; shorter segments make

@@ -27,6 +27,10 @@ type Options struct {
 	// TraceBuf overrides the per-thread ring capacity in events
 	// (0 = tm.DefaultTraceBuf).
 	TraceBuf int
+	// MVVersions sizes the stm-mv per-stripe version ring
+	// (0 = tm.DefaultMVVersions; see tm.Config.MVVersions). Other runtimes
+	// ignore it.
+	MVVersions int
 }
 
 // Result is the outcome of one app × system × thread-count run.
@@ -78,6 +82,7 @@ func RunOne(app apps.App, variant, sysName string, threads int, opt Options) (Re
 		Clock:              opt.Clock,
 		Trace:              opt.Trace,
 		TraceBuf:           opt.TraceBuf,
+		MVVersions:         opt.MVVersions,
 	})
 	if err != nil {
 		return Result{}, fmt.Errorf("harness: %w", err)

@@ -282,8 +282,24 @@ func (s *System) switchTo(m int32) {
 			runtime.Gosched()
 		}
 	}
+	// The outgoing delegate's tenure may have invalidated state the
+	// incoming one caches off the shared arena (stm-mv's version rings, to
+	// which the other delegate's commits never append). Notify the
+	// delegate being activated while the team is quiesced, so no
+	// transaction can observe the stale state.
+	if h, ok := s.dels[m].(handoffAware); ok {
+		h.OnHandoff()
+	}
 	s.mode.Store(m)
 	s.switches.Add(1)
+}
+
+// handoffAware is the optional delegate interface for runtimes that cache
+// arena-derived state another delegate's tenure can silently invalidate.
+// OnHandoff is called on the delegate about to be activated, after the
+// quiesce completes and before any of its transactions can start.
+type handoffAware interface {
+	OnHandoff()
 }
 
 // flush deposits one worker's batched signals into the shared window and,

@@ -22,9 +22,11 @@ var blockReg = struct {
 	sync.RWMutex
 	ids   map[string]BlockID
 	names []string
+	ro    []bool // parallel to names: site declared read-mostly
 }{
 	ids:   map[string]BlockID{noBlockName: NoBlock},
 	names: []string{noBlockName},
+	ro:    []bool{false},
 }
 
 // NewBlock registers an atomic-block call site under a stable name
@@ -32,19 +34,46 @@ var blockReg = struct {
 // Registration is idempotent: the same name always yields the same ID, so
 // package-level block variables stay stable across repeated app
 // constructions and test runs.
-func NewBlock(name string) BlockID {
+func NewBlock(name string) BlockID { return newBlock(name, false) }
+
+// NewROBlock registers an atomic-block call site like NewBlock and marks it
+// read-mostly: the block's common path performs no Store, so runtimes with a
+// read-optimized begin path (stm-mv's snapshot reads) may start its attempts
+// on that path. The mark is a hint, not a contract — a marked block that
+// does store still commits correctly everywhere (stm-mv falls back to its
+// ordinary TL2-style write commit) — and runtimes without a read-only path
+// ignore it. The mark is sticky: re-registering a marked name through plain
+// NewBlock (the idempotent lookup idiom) does not clear it.
+func NewROBlock(name string) BlockID { return newBlock(name, true) }
+
+func newBlock(name string, ro bool) BlockID {
 	if name == "" {
 		return NoBlock
 	}
 	blockReg.Lock()
 	defer blockReg.Unlock()
 	if id, ok := blockReg.ids[name]; ok {
+		if ro {
+			blockReg.ro[id] = true
+		}
 		return id
 	}
 	id := BlockID(len(blockReg.names))
 	blockReg.ids[name] = id
 	blockReg.names = append(blockReg.names, name)
+	blockReg.ro = append(blockReg.ro, ro)
 	return id
+}
+
+// BlockReadOnly reports whether id was registered through NewROBlock (false
+// for unknown IDs and NoBlock).
+func BlockReadOnly(id BlockID) bool {
+	blockReg.RLock()
+	defer blockReg.RUnlock()
+	if id < 0 || int(id) >= len(blockReg.ro) {
+		return false
+	}
+	return blockReg.ro[id]
 }
 
 // BlockName returns the registered name of id ("" for an unknown ID).

@@ -10,6 +10,7 @@ import (
 	"github.com/stamp-go/stamp/internal/tm/adaptive"
 	"github.com/stamp-go/stamp/internal/tm/htmsim"
 	"github.com/stamp-go/stamp/internal/tm/hybrid"
+	"github.com/stamp-go/stamp/internal/tm/mv"
 	"github.com/stamp-go/stamp/internal/tm/norec"
 	"github.com/stamp-go/stamp/internal/tm/tl2"
 )
@@ -21,6 +22,7 @@ var constructors = map[string]func(tm.Config) (tm.System, error){
 	"stm-eager":    func(c tm.Config) (tm.System, error) { return tl2.NewEager(c) },
 	"stm-norec":    func(c tm.Config) (tm.System, error) { return norec.New(c) },
 	"stm-norec-ro": func(c tm.Config) (tm.System, error) { return norec.NewRO(c) },
+	"stm-mv":       func(c tm.Config) (tm.System, error) { return mv.New(c) },
 	"htm-lazy":     func(c tm.Config) (tm.System, error) { return htmsim.NewLazy(c) },
 	"htm-eager":    func(c tm.Config) (tm.System, error) { return htmsim.NewEager(c) },
 	"hybrid-lazy":  func(c tm.Config) (tm.System, error) { return hybrid.NewLazy(c) },

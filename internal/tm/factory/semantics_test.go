@@ -44,7 +44,7 @@ func newSys(t *testing.T, name string, arena *mem.Arena, threads int) tm.System 
 func TestNamesComplete(t *testing.T) {
 	want := map[string]bool{
 		"seq": true, "stm-lazy": true, "stm-eager": true,
-		"stm-norec": true, "stm-norec-ro": true, "stm-adaptive": true,
+		"stm-norec": true, "stm-norec-ro": true, "stm-adaptive": true, "stm-mv": true,
 		"htm-lazy": true, "htm-eager": true, "hybrid-lazy": true, "hybrid-eager": true,
 	}
 	got := Names()
@@ -73,7 +73,7 @@ func TestRosterSupersets(t *testing.T) {
 	}
 	var want []string
 	want = append(want, TMNames()...)
-	want = append(want, "stm-norec", "stm-adaptive")
+	want = append(want, "stm-norec", "stm-adaptive", "stm-mv")
 	for _, n := range want {
 		if !all[n] {
 			t.Fatalf("Names() = %v is missing %q", Names(), n)

@@ -1,0 +1,301 @@
+package mv
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"github.com/stamp-go/stamp/internal/mem"
+	"github.com/stamp-go/stamp/internal/thread"
+	"github.com/stamp-go/stamp/internal/tm"
+)
+
+func newSys(t *testing.T, cfg tm.Config) *System {
+	t.Helper()
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestSnapshotReadersZeroAbortsZeroLockAcquires is the headline pin of the
+// multi-version design: under a contended read-heavy workload, stm-mv
+// read-only transactions record zero aborts and zero stripe-lock
+// acquisitions while writers commit the whole time. Two writer threads
+// keep an a==b invariant across two hot words (every commit increments
+// both); two reader threads sum the pair from the snapshot path for the
+// writers' entire run. The ring is sized so no version a live snapshot
+// can need is ever evicted (perW*2 commits + pre-images < MVVersions even
+// if both words hash to one stripe), which makes the zero-abort claim
+// deterministic rather than probabilistic. The yields inside the bodies
+// force writer commits to land between a reader's two loads on few-core
+// machines — the reader then must serve the second load from the version
+// ring, and the a==b check proves the ring served the snapshot version,
+// not the newer arena value.
+func TestSnapshotReadersZeroAbortsZeroLockAcquires(t *testing.T) {
+	const (
+		threads = 4 // readers 0,1; writers 2,3
+		perW    = 100
+		ringK   = 256 // > 2*perW + pre-images: eviction can't outrun a snapshot
+	)
+	blk := tm.NewROBlock("mv-test/headline-sum")
+	arena := mem.NewArena(1 << 12)
+	a := arena.Alloc(1)
+	b := arena.Alloc(1)
+	sys := newSys(t, tm.Config{Arena: arena, Threads: threads, MVVersions: ringK})
+
+	var done atomic.Bool
+	var torn [2]int64
+	team := thread.NewTeam(threads)
+	team.Run(func(tid int) {
+		th := sys.Thread(tid)
+		if tid >= 2 { // writer
+			for i := 0; i < perW; i++ {
+				th.Atomic(func(tx tm.Tx) {
+					la := tx.Load(a)
+					runtime.Gosched() // let readers interleave mid-attempt
+					tx.Store(a, la+1)
+					tx.Store(b, tx.Load(b)+1)
+				})
+			}
+			if tid == 3 {
+				done.Store(true)
+			}
+			return
+		}
+		// Reader: snapshot sums for as long as the writers commit.
+		for !done.Load() {
+			th.AtomicAt(blk, func(tx tm.Tx) {
+				la := tx.Load(a)
+				runtime.Gosched() // a commit landing here forces a ring read
+				lb := tx.Load(b)
+				if la != lb {
+					torn[tid]++
+				}
+			})
+		}
+	})
+
+	for tid := 0; tid < 2; tid++ {
+		if v := torn[tid]; v != 0 {
+			t.Errorf("reader %d observed %d torn a/b pairs", tid, v)
+		}
+		if got := sys.Thread(tid).Stats().Aborts; got != 0 {
+			t.Errorf("reader %d recorded %d aborts, want 0", tid, got)
+		}
+		if got := sys.ThreadLockAcquires(tid); got != 0 {
+			t.Errorf("reader %d acquired %d stripe locks, want 0", tid, got)
+		}
+	}
+	if got, want := arena.Load(a), uint64(2*perW); got != want {
+		t.Errorf("a = %d, want %d", got, want)
+	}
+	if arena.Load(a) != arena.Load(b) {
+		t.Errorf("final a/b diverged: %d != %d", arena.Load(a), arena.Load(b))
+	}
+	if got := sys.LockAcquires(); got == 0 {
+		t.Error("writers acquired no stripe locks; the workload exercised nothing")
+	}
+	st := sys.Stats()
+	if unattr := st.AbortCauses()[tm.CauseUnknown]; unattr != 0 {
+		t.Errorf("%d aborts left unattributed (CauseUnknown)", unattr)
+	}
+}
+
+// TestRingOverflowAbortsMVVersionMissing pins the closed abort taxonomy of
+// the snapshot path: when writers commit a stripe more than MVVersions
+// times past a pinned snapshot, the ring no longer retains any version the
+// snapshot may read, and the reader aborts with mv-version-missing — the
+// snapshot path's only abort cause — then succeeds on the write-path
+// retry. The handshake makes the overflow deterministic: the reader pins
+// its snapshot with a first load, then waits while the writer commits
+// MVVersions+2 times, so the reader's next load finds the stripe advanced
+// and every retained version too new.
+func TestRingOverflowAbortsMVVersionMissing(t *testing.T) {
+	const ringK = 4
+	blk := tm.NewROBlock("mv-test/overflow-reader")
+	arena := mem.NewArena(1 << 10)
+	x := arena.Alloc(1)
+	sys := newSys(t, tm.Config{Arena: arena, Threads: 2, MVVersions: ringK})
+
+	writerGo := make(chan struct{})
+	writerDone := make(chan struct{})
+	var got uint64
+	team := thread.NewTeam(2)
+	team.Run(func(tid int) {
+		th := sys.Thread(tid)
+		if tid == 1 {
+			<-writerGo
+			for i := 0; i < ringK+2; i++ {
+				th.Atomic(func(tx tm.Tx) {
+					tx.Store(x, tx.Load(x)+1)
+				})
+			}
+			close(writerDone)
+			return
+		}
+		attempt := 0
+		th.AtomicAt(blk, func(tx tm.Tx) {
+			attempt++
+			if attempt == 1 {
+				_ = tx.Load(x) // pins nothing by itself, but proves rv predates the burst
+				close(writerGo)
+				<-writerDone
+			}
+			got = tx.Load(x)
+		})
+	})
+
+	if want := uint64(ringK + 2); got != want {
+		t.Errorf("retried read = %d, want %d", got, want)
+	}
+	if attempts := sys.Thread(0).Stats().Aborts; attempts == 0 {
+		t.Error("reader never aborted; the overflow was not exercised")
+	}
+	causes := sys.Stats().AbortCauses()
+	if causes[tm.CauseMVVersionMissing] == 0 {
+		t.Errorf("no abort attributed to mv-version-missing: %v", causes)
+	}
+	if causes[tm.CauseUnknown] != 0 {
+		t.Errorf("%d aborts left unattributed (CauseUnknown)", causes[tm.CauseUnknown])
+	}
+}
+
+// TestSingleVersionDegrades pins the documented MVVersions=1 semantics: the
+// ring holds only the newest committed version, so any snapshot pinned
+// before even a single commit to the stripe must miss (the pre-image record
+// is immediately evicted by the commit's own value record) — single-version
+// TL2-like behavior, reached through the same mv-version-missing cause.
+func TestSingleVersionDegrades(t *testing.T) {
+	blk := tm.NewROBlock("mv-test/single-version-reader")
+	arena := mem.NewArena(1 << 10)
+	x := arena.Alloc(1)
+	arena.Store(x, 7)
+	sys := newSys(t, tm.Config{Arena: arena, Threads: 2, MVVersions: 1})
+	if got := sys.RingDepth(); got != 1 {
+		t.Fatalf("RingDepth = %d, want 1", got)
+	}
+
+	writerGo := make(chan struct{})
+	writerDone := make(chan struct{})
+	var got uint64
+	team := thread.NewTeam(2)
+	team.Run(func(tid int) {
+		th := sys.Thread(tid)
+		if tid == 1 {
+			<-writerGo
+			th.Atomic(func(tx tm.Tx) {
+				tx.Store(x, tx.Load(x)+1)
+			})
+			close(writerDone)
+			return
+		}
+		attempt := 0
+		th.AtomicAt(blk, func(tx tm.Tx) {
+			attempt++
+			if attempt == 1 {
+				_ = tx.Load(x)
+				close(writerGo)
+				<-writerDone
+			}
+			got = tx.Load(x)
+		})
+	})
+
+	if got != 8 {
+		t.Errorf("retried read = %d, want 8", got)
+	}
+	if causes := sys.Stats().AbortCauses(); causes[tm.CauseMVVersionMissing] == 0 {
+		t.Errorf("single-version ring did not raise mv-version-missing: %v", causes)
+	}
+}
+
+// TestRingScanHistory drives the version ring directly (white box): after a
+// sequence of single-threaded commits, ringScan must return, for every
+// snapshot timestamp, exactly the value that was current at it — including
+// the pre-commit value through the pre-image record — and miss only below
+// the pre-image's version once the ring has evicted it.
+func TestRingScanHistory(t *testing.T) {
+	arena := mem.NewArena(1 << 10)
+	x := arena.Alloc(1)
+	arena.Store(x, 7)                                     // pre-ring value
+	sys := newSys(t, tm.Config{Arena: arena, Threads: 1}) // default ring depth 8
+	if got := sys.RingDepth(); got != tm.DefaultMVVersions {
+		t.Fatalf("RingDepth = %d, want the default %d", got, tm.DefaultMVVersions)
+	}
+	th := sys.Thread(0)
+	c0 := sys.ClockNow()
+	for i := 1; i <= 5; i++ {
+		v := uint64(i * 10)
+		th.Atomic(func(tx tm.Tx) { tx.Store(x, v) })
+	}
+	idx := sys.index(x)
+	// gv1 ticks once per writing commit: versions c0+1 .. c0+5.
+	wantAt := map[uint64]uint64{
+		c0:     7, // pre-image record
+		c0 + 1: 10,
+		c0 + 2: 20,
+		c0 + 3: 30,
+		c0 + 4: 40,
+		c0 + 5: 50,
+		c0 + 9: 50, // newer snapshots see the newest record
+	}
+	for rv, want := range wantAt {
+		got, ok := sys.ringScan(idx, x, rv)
+		if !ok || got != want {
+			t.Errorf("ringScan(rv=%d) = %d, %v; want %d, true", rv, got, ok, want)
+		}
+	}
+	// A commit burst that overflows the ring evicts oldest-first: the
+	// pre-image and the early versions disappear, and old snapshots miss.
+	for i := 6; i <= 12; i++ {
+		v := uint64(i * 10)
+		th.Atomic(func(tx tm.Tx) { tx.Store(x, v) })
+	}
+	if _, ok := sys.ringScan(idx, x, c0); ok {
+		t.Error("ringScan found a record older than the ring retains")
+	}
+	if got, ok := sys.ringScan(idx, x, c0+12); !ok || got != 120 {
+		t.Errorf("ringScan(rv=%d) = %d, %v; want 120, true", c0+12, got, ok)
+	}
+}
+
+// TestROBlockStoreFallsBack pins the read-only mark's hint-not-contract
+// semantics: a marked block that stores still commits correctly — the
+// snapshot attempt buffers the store and goes through the ordinary
+// write-path commit.
+func TestROBlockStoreFallsBack(t *testing.T) {
+	blk := tm.NewROBlock("mv-test/ro-that-stores")
+	arena := mem.NewArena(1 << 10)
+	x := arena.Alloc(1)
+	arena.Store(x, 41)
+	sys := newSys(t, tm.Config{Arena: arena, Threads: 1})
+	sys.Thread(0).AtomicAt(blk, func(tx tm.Tx) {
+		tx.Store(x, tx.Load(x)+1)
+	})
+	if got := arena.Load(x); got != 42 {
+		t.Fatalf("x = %d, want 42", got)
+	}
+	if got := sys.Stats().Total.Commits; got != 1 {
+		t.Fatalf("commits = %d, want 1", got)
+	}
+}
+
+// TestConfigValidation pins the MVVersions config contract: zero resolves
+// to the default depth, negatives are rejected, and the table-size clamp
+// respects its mv-specific ceiling.
+func TestConfigValidation(t *testing.T) {
+	arena := mem.NewArena(1 << 10)
+	if _, err := New(tm.Config{Arena: arena, Threads: 1, MVVersions: -1}); err == nil {
+		t.Error("negative MVVersions accepted")
+	}
+	sys := newSys(t, tm.Config{Arena: arena, Threads: 1})
+	if got := sys.RingDepth(); got != tm.DefaultMVVersions {
+		t.Errorf("default ring depth = %d, want %d", got, tm.DefaultMVVersions)
+	}
+	big := newSys(t, tm.Config{Arena: arena, Threads: 1, LockTableBits: 30})
+	if got := big.Stripes(); got != 1<<maxTableBits {
+		t.Errorf("stripes = %d, want the clamped %d", got, 1<<maxTableBits)
+	}
+}

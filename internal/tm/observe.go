@@ -45,6 +45,7 @@ const (
 	CauseHTMCapacity       = trace.CauseHTMCapacity
 	CauseCMKill            = trace.CauseCMKill
 	CauseExplicitRetry     = trace.CauseExplicitRetry
+	CauseMVVersionMissing  = trace.CauseMVVersionMissing
 	NumCauses              = trace.NumCauses
 )
 

@@ -23,6 +23,11 @@
 //	              between them online from sampled commit/abort and
 //	              read/write-set signals, with an epoch-based quiesce so no
 //	              transaction straddles a protocol handoff
+//	stm-mv        multi-version STM: TL2-style writers append committed values
+//	              to per-stripe bounded version rings (Config.MVVersions), so
+//	              read-only transactions read a consistent snapshot at their
+//	              begin timestamp with zero validation, zero aborts, and zero
+//	              lock acquisitions while writers commit concurrently
 //
 // The paper's evaluation covers six of these (factory.TMNames()); the NOrec
 // and adaptive runtimes extend the comparison axis beyond the paper and are
@@ -152,6 +157,16 @@ type Config struct {
 	// pointer, the pre-reservation behavior — the ablation arm).
 	AllocChunk int
 
+	// MVVersions is the per-stripe version-ring depth of the stm-mv
+	// runtime: how many committed (version, address, value) records each
+	// stripe retains for snapshot readers. 0 selects DefaultMVVersions (8).
+	// 1 degrades to single-version behavior — a snapshot reader that finds
+	// its stripe committed past its begin timestamp always misses the ring
+	// and aborts with mv-version-missing, exactly like a TL2 read
+	// validation failure. Negative values are rejected by Validate. Only
+	// the stm-mv runtime reads this field.
+	MVVersions int
+
 	// LockTableBits sizes the TL2 versioned-lock table at 2^bits stripes.
 	// 0 derives the size from the arena (one stripe per word, rounded up
 	// to a power of two, clamped to [2^12, 2^20]), so small workloads stop
@@ -252,6 +267,9 @@ func (c Config) Defaults() Config {
 	if c.PriorityAfter == 0 {
 		c.PriorityAfter = 32
 	}
+	if c.MVVersions == 0 {
+		c.MVVersions = DefaultMVVersions
+	}
 	if c.AdaptiveRead == "" {
 		c.AdaptiveRead = "stm-norec-ro"
 	}
@@ -284,6 +302,9 @@ func (c Config) Validate() error {
 	if c.Trace < 0 {
 		return fmt.Errorf("tm: trace sampling interval must be >= 0, got %d", c.Trace)
 	}
+	if c.MVVersions < 0 {
+		return fmt.Errorf("tm: mv version-ring depth must be >= 1, got %d", c.MVVersions)
+	}
 	// Clock is validated here — not just in the TL2 constructors that
 	// consume it — so a typoed scheme errors uniformly on every runtime
 	// instead of being silently ignored (and mislabeling Result.Clock) on
@@ -299,6 +320,10 @@ func (c Config) Validate() error {
 // DefaultAllocChunk is the per-thread reservation size tx.Alloc refills in
 // when Config.AllocChunk is 0 (in words; ~32 KiB of arena per refill).
 const DefaultAllocChunk = 4096
+
+// DefaultMVVersions is the stm-mv per-stripe version-ring depth when
+// Config.MVVersions is 0.
+const DefaultMVVersions = 8
 
 // ReserveChunk resolves Config.AllocChunk to the effective per-thread
 // reservation size: negative disables reservation (returns 0), 0 selects

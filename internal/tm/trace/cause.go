@@ -47,6 +47,11 @@ const (
 	CauseCMKill
 	// CauseExplicitRetry is an application-raised Tx.Restart (TM_RESTART).
 	CauseExplicitRetry
+	// CauseMVVersionMissing is a multi-version ring overflow: a snapshot
+	// reader's begin timestamp predates every version of a location still
+	// retained in its stripe's bounded ring (stm-mv; the ring is sized by
+	// tm.Config.MVVersions). The retry begins with a fresh snapshot.
+	CauseMVVersionMissing
 
 	// NumCauses bounds the per-cause counter arrays.
 	NumCauses
@@ -63,6 +68,7 @@ var causeNames = [NumCauses]string{
 	CauseHTMCapacity:       "htm-capacity",
 	CauseCMKill:            "cm-kill",
 	CauseExplicitRetry:     "explicit-retry",
+	CauseMVVersionMissing:  "mv-version-missing",
 }
 
 // String returns the registry name of the cause (e.g. "write-write").

@@ -108,6 +108,7 @@ const (
 	CauseHTMCapacity       = tm.CauseHTMCapacity
 	CauseCMKill            = tm.CauseCMKill
 	CauseExplicitRetry     = tm.CauseExplicitRetry
+	CauseMVVersionMissing  = tm.CauseMVVersionMissing
 	NumCauses              = tm.NumCauses
 )
 
@@ -115,8 +116,8 @@ const (
 func NewArena(nWords int) *Arena { return mem.NewArena(nWords) }
 
 // NewSystem constructs a TM runtime by name: "seq", "stm-lazy", "stm-eager",
-// "stm-norec", "stm-norec-ro", "stm-adaptive", "htm-lazy", "htm-eager",
-// "hybrid-lazy", or "hybrid-eager".
+// "stm-norec", "stm-norec-ro", "stm-mv", "stm-adaptive", "htm-lazy",
+// "htm-eager", "hybrid-lazy", or "hybrid-eager".
 func NewSystem(name string, cfg Config) (System, error) { return factory.New(name, cfg) }
 
 // NewBlock registers an atomic-block call site under a stable name and
@@ -125,6 +126,13 @@ func NewSystem(name string, cfg Config) (System, error) { return factory.New(nam
 // attribute its protocol choices to call sites. Registration is idempotent:
 // the same name always yields the same ID.
 func NewBlock(name string) BlockID { return tm.NewBlock(name) }
+
+// NewROBlock registers an atomic-block call site like NewBlock and marks it
+// read-mostly: runtimes with a read-optimized begin path (stm-mv's
+// zero-abort snapshot reads) start the block's attempts there. The mark is
+// a hint — a marked block that stores still commits correctly on every
+// runtime.
+func NewROBlock(name string) BlockID { return tm.NewROBlock(name) }
 
 // BlockName returns the registered name of a block ID ("" if unknown).
 func BlockName(id BlockID) string { return tm.BlockName(id) }
