@@ -640,6 +640,68 @@ func BenchmarkAblationTraceOverhead(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationChaosOverhead pins the cost of the fault-injection layer
+// on the contended stm-lazy workload of the trace ablation: chaos off (the
+// default — every site is one nil-pointer test) against an armed injector
+// whose probabilities are all zero (the sites draw no randomness but do load
+// per-thread injector state). The acceptance bar is that both arms stay
+// within noise of each other — chaos must cost nothing when it cannot fire.
+func BenchmarkAblationChaosOverhead(b *testing.B) {
+	const threads = 8
+	const perT = 1500
+	for _, arm := range []struct {
+		name string
+		spec string
+	}{
+		{"chaos=off", ""},
+		{"chaos=armed-p0", "1:tl2-lock-acquire:0,tl2-lock-release:0,cm-wait-drop:0"},
+	} {
+		b.Run(arm.name, func(b *testing.B) {
+			var aborts, commits uint64
+			for i := 0; i < b.N; i++ {
+				b.StopTimer() // arena/system construction stays out of ns/op
+				arena := stamp.NewArena(1 << 12)
+				hot := arena.Alloc(1)
+				cells := make([]stamp.Addr, 32)
+				for j := range cells {
+					cells[j] = arena.AllocLines(1)
+				}
+				sys, err := factory.New("stm-lazy", tm.Config{
+					Arena: arena, Threads: threads, Chaos: arm.spec,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				team := thread.NewTeam(threads)
+				team.Run(func(tid int) {
+					th := sys.Thread(tid)
+					for j := 0; j < perT; j++ {
+						if j%4 == 0 {
+							a := cells[(tid*7+j)%len(cells)]
+							c := cells[(tid+j*5)%len(cells)]
+							th.Atomic(func(tx tm.Tx) {
+								tx.Store(a, tx.Load(a)+1)
+								tx.Store(c, tx.Load(c)+1)
+							})
+							continue
+						}
+						th.Atomic(func(tx tm.Tx) {
+							tx.Store(hot, tx.Load(hot)+1)
+						})
+					}
+				})
+				b.StopTimer()
+				st := sys.Stats()
+				aborts += st.Total.Aborts
+				commits += st.Total.Commits
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(aborts)/float64(max(commits, 1)), "retries/tx")
+		})
+	}
+}
+
 // BenchmarkAblationHTMCapacity sweeps the lazy HTM's speculative capacity
 // on labyrinth-style transactions, locating the serialization cliff.
 func BenchmarkAblationHTMCapacity(b *testing.B) {

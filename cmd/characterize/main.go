@@ -28,6 +28,8 @@ func main() {
 		cmFlag      = flag.String("cm", "", "contention-manager policy for the retry-column runs (see stamp -list-cms; default: per-runtime)")
 		clockFlag   = flag.String("clock", "", "TL2 commit-clock scheme for the retry-column runs (see stamp -list-clocks; default: gv1)")
 		mvVers      = flag.Int("mv-versions", 0, "stm-mv per-stripe version-ring depth (0 = default 8)")
+		chaosArg    = flag.String("chaos", "", "arm deterministic failpoints for the retry-column runs: seed:site:prob[,...] (see stamp -list-chaos)")
+		timeout     = flag.Duration("timeout", 0, "progress watchdog per run: fail if no commits for this long (0 = off)")
 		qualitative = flag.Bool("qualitative", false, "also print the derived Table III buckets")
 	)
 	flag.Parse()
@@ -38,6 +40,11 @@ func main() {
 		os.Exit(2)
 	}
 	clock, err := stamp.ParseClock(*clockFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "characterize:", err)
+		os.Exit(2)
+	}
+	chaosSpec, err := stamp.ParseChaos(*chaosArg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "characterize:", err)
 		os.Exit(2)
@@ -80,7 +87,10 @@ func main() {
 	var rows []stamp.Characterization
 	for _, v := range selected {
 		fmt.Fprintf(os.Stderr, "characterizing %s (scale %g)...\n", v.Name, *scale)
-		c, err := harness.Characterize(v, *scale, *retry, harness.Options{CM: cm, Clock: clock, MVVersions: *mvVers}, extraSystems...)
+		c, err := harness.Characterize(v, *scale, *retry, harness.Options{
+			CM: cm, Clock: clock, MVVersions: *mvVers,
+			Chaos: chaosSpec, ProgressTimeout: *timeout,
+		}, extraSystems...)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "characterize:", err)
 			os.Exit(1)

@@ -27,6 +27,8 @@ func main() {
 		cmFlag    = flag.String("cm", "", "contention-manager policy for every TM run (see stamp -list-cms; default: per-runtime)")
 		clockFlag = flag.String("clock", "", "TL2 commit-clock scheme for every TM run (see stamp -list-clocks; default: gv1)")
 		mvVers    = flag.Int("mv-versions", 0, "stm-mv per-stripe version-ring depth (0 = default 8)")
+		chaosArg  = flag.String("chaos", "", "arm deterministic failpoints for every TM run: seed:site:prob[,...] (see stamp -list-chaos)")
+		timeout   = flag.Duration("timeout", 0, "progress watchdog per run: fail if no commits for this long (0 = off)")
 		csv       = flag.Bool("csv", false, "emit CSV instead of aligned text")
 	)
 	flag.Parse()
@@ -37,6 +39,11 @@ func main() {
 		os.Exit(2)
 	}
 	clock, err := stamp.ParseClock(*clockFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "speedup:", err)
+		os.Exit(2)
+	}
+	chaosSpec, err := stamp.ParseChaos(*chaosArg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "speedup:", err)
 		os.Exit(2)
@@ -80,7 +87,10 @@ func main() {
 	var series []stamp.SpeedupSeries
 	for _, v := range selected {
 		fmt.Fprintf(os.Stderr, "measuring %s (scale %g)...\n", v.Name, *scale)
-		s, err := harness.MeasureSpeedup(v, *scale, ts, systems, harness.Options{CM: cm, Clock: clock, MVVersions: *mvVers})
+		s, err := harness.MeasureSpeedup(v, *scale, ts, systems, harness.Options{
+			CM: cm, Clock: clock, MVVersions: *mvVers,
+			Chaos: chaosSpec, ProgressTimeout: *timeout,
+		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "speedup:", err)
 			os.Exit(1)

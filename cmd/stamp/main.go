@@ -9,8 +9,10 @@
 //	stamp -list-cms
 //	stamp -list-clocks
 //	stamp -list-causes
+//	stamp -list-chaos
 //	stamp -variant vacation-low -systems stm-lazy,stm-norec -threads 8 [-scale 1] [-cm greedy] [-clock gv4] [-mv-versions 16]
 //	stamp -variant vacation-low -systems stm-lazy -threads 8 -trace 16 -trace-out tx.trace.json
+//	stamp -variant vacation-low -systems stm-lazy -threads 8 -chaos 42:tl2-lock-acquire:0.01 -timeout 30s
 package main
 
 import (
@@ -41,6 +43,9 @@ func main() {
 		mvVers   = flag.Int("mv-versions", 0, "stm-mv per-stripe version-ring depth (0 = default 8; 1 = single-version)")
 		traceN   = flag.Int("trace", 0, "sample every Nth atomic block into the event tracer (0 = off)")
 		traceOut = flag.String("trace-out", "", "write sampled events as Chrome trace-event JSON (Perfetto-loadable); implies -trace 1 if -trace is unset")
+		chaosArg = flag.String("chaos", "", "arm deterministic failpoints: seed:site:prob[,site:prob...] (see -list-chaos)")
+		listChs  = flag.Bool("list-chaos", false, "list all registered fault-injection failpoints and exit")
+		timeout  = flag.Duration("timeout", 0, "progress watchdog: fail (with diagnostics) if no transaction commits for this long (0 = off)")
 	)
 	flag.Parse()
 	if *traceOut != "" && *traceN == 0 {
@@ -78,6 +83,12 @@ func main() {
 		}
 		return
 	}
+	if *listChs {
+		for _, site := range stamp.ChaosSites() {
+			fmt.Printf("%-18s %-14s %s\n", site.Name, site.Kind, site.Description)
+		}
+		return
+	}
 	if *variant == "" {
 		fmt.Fprintln(os.Stderr, "stamp: -variant is required (use -list to enumerate)")
 		os.Exit(2)
@@ -97,6 +108,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "stamp:", err)
 		os.Exit(2)
 	}
+	chaosSpec, err := stamp.ParseChaos(*chaosArg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stamp:", err)
+		os.Exit(2)
+	}
 
 	failed := false
 	for i, sysName := range systems {
@@ -108,7 +124,8 @@ func main() {
 			n = 1 // seq has no concurrency control; >1 thread corrupts the run
 		}
 		res, err := stamp.RunOpts(*variant, *scale, sysName, n,
-			stamp.Options{CM: cm, Clock: clock, Trace: *traceN, MVVersions: *mvVers})
+			stamp.Options{CM: cm, Clock: clock, Trace: *traceN, MVVersions: *mvVers,
+				Chaos: chaosSpec, ProgressTimeout: *timeout})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "stamp:", err)
 			os.Exit(1)
@@ -124,6 +141,10 @@ func main() {
 			cmName, res.Stats.Total.CMWaits,
 			time.Duration(res.Stats.Total.CMWaitNs).Round(time.Microsecond),
 			res.Stats.Total.CMSerialized)
+		if e := res.Stats.Total.Escalations; e > 0 {
+			fmt.Printf("escalations  %d (%d committed irrevocably)\n",
+				e, res.Stats.Total.EscalatedCommits)
+		}
 		clockName := res.Clock
 		if clockName == "" {
 			clockName = "default (gv1)"

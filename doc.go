@@ -35,11 +35,26 @@
 // (the paper's randomized linear backoff, the STM/hybrid default), "expo"
 // (exponential backoff), "greedy" (timestamp priority: older wins, younger
 // aborts), "karma" (priority accrued across aborted attempts), "serialize"
-// (global-lock fallback after repeated aborts), and "none" (immediate
-// restart, the simulated HTMs' default). Select one with Config.CM or the
-// -cm flag of the commands; leave it empty for each runtime's historical
-// default. Priority policies arbitrate at encounter-time conflict points;
-// per-policy delay and serialization counts are reported in Stats.
+// (delay, then guaranteed irrevocable escalation after SerializeAfter
+// aborts), and "none" (immediate restart, the simulated HTMs' default).
+// Select one with Config.CM or the -cm flag of the commands; leave it
+// empty for each runtime's historical default. Priority policies arbitrate
+// at encounter-time conflict points; per-policy delay and serialization
+// counts are reported in Stats.
+//
+// Liveness is a layer of its own, inherited by every policy and runtime:
+// past Config.StarveAfter consecutive aborts (or Config.StarveAfterNs of
+// age) a block escalates to irrevocable mode — it acquires a global
+// token, drains in-flight peers, runs alone, and must commit
+// (Stats.Escalations/EscalatedCommits; displaced victims abort with the
+// "killed-for-irrevocable" cause). Deterministic fault injection
+// (Config.Chaos or -chaos, spec "seed:site:prob[,...]"; ChaosSites lists
+// the failpoints, -list-chaos prints them) arms spurious aborts, bounded
+// lock-holding stalls, and dropped CM waits in the runtimes' conflict and
+// commit paths, at zero cost when off. A progress watchdog
+// (Options.ProgressTimeout or -timeout) halts a run whose commit count
+// stays flat, dumps diagnostics, and fails with ErrStalled instead of
+// hanging.
 //
 // The TM hot path's shared serial points are configurable too. The TL2
 // commit clock is a pluggable scheme (ClockNames: "gv1" fetch-add — the
@@ -60,8 +75,8 @@
 // (AbortCause; CauseNames lists them: "unknown" — always zero on a
 // healthy runtime — "read-validation", "stripe-lock-busy", "seq-changed",
 // "write-write", "mv-version-missing", "signature-conflict",
-// "htm-conflict", "htm-capacity", "cm-kill", and "explicit-retry"),
-// stamped at the conflict site inside
+// "htm-conflict", "htm-capacity", "cm-kill", "explicit-retry", and
+// "killed-for-irrevocable"), stamped at the conflict site inside
 // the runtime: Stats.AbortCauses() sums to exactly Total.Aborts, and the
 // per-block rows carry the same breakdown. Aborts also feed a conflict
 // heatmap of the hottest contended locations (Stats.TopConflicts: address,

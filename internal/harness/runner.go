@@ -31,6 +31,14 @@ type Options struct {
 	// (0 = tm.DefaultMVVersions; see tm.Config.MVVersions). Other runtimes
 	// ignore it.
 	MVVersions int
+	// Chaos arms deterministic failpoints in the runtime's conflict and
+	// commit paths ("" = off; see tm.Config.Chaos for the spec grammar).
+	Chaos string
+	// ProgressTimeout arms the progress watchdog: if the run's global commit
+	// count is flat for a full window, the run is halted, diagnostics are
+	// dumped to stderr, and RunOne returns an ErrStalled-wrapped error
+	// instead of hanging (0 = watchdog off).
+	ProgressTimeout time.Duration
 }
 
 // Result is the outcome of one app × system × thread-count run.
@@ -73,6 +81,10 @@ func (r Result) TxTimeFraction() float64 {
 func RunOne(app apps.App, variant, sysName string, threads int, opt Options) (Result, error) {
 	arena := mem.NewArena(app.ArenaWords())
 	app.Setup(arena)
+	var watch *tm.Watch
+	if opt.ProgressTimeout > 0 {
+		watch = tm.NewWatch(threads)
+	}
 	sys, err := factory.New(sysName, tm.Config{
 		Arena:              arena,
 		Threads:            threads,
@@ -83,6 +95,8 @@ func RunOne(app apps.App, variant, sysName string, threads int, opt Options) (Re
 		Trace:              opt.Trace,
 		TraceBuf:           opt.TraceBuf,
 		MVVersions:         opt.MVVersions,
+		Chaos:              opt.Chaos,
+		Watch:              watch,
 	})
 	if err != nil {
 		return Result{}, fmt.Errorf("harness: %w", err)
@@ -90,7 +104,11 @@ func RunOne(app apps.App, variant, sysName string, threads int, opt Options) (Re
 	team := thread.NewTeam(threads)
 	team.SetLabels("app", variant, "system", sysName)
 	start := time.Now()
-	app.Run(sys, team)
+	if watch == nil {
+		app.Run(sys, team)
+	} else if err := runWatched(app, sys, team, watch, opt.ProgressTimeout); err != nil {
+		return Result{}, err
+	}
 	wall := time.Since(start)
 	return Result{
 		Variant: variant,

@@ -1,0 +1,72 @@
+package harness
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/stamp-go/stamp/internal/mem"
+	"github.com/stamp-go/stamp/internal/thread"
+	"github.com/stamp-go/stamp/internal/tm"
+)
+
+// stallApp is a workload that never commits: every attempt ends in an
+// explicit Restart, so the global commit count stays flat forever. The
+// progress watchdog is the only thing standing between it and a hang.
+type stallApp struct{}
+
+func (stallApp) Name() string            { return "stall" }
+func (stallApp) ArenaWords() int         { return 64 }
+func (stallApp) Setup(*mem.Arena)        {}
+func (stallApp) Verify(*mem.Arena) error { return nil }
+
+func (stallApp) Run(sys tm.System, team *thread.Team) {
+	team.Run(func(tid int) {
+		th := sys.Thread(tid)
+		for {
+			th.Atomic(func(tx tm.Tx) { tx.Restart() })
+		}
+	})
+}
+
+// okApp commits a handful of increments per thread and finishes; the
+// watchdog must stay silent.
+type okApp struct{}
+
+func (okApp) Name() string            { return "ok" }
+func (okApp) ArenaWords() int         { return 64 }
+func (okApp) Setup(*mem.Arena)        {}
+func (okApp) Verify(*mem.Arena) error { return nil }
+
+func (okApp) Run(sys tm.System, team *thread.Team) {
+	team.Run(func(tid int) {
+		th := sys.Thread(tid)
+		for i := 0; i < 8; i++ {
+			th.Atomic(func(tx tm.Tx) { tx.Store(0, tx.Load(0)+1) })
+		}
+	})
+}
+
+func TestWatchdogStallsAreReported(t *testing.T) {
+	_, err := RunOne(stallApp{}, "stall", "stm-lazy", 2, Options{
+		ProgressTimeout: 100 * time.Millisecond,
+	})
+	if err == nil {
+		t.Fatal("stalled run returned no error")
+	}
+	if !errors.Is(err, ErrStalled) {
+		t.Fatalf("stall error does not match ErrStalled: %v", err)
+	}
+}
+
+func TestWatchdogSilentOnProgress(t *testing.T) {
+	res, err := RunOne(okApp{}, "ok", "stm-lazy", 2, Options{
+		ProgressTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("watched run failed: %v", err)
+	}
+	if got := res.Stats.Total.Commits; got != 16 {
+		t.Fatalf("commits = %d, want 16", got)
+	}
+}

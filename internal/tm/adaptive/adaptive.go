@@ -84,6 +84,7 @@ import (
 
 	"github.com/stamp-go/stamp/internal/mem"
 	"github.com/stamp-go/stamp/internal/tm"
+	"github.com/stamp-go/stamp/internal/tm/chaos"
 )
 
 // Ctor constructs a delegate runtime by registry name. The factory injects
@@ -159,6 +160,10 @@ type System struct {
 	}
 
 	threads []*adaptiveThread
+
+	// chaos is the meta-runtime's own injector for the handoff failpoint
+	// (each delegate builds its own for its protocol-level sites).
+	chaos *chaos.Injector
 }
 
 // New constructs the stm-adaptive runtime, building both delegates through
@@ -171,7 +176,11 @@ func New(cfg tm.Config, mk Ctor) (*System, error) {
 	if cfg.AdaptiveRead == cfg.AdaptiveWrite {
 		return nil, fmt.Errorf("adaptive: delegates must differ, both are %q", cfg.AdaptiveRead)
 	}
-	s := &System{cfg: cfg}
+	inj, err := chaos.New(cfg.Chaos, cfg.Threads)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{cfg: cfg, chaos: inj}
 	for i, name := range []string{cfg.AdaptiveRead, cfg.AdaptiveWrite} {
 		d, err := mk(name, cfg)
 		if err != nil {
@@ -279,9 +288,13 @@ func (s *System) switchTo(m int32) {
 	s.mode.Store(modeSwitching)
 	for _, t := range s.threads {
 		for t.active.Load() != 0 {
+			s.cfg.Watch.Poll()
 			runtime.Gosched()
 		}
 	}
+	// Failpoint: stall the handoff while the whole team is quiesced — the
+	// widest window the meta-runtime can hold everyone parked.
+	s.chaos.Stall(chaos.AdaptiveHandoff, 0)
 	// The outgoing delegate's tenure may have invalidated state the
 	// incoming one caches off the shared arena (stm-mv's version rings, to
 	// which the other delegate's commits never append). Notify the
@@ -427,6 +440,7 @@ func (t *adaptiveThread) AtomicAt(b tm.BlockID, fn func(tm.Tx)) {
 		m = s.mode.Load()
 		if m < 0 {
 			// Handoff in progress: wait for the new mode to install.
+			s.cfg.Watch.Poll()
 			runtime.Gosched()
 			continue
 		}

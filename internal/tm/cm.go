@@ -4,11 +4,11 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
-	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/stamp-go/stamp/internal/rng"
+	"github.com/stamp-go/stamp/internal/tm/chaos"
 	"github.com/stamp-go/stamp/internal/tm/trace"
 )
 
@@ -95,9 +95,9 @@ var cmRegistry = map[string]cmEntry{
 		},
 	},
 	"serialize": {
-		description: "randlin, then a global-lock fallback: after SerializeAfter aborts the block runs alone",
+		description: "randlin, then irrevocable escalation: after SerializeAfter aborts the block drains peers and runs alone",
 		make: func(p *CMPool, id int, st *ThreadStats) ContentionManager {
-			return &serializeCM{cmBase: p.base(id, st), after: p.cfg.BackoffAfter, threshold: p.cfg.SerializeAfter}
+			return &serializeCM{cmBase: p.base(id, st), after: p.cfg.BackoffAfter}
 		},
 	},
 	"none": {
@@ -123,22 +123,41 @@ func CMNames() []string {
 func CMDescription(name string) string { return cmRegistry[name].description }
 
 // CMPool holds one TM system's contention-management state: the selected
-// policy plus the cross-thread pieces some policies need (the greedy
-// timestamp clock, the serialize policy's global lock). Runtime constructors
-// create one pool and draw a per-thread manager for each worker slot.
+// policy, the cross-thread pieces some policies need (the greedy timestamp
+// clock), and the liveness layer's shared state — the irrevocability gate
+// every governor coordinates through, the fault injector, and the watchdog.
+// Runtime constructors create one pool and draw a per-thread manager for
+// each worker slot.
 type CMPool struct {
 	name  string
 	cfg   Config
 	entry cmEntry
 
-	clock    atomic.Uint64 // greedy timestamps, shared by the pool's managers
-	serialMu sync.RWMutex  // serialize policy: blocks run as readers, the fallback as the writer
+	clock atomic.Uint64 // greedy timestamps, shared by the pool's managers
+
+	// Liveness layer (see governor.go). flags[i] != 0 means worker i is
+	// inside an atomic block; gatePending counts escalations queued or
+	// running; gateLock is the irrevocability token, a CAS spinlock so
+	// every wait on it can poll the watch.
+	flags       []PaddedUint64
+	gateLock    atomic.Uint32
+	gatePending atomic.Int32
+
+	chaos *chaos.Injector
+	watch *Watch
+
+	starveAfter int   // consecutive-abort escalation threshold (<= 0: off)
+	starveNs    int64 // age-based escalation threshold (0: off)
+	serializeAt int   // the serialize policy's own threshold (0 for others)
 }
 
 // NewCMPool validates Config.CM against the registry and returns the pool.
 // An empty Config.CM selects fallback — the runtime's historical default
 // (DefaultCM for STMs and hybrids, NoCM for the simulated HTMs), keeping
-// default behavior identical to the pre-plug-in runtimes.
+// default behavior identical to the pre-plug-in runtimes. The pool also
+// builds the system's fault injector from Config.Chaos and carries the
+// escalation thresholds and watchdog, so every runtime inherits the
+// liveness layer through the one seam it already has.
 func NewCMPool(cfg Config, fallback string) (*CMPool, error) {
 	name := cfg.CM
 	if name == "" {
@@ -148,16 +167,43 @@ func NewCMPool(cfg Config, fallback string) (*CMPool, error) {
 	if !ok {
 		return nil, fmt.Errorf("tm: unknown contention manager %q (known: %v)", name, CMNames())
 	}
-	return &CMPool{name: name, cfg: cfg, entry: entry}, nil
+	inj, err := chaos.New(cfg.Chaos, cfg.Threads)
+	if err != nil {
+		return nil, fmt.Errorf("tm: %w", err)
+	}
+	threads := cfg.Threads
+	if threads < 1 {
+		threads = 1
+	}
+	p := &CMPool{
+		name:        name,
+		cfg:         cfg,
+		entry:       entry,
+		flags:       make([]PaddedUint64, threads),
+		chaos:       inj,
+		watch:       cfg.Watch,
+		starveAfter: cfg.StarveAfter,
+		starveNs:    cfg.StarveAfterNs,
+	}
+	if name == "serialize" {
+		p.serializeAt = cfg.SerializeAfter
+	}
+	return p, nil
 }
 
 // Name returns the resolved policy name.
 func (p *CMPool) Name() string { return p.name }
 
+// Chaos returns the pool's fault injector (nil when Config.Chaos is empty).
+// Runtimes fetch it once at construction and test it per failpoint site.
+func (p *CMPool) Chaos() *chaos.Injector { return p.chaos }
+
 // ForThread returns worker slot id's manager, recording its delay statistics
-// into st.
+// into st. The selected policy is wrapped in the liveness governor, which
+// adds starvation escalation, watchdog polling, and displacement arbitration
+// uniformly across policies (see governor.go).
 func (p *CMPool) ForThread(id int, st *ThreadStats) ContentionManager {
-	return p.entry.make(p, id, st)
+	return &governor{inner: p.entry.make(p, id, st), pool: p, id: id, st: st}
 }
 
 func (p *CMPool) base(id int, st *ThreadStats) cmBase {
@@ -328,63 +374,27 @@ func (c *karmaCM) ShouldAbort(enemy ContentionManager) bool {
 	return enemy.Priority() >= c.Priority()
 }
 
-// serializeCM behaves like randlin until a block has aborted SerializeAfter
-// times, then falls back to mutual exclusion: the starving block takes the
-// pool's global write lock and runs alone (every block holds the read side
-// between OnStart and OnCommit, so a pending writer drains all in-flight
-// blocks and stalls new ones). This is the livelock escape that guarantees
-// progress on any workload, at the price of full serialization while held.
+// serializeCM is randlin-style delay; its signature trait — escalating a
+// block that aborted SerializeAfter times to run alone and irrevocably — is
+// implemented by the governor, which watches CMPool.serializeAt (set only for
+// this policy). Moving the escalation into the governor turned it from a
+// policy-local mutual-exclusion fallback into the same guaranteed-commit path
+// every policy's starvation watchdog uses.
 type serializeCM struct {
 	cmBase
-	after     int
-	threshold int
-	serial    atomic.Bool // holding the write lock (read by peers via Priority)
+	after int
 }
 
 func (c *serializeCM) Name() string { return "serialize" }
-
-func (c *serializeCM) OnStart() { c.pool.serialMu.RLock() }
-
+func (c *serializeCM) OnStart()     {}
 func (c *serializeCM) OnAbort(aborts int) {
-	if c.serial.Load() {
-		return // already alone; only a user Restart can abort us here
-	}
-	if aborts >= c.threshold {
-		// Escalate: leave the reader group (our attempt already rolled
-		// back), then take the write lock, which drains every in-flight
-		// block and stalls new ones at their OnStart.
-		c.pool.serialMu.RUnlock()
-		c.pool.serialMu.Lock()
-		c.serial.Store(true)
-		c.st.CMSerialized++
-		return
-	}
 	if aborts > c.after {
 		c.delay(c.r.Intn((aborts-c.after)*backoffUnit) + 1)
 	}
 }
-
-func (c *serializeCM) OnCommit() {
-	if c.serial.Load() {
-		c.serial.Store(false)
-		c.pool.serialMu.Unlock()
-		return
-	}
-	c.pool.serialMu.RUnlock()
-}
-
-func (c *serializeCM) Priority() uint64 {
-	if c.serial.Load() {
-		return ^uint64(0)
-	}
-	return 0
-}
-
-func (c *serializeCM) ShouldAbort(enemy ContentionManager) bool {
-	// While serialized we run alone; any apparent conflict is stale state
-	// about to clear, so wait it out (bounded by maxConflictProbes).
-	return !c.serial.Load()
-}
+func (c *serializeCM) OnCommit()                          {}
+func (c *serializeCM) Priority() uint64                   { return 0 }
+func (c *serializeCM) ShouldAbort(ContentionManager) bool { return true }
 
 // noneCM applies no delay and always aborts the requester — the simulated
 // HTMs' immediate-restart behavior, and a useful ablation baseline.

@@ -7,6 +7,12 @@ import (
 	"github.com/stamp-go/stamp/internal/mem"
 )
 
+// unwrap strips the liveness governor off a ForThread manager so tests can
+// reach the wrapped policy's internals.
+func unwrap(cm ContentionManager) ContentionManager {
+	return cm.(*governor).inner
+}
+
 func cmPool(t *testing.T, name string) *CMPool {
 	t.Helper()
 	cfg := Config{Arena: mem.NewArena(64), Threads: 4, CM: name}.Defaults()
@@ -62,7 +68,7 @@ func TestNewCMPoolFallback(t *testing.T) {
 // from a linearly growing budget.
 func TestRandlinDelayGrowth(t *testing.T) {
 	var st ThreadStats
-	c := cmPool(t, "randlin").ForThread(0, &st).(*randlinCM)
+	c := unwrap(cmPool(t, "randlin").ForThread(0, &st)).(*randlinCM)
 	for aborts := 1; aborts <= c.after; aborts++ {
 		if d := c.delayFor(aborts); d != 0 {
 			t.Fatalf("delay before threshold: %d at %d aborts", d, aborts)
@@ -80,7 +86,7 @@ func TestRandlinDelayGrowth(t *testing.T) {
 // is capped at 2^expoCap steps.
 func TestExpoDelayGrowth(t *testing.T) {
 	var st ThreadStats
-	c := cmPool(t, "expo").ForThread(0, &st).(*expoCM)
+	c := unwrap(cmPool(t, "expo").ForThread(0, &st)).(*expoCM)
 	if d := c.delayFor(c.after); d != 0 {
 		t.Fatalf("delay at threshold: %d", d)
 	}
@@ -155,9 +161,9 @@ func TestKarmaPriority(t *testing.T) {
 	}
 }
 
-// TestSerializeEscalation: past the threshold the block takes the global
-// write lock (counted in CMSerialized) and stalls other blocks' OnStart
-// until it commits.
+// TestSerializeEscalation: past the threshold the block escalates to
+// irrevocable mode through the governor's gate (counted in CMSerialized and
+// Escalations) and stalls other blocks' OnStart until it commits.
 func TestSerializeEscalation(t *testing.T) {
 	cfg := Config{Arena: mem.NewArena(64), Threads: 2, CM: "serialize", SerializeAfter: 2}.Defaults()
 	p, err := NewCMPool(cfg, DefaultCM)
@@ -173,34 +179,40 @@ func TestSerializeEscalation(t *testing.T) {
 	if st0.CMSerialized != 0 {
 		t.Fatal("escalated below the threshold")
 	}
-	a.OnAbort(2) // reaches SerializeAfter: takes the write lock
+	a.OnAbort(2) // reaches SerializeAfter: acquires the irrevocability token
 	if st0.CMSerialized != 1 {
 		t.Fatalf("CMSerialized = %d, want 1", st0.CMSerialized)
+	}
+	if st0.Escalations != 1 {
+		t.Fatalf("Escalations = %d, want 1", st0.Escalations)
 	}
 
 	entered := make(chan struct{})
 	go func() {
-		b.OnStart() // must block until a commits
+		b.OnStart() // must park until a commits
 		close(entered)
 		b.OnCommit()
 	}()
 	select {
 	case <-entered:
-		t.Fatal("peer entered a block while the serialized transaction held the lock")
+		t.Fatal("peer entered a block while the escalated transaction held the token")
 	case <-time.After(20 * time.Millisecond):
 	}
 	a.OnCommit()
 	select {
 	case <-entered:
 	case <-time.After(2 * time.Second):
-		t.Fatal("peer still blocked after the serialized transaction committed")
+		t.Fatal("peer still blocked after the escalated transaction committed")
+	}
+	if st0.EscalatedCommits != 1 {
+		t.Fatalf("EscalatedCommits = %d, want 1", st0.EscalatedCommits)
 	}
 
 	// The escalation state must not leak into a's next block.
 	a.OnStart()
 	a.OnCommit()
-	if st0.CMSerialized != 1 {
-		t.Fatalf("CMSerialized after clean block = %d", st0.CMSerialized)
+	if st0.CMSerialized != 1 || st0.Escalations != 1 {
+		t.Fatalf("escalation counters after clean block = %d/%d", st0.CMSerialized, st0.Escalations)
 	}
 }
 

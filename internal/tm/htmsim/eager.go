@@ -8,6 +8,7 @@ import (
 
 	"github.com/stamp-go/stamp/internal/mem"
 	"github.com/stamp-go/stamp/internal/tm"
+	"github.com/stamp-go/stamp/internal/tm/chaos"
 	"github.com/stamp-go/stamp/internal/tm/sig"
 	"github.com/stamp-go/stamp/internal/tm/trace"
 	"github.com/stamp-go/stamp/internal/tm/txset"
@@ -27,6 +28,7 @@ type Eager struct {
 	dir     *directory
 	threads []*eagerThread
 	txs     []*eagerTx
+	chaos   *chaos.Injector // nil unless Config.Chaos armed failpoints
 }
 
 // NewEager constructs the LogTM-style HTM simulation.
@@ -43,7 +45,7 @@ func NewEager(cfg tm.Config) (*Eager, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Eager{cfg: cfg, dir: newDirectory()}
+	s := &Eager{cfg: cfg, dir: newDirectory(), chaos: pool.Chaos()}
 	s.threads = make([]*eagerThread, cfg.Threads)
 	s.txs = make([]*eagerTx, cfg.Threads)
 	for i := range s.threads {
@@ -341,6 +343,12 @@ func (x *eagerTx) Store(a mem.Addr, v uint64) {
 	x.stores++
 	x.pollAbort()
 	l := mem.LineOf(a)
+	// Failpoint: a spurious abort at the ownership claim looks exactly like
+	// a precise directory conflict, so it carries that site's natural cause.
+	// The undo log makes aborting here safe at any point in the attempt.
+	if x.sys.chaos.Fire(chaos.HTMArbitrate, x.slot) {
+		x.info.Fail(tm.CauseHTMConflict, trace.LineKey(uint64(l)), tm.NoBlock)
+	}
 	if _, mine := x.writeLines[l]; !mine {
 		// Publish-then-probe; see the ordering comment in Load.
 		x.writeLines[l] = struct{}{}

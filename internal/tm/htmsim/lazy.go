@@ -7,6 +7,7 @@ import (
 
 	"github.com/stamp-go/stamp/internal/mem"
 	"github.com/stamp-go/stamp/internal/tm"
+	"github.com/stamp-go/stamp/internal/tm/chaos"
 	"github.com/stamp-go/stamp/internal/tm/trace"
 	"github.com/stamp-go/stamp/internal/tm/txset"
 )
@@ -31,6 +32,7 @@ type Lazy struct {
 	epoch    atomic.Uint64
 	threads  []*lazyThread
 	txs      []*lazyTx
+	chaos    *chaos.Injector // nil unless Config.Chaos armed failpoints
 }
 
 // NewLazy constructs the TCC-style HTM simulation.
@@ -46,7 +48,7 @@ func NewLazy(cfg tm.Config) (*Lazy, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Lazy{cfg: cfg}
+	s := &Lazy{cfg: cfg, chaos: pool.Chaos()}
 	s.threads = make([]*lazyThread, cfg.Threads)
 	s.txs = make([]*lazyTx, cfg.Threads)
 	for i := range s.threads {
@@ -342,7 +344,15 @@ func (x *lazyTx) Restart() { x.info.Fail(tm.CauseExplicitRetry, 0, tm.NoBlock) }
 // overlaps our write set, then write back. Committer wins.
 func (x *lazyTx) commit() bool {
 	if x.serial {
+		// Never inject here: serial mode already wrote memory in place, so a
+		// spurious abort would be unrecoverable (there is no undo log).
 		return true // ran alone with direct stores
+	}
+	// Failpoint: a spurious abort at commit arbitration looks exactly like
+	// losing the committer-wins race, so it carries that natural cause.
+	if x.sys.chaos.Fire(chaos.HTMArbitrate, x.slot) {
+		x.info.Set(tm.CauseHTMConflict, 0, tm.NoBlock)
+		return false
 	}
 	if x.wbuf.Len() == 0 {
 		// Read-only: correctness is guaranteed by the abort flag (any

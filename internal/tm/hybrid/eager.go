@@ -5,6 +5,7 @@ import (
 
 	"github.com/stamp-go/stamp/internal/mem"
 	"github.com/stamp-go/stamp/internal/tm"
+	"github.com/stamp-go/stamp/internal/tm/chaos"
 	"github.com/stamp-go/stamp/internal/tm/sig"
 	"github.com/stamp-go/stamp/internal/tm/trace"
 	"github.com/stamp-go/stamp/internal/tm/txset"
@@ -24,6 +25,7 @@ type Eager struct {
 	threads []*eagerThread
 	txs     []*eagerTx
 	cms     []tm.ContentionManager // per-slot, for conflict arbitration
+	chaos   *chaos.Injector        // nil unless Config.Chaos armed failpoints
 }
 
 // NewEager constructs the eager hybrid.
@@ -36,7 +38,7 @@ func NewEager(cfg tm.Config) (*Eager, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Eager{cfg: cfg}
+	s := &Eager{cfg: cfg, chaos: pool.Chaos()}
 	s.threads = make([]*eagerThread, cfg.Threads)
 	s.txs = make([]*eagerTx, cfg.Threads)
 	s.cms = make([]tm.ContentionManager, cfg.Threads)
@@ -213,7 +215,7 @@ func (x *eagerTx) Load(a mem.Addr) uint64 {
 		}
 		for probe := 0; other.active.Load() && other.writeSig.Test(l); probe++ {
 			if tm.WaitOrAbort(x.cm, x.sys.cms[other.slot], probe) {
-				x.info.Fail(tm.CauseSignatureConflict, trace.LineKey(uint64(l)),
+				x.info.Fail(tm.CauseOrDisplaced(x.cm, tm.CauseSignatureConflict), trace.LineKey(uint64(l)),
 					x.sys.blockOf(other.slot))
 			}
 		}
@@ -230,6 +232,11 @@ func (x *eagerTx) Load(a mem.Addr) uint64 {
 func (x *eagerTx) Store(a mem.Addr, v uint64) {
 	x.stores++
 	l := uint32(mem.LineOf(a))
+	// Failpoint: a spurious abort at the write-barrier probe looks exactly
+	// like a Bloom-signature hit, so it carries that site's natural cause.
+	if x.sys.chaos.Fire(chaos.HybridSigCheck, x.slot) {
+		x.info.Fail(tm.CauseSignatureConflict, trace.LineKey(uint64(l)), tm.NoBlock)
+	}
 	x.writeSig.Insert(l)
 	for _, other := range x.sys.txs {
 		if other.slot == x.slot {
@@ -237,7 +244,7 @@ func (x *eagerTx) Store(a mem.Addr, v uint64) {
 		}
 		for probe := 0; other.active.Load() && (other.readSig.Test(l) || other.writeSig.Test(l)); probe++ {
 			if tm.WaitOrAbort(x.cm, x.sys.cms[other.slot], probe) {
-				x.info.Fail(tm.CauseSignatureConflict, trace.LineKey(uint64(l)),
+				x.info.Fail(tm.CauseOrDisplaced(x.cm, tm.CauseSignatureConflict), trace.LineKey(uint64(l)),
 					x.sys.blockOf(other.slot))
 			}
 		}

@@ -18,6 +18,7 @@ import (
 
 	"github.com/stamp-go/stamp/internal/mem"
 	"github.com/stamp-go/stamp/internal/tm"
+	"github.com/stamp-go/stamp/internal/tm/chaos"
 	"github.com/stamp-go/stamp/internal/tm/sig"
 	"github.com/stamp-go/stamp/internal/tm/trace"
 	"github.com/stamp-go/stamp/internal/tm/txset"
@@ -31,6 +32,7 @@ type Lazy struct {
 	epoch    atomic.Uint64
 	threads  []*lazyThread
 	txs      []*lazyTx
+	chaos    *chaos.Injector // nil unless Config.Chaos armed failpoints
 }
 
 // NewLazy constructs the lazy hybrid.
@@ -43,7 +45,7 @@ func NewLazy(cfg tm.Config) (*Lazy, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Lazy{cfg: cfg}
+	s := &Lazy{cfg: cfg, chaos: pool.Chaos()}
 	s.threads = make([]*lazyThread, cfg.Threads)
 	s.txs = make([]*lazyTx, cfg.Threads)
 	for i := range s.threads {
@@ -275,6 +277,12 @@ func (x *lazyTx) commit() bool {
 			return false
 		}
 		return true
+	}
+	// Failpoint: a spurious abort at the committer's signature sweep looks
+	// exactly like being flagged by a racing committer (a signature hit).
+	if x.sys.chaos.Fire(chaos.HybridSigCheck, x.slot) {
+		x.info.Set(tm.CauseSignatureConflict, 0, tm.NoBlock)
+		return false
 	}
 	x.sys.commitMu.Lock()
 	if x.aborted.Load() {

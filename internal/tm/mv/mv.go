@@ -68,6 +68,7 @@ import (
 
 	"github.com/stamp-go/stamp/internal/mem"
 	"github.com/stamp-go/stamp/internal/tm"
+	"github.com/stamp-go/stamp/internal/tm/chaos"
 	"github.com/stamp-go/stamp/internal/tm/trace"
 	"github.com/stamp-go/stamp/internal/tm/txset"
 )
@@ -152,6 +153,7 @@ type System struct {
 	ringEpoch atomic.Uint64
 
 	threads []*mvThread
+	chaos   *chaos.Injector // nil unless Config.Chaos armed failpoints
 	cms     []tm.ContentionManager
 }
 
@@ -178,6 +180,7 @@ func New(cfg tm.Config) (*System, error) {
 		slots:   make([]slot, n*cfg.MVVersions),
 		shift:   uint32(32 - bits),
 		k:       cfg.MVVersions,
+		chaos:   pool.Chaos(),
 	}
 	s.threads = make([]*mvThread, cfg.Threads)
 	s.cms = make([]tm.ContentionManager, cfg.Threads)
@@ -456,7 +459,7 @@ func (x *mvTx) Load(a mem.Addr) uint64 {
 			break
 		}
 		if tm.WaitOrAbort(x.th.cm, x.sys.cmOf(owner), probe) {
-			x.info.Fail(tm.CauseStripeLockBusy, trace.AddrKey(uint64(a)), x.sys.blockOf(owner))
+			x.info.Fail(tm.CauseOrDisplaced(x.th.cm, tm.CauseStripeLockBusy), trace.AddrKey(uint64(a)), x.sys.blockOf(owner))
 		}
 		e1 = st.lock.Load()
 	}
@@ -561,6 +564,12 @@ func (x *mvTx) commit() bool {
 	if x.wset.Len() == 0 {
 		return true
 	}
+	// Failpoint: a spurious abort at lock acquisition looks exactly like
+	// losing a writer-writer race, so it carries that site's natural cause.
+	if x.sys.chaos.Fire(chaos.TL2LockAcquire, x.th.id) {
+		x.info.Set(tm.CauseWriteWrite, 0, tm.NoBlock)
+		return false
+	}
 	for _, e := range x.wset.Entries() {
 		idx := x.sys.index(e.Addr)
 		st := &x.sys.stripes[idx]
@@ -627,6 +636,9 @@ func (x *mvTx) commit() bool {
 	for _, e := range x.wset.Entries() {
 		x.sys.cfg.Arena.Store(e.Addr, e.Val)
 	}
+	// Failpoint: stall after ring publication and writeback, while every
+	// written stripe is still locked and snapshot readers wait on us.
+	x.sys.chaos.Stall(chaos.MVRingPublish, x.th.id)
 	for _, rec := range x.acquired {
 		x.sys.stripes[rec.idx].lock.Store(wv << 1)
 	}

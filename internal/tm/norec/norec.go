@@ -58,6 +58,7 @@ import (
 
 	"github.com/stamp-go/stamp/internal/mem"
 	"github.com/stamp-go/stamp/internal/tm"
+	"github.com/stamp-go/stamp/internal/tm/chaos"
 	"github.com/stamp-go/stamp/internal/tm/trace"
 	"github.com/stamp-go/stamp/internal/tm/txset"
 )
@@ -133,6 +134,8 @@ type System struct {
 
 	combine []combineReq // one slot per thread
 
+	chaos *chaos.Injector // nil unless Config.Chaos armed failpoints
+
 	threads []*norecThread
 }
 
@@ -152,7 +155,7 @@ func newSystem(cfg tm.Config, name string, roFast bool) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &System{cfg: cfg, name: name, roFast: roFast, combining: !cfg.NoCombine}
+	s := &System{cfg: cfg, name: name, roFast: roFast, combining: !cfg.NoCombine, chaos: pool.Chaos()}
 	s.combine = make([]combineReq, cfg.Threads)
 	s.threads = make([]*norecThread, cfg.Threads)
 	for i := range s.threads {
@@ -432,6 +435,13 @@ func (x *norecTx) Restart() { x.info.Fail(tm.CauseExplicitRetry, 0, tm.NoBlock) 
 // immediately: every Load already validated against a quiescent snapshot,
 // so the read set was atomically valid at that snapshot.
 func (x *norecTx) commit() bool {
+	// Failpoint: a spurious abort at writer-commit validation looks exactly
+	// like a value-validation failure, so it carries that natural cause.
+	// Read-only commits are exempt — they have nothing to starve on.
+	if x.wset.Len() > 0 && x.sys.chaos.Fire(chaos.NorecValidate, x.th.id) {
+		x.info.Set(tm.CauseSeqChanged, 0, tm.NoBlock)
+		return false
+	}
 	if x.wset.Len() == 0 {
 		if x.sys.roFast {
 			return true
@@ -463,6 +473,9 @@ func (x *norecTx) commitDirect() bool {
 	for _, e := range x.wset.Entries() {
 		x.sys.cfg.Arena.Store(e.Addr, e.Val)
 	}
+	// Failpoint: stall between writeback and the release tick — the window
+	// where this committer holds the one global lock and everyone waits.
+	x.sys.chaos.Stall(chaos.NorecSeqTick, x.th.id)
 	x.sys.seq.Store(x.snapshot + 2)
 	return true
 }
@@ -526,6 +539,9 @@ func (x *norecTx) commitCombining() bool {
 				sys.cfg.Arena.Store(e.Addr, e.Val)
 			}
 			sys.drainCombine(x.th.id)
+			// Failpoint: stall while holding the sequence lock (see
+			// commitDirect); with combining the whole batch is held open.
+			sys.chaos.Stall(chaos.NorecSeqTick, x.th.id)
 			sys.seq.Store(x.snapshot + 2)
 			return true
 		}

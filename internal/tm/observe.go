@@ -46,7 +46,11 @@ const (
 	CauseCMKill            = trace.CauseCMKill
 	CauseExplicitRetry     = trace.CauseExplicitRetry
 	CauseMVVersionMissing  = trace.CauseMVVersionMissing
-	NumCauses              = trace.NumCauses
+	// CauseKilledForIrrevocable marks victims displaced by a starving
+	// transaction's escalation to irrevocable mode (see Config.StarveAfter
+	// and CauseOrDisplaced).
+	CauseKilledForIrrevocable = trace.CauseKilledForIrrevocable
+	NumCauses                 = trace.NumCauses
 )
 
 // CauseNames returns every abort-cause name in enum order, "unknown" first.

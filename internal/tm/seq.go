@@ -93,6 +93,7 @@ func (t *seqThread) AtomicAt(b BlockID, fn func(Tx)) {
 		t.stats.Tracer.Emit(trace.EvAbort, CauseExplicitRetry, t.id, int32(b), 0)
 	}
 	t.stats.Commits++
+	t.sys.cfg.Watch.Bump(t.id)
 	t.stats.Tracer.Emit(trace.EvCommit, CauseUnknown, t.id, int32(b), 0)
 	t.stats.RecordBlock(b, "seq", aborts, t.tx.loads, t.tx.stores)
 	t.stats.Loads += t.tx.loads

@@ -194,7 +194,14 @@ type ThreadStats struct {
 	// Contention-manager accounting (see tm.ContentionManager).
 	CMWaits      uint64 // delays applied by the policy's OnAbort hook
 	CMWaitNs     int64  // time spent in those delays
-	CMSerialized uint64 // blocks that escalated to the serialize policy's global lock
+	CMSerialized uint64 // escalations triggered by the serialize policy's threshold
+
+	// Starvation-escalation accounting (see Config.StarveAfter): blocks
+	// that acquired the irrevocability token, and the commits they then
+	// performed alone. Escalations == EscalatedCommits on a completed run
+	// (an escalated block always commits — that is the guarantee).
+	Escalations      uint64
+	EscalatedCommits uint64
 
 	// NOrec commit-combining accounting (see internal/tm/norec).
 	CombinedCommits  uint64 // commits absorbed by another thread's lock acquisition
@@ -284,6 +291,8 @@ func (s *ThreadStats) merge(o *ThreadStats) {
 	s.CMWaits += o.CMWaits
 	s.CMWaitNs += o.CMWaitNs
 	s.CMSerialized += o.CMSerialized
+	s.Escalations += o.Escalations
+	s.EscalatedCommits += o.EscalatedCommits
 	s.CombinedCommits += o.CombinedCommits
 	s.CombineFallbacks += o.CombineFallbacks
 	for c := range o.AbortCauses {

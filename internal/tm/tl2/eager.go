@@ -5,6 +5,7 @@ import (
 
 	"github.com/stamp-go/stamp/internal/mem"
 	"github.com/stamp-go/stamp/internal/tm"
+	"github.com/stamp-go/stamp/internal/tm/chaos"
 	"github.com/stamp-go/stamp/internal/tm/trace"
 	"github.com/stamp-go/stamp/internal/tm/txset"
 )
@@ -22,6 +23,7 @@ type Eager struct {
 	clock   tm.VersionClock
 	threads []*eagerThread
 	cms     []tm.ContentionManager // per-slot, for conflict arbitration
+	chaos   *chaos.Injector        // nil unless Config.Chaos armed failpoints
 }
 
 // NewEager constructs the eager STM.
@@ -38,7 +40,7 @@ func NewEager(cfg tm.Config) (*Eager, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Eager{cfg: cfg, locks: newLockTable(lockTableBitsFor(cfg)), clock: clock}
+	s := &Eager{cfg: cfg, locks: newLockTable(lockTableBitsFor(cfg)), clock: clock, chaos: pool.Chaos()}
 	s.threads = make([]*eagerThread, cfg.Threads)
 	s.cms = make([]tm.ContentionManager, cfg.Threads)
 	for i := range s.threads {
@@ -222,7 +224,7 @@ func (x *eagerTx) Load(a mem.Addr) uint64 {
 		// Requester-loses policies fail fast here; priority policies may
 		// wait the holder out and re-probe.
 		if tm.WaitOrAbort(x.th.cm, x.sys.cmOf(owner), probe) {
-			x.info.Fail(tm.CauseStripeLockBusy, trace.AddrKey(uint64(a)), x.sys.blockOf(owner))
+			x.info.Fail(tm.CauseOrDisplaced(x.th.cm, tm.CauseStripeLockBusy), trace.AddrKey(uint64(a)), x.sys.blockOf(owner))
 		}
 		e1 = x.sys.locks.load(idx)
 	}
@@ -244,6 +246,11 @@ func (x *eagerTx) Load(a mem.Addr) uint64 {
 // old value, write in place.
 func (x *eagerTx) Store(a mem.Addr, v uint64) {
 	x.stores++
+	// Failpoint: a spurious abort at encounter-time acquisition looks like
+	// losing a writer-writer race, so it carries that site's natural cause.
+	if x.sys.chaos.Fire(chaos.TL2LockAcquire, x.th.id) {
+		x.info.Fail(tm.CauseWriteWrite, trace.AddrKey(uint64(a)), tm.NoBlock)
+	}
 	idx := x.sys.locks.index(a)
 	for probe := 0; ; probe++ {
 		e := x.sys.locks.load(idx)
@@ -253,7 +260,7 @@ func (x *eagerTx) Store(a mem.Addr, v uint64) {
 		}
 		if locked {
 			if tm.WaitOrAbort(x.th.cm, x.sys.cmOf(owner), probe) {
-				x.info.Fail(tm.CauseWriteWrite, trace.AddrKey(uint64(a)), x.sys.blockOf(owner))
+				x.info.Fail(tm.CauseOrDisplaced(x.th.cm, tm.CauseWriteWrite), trace.AddrKey(uint64(a)), x.sys.blockOf(owner))
 			}
 			continue
 		}
@@ -316,6 +323,9 @@ func (x *eagerTx) commit() bool {
 			}
 		}
 	}
+	// Failpoint: stall before release — data is already in place and every
+	// written stripe is still locked, so peers pile up on this transaction.
+	x.sys.chaos.Stall(chaos.TL2LockRelease, x.th.id)
 	for i := range x.acquired {
 		x.sys.locks.store(x.acquired[i].idx, wv<<1)
 	}

@@ -5,6 +5,7 @@ import (
 
 	"github.com/stamp-go/stamp/internal/mem"
 	"github.com/stamp-go/stamp/internal/tm"
+	"github.com/stamp-go/stamp/internal/tm/chaos"
 	"github.com/stamp-go/stamp/internal/tm/trace"
 	"github.com/stamp-go/stamp/internal/tm/txset"
 )
@@ -26,6 +27,7 @@ type Lazy struct {
 	clock   tm.VersionClock
 	threads []*lazyThread
 	cms     []tm.ContentionManager // per-slot, for conflict arbitration
+	chaos   *chaos.Injector        // nil unless Config.Chaos armed failpoints
 }
 
 // NewLazy constructs the lazy STM.
@@ -42,7 +44,7 @@ func NewLazy(cfg tm.Config) (*Lazy, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Lazy{cfg: cfg, locks: newLockTable(lockTableBitsFor(cfg)), clock: clock}
+	s := &Lazy{cfg: cfg, locks: newLockTable(lockTableBitsFor(cfg)), clock: clock, chaos: pool.Chaos()}
 	s.threads = make([]*lazyThread, cfg.Threads)
 	s.cms = make([]tm.ContentionManager, cfg.Threads)
 	for i := range s.threads {
@@ -218,7 +220,7 @@ func (x *lazyTx) Load(a mem.Addr) uint64 {
 		// Arbitrate — requester-loses policies abort here; priority
 		// policies may wait the (short) commit out and re-probe.
 		if tm.WaitOrAbort(x.th.cm, x.sys.cmOf(owner), probe) {
-			x.info.Fail(tm.CauseStripeLockBusy, trace.AddrKey(uint64(a)), x.sys.blockOf(owner))
+			x.info.Fail(tm.CauseOrDisplaced(x.th.cm, tm.CauseStripeLockBusy), trace.AddrKey(uint64(a)), x.sys.blockOf(owner))
 		}
 		e1 = x.sys.locks.load(idx)
 	}
@@ -272,6 +274,12 @@ func (x *lazyTx) commit() bool {
 	if x.wset.Len() == 0 {
 		return true // read-only transactions were validated on every read
 	}
+	// Failpoint: a spurious abort at lock acquisition looks exactly like
+	// losing a writer-writer race, so it carries that site's natural cause.
+	if x.sys.chaos.Fire(chaos.TL2LockAcquire, x.th.id) {
+		x.info.Set(tm.CauseWriteWrite, 0, tm.NoBlock)
+		return false
+	}
 	for _, e := range x.wset.Entries() {
 		idx := x.sys.locks.index(e.Addr)
 		lw := x.sys.locks.load(idx)
@@ -319,6 +327,9 @@ func (x *lazyTx) commit() bool {
 	for _, e := range x.wset.Entries() {
 		x.sys.cfg.Arena.Store(e.Addr, e.Val)
 	}
+	// Failpoint: stall between writeback and release — the window where this
+	// transaction holds every write-set stripe lock and peers pile up on it.
+	x.sys.chaos.Stall(chaos.TL2LockRelease, x.th.id)
 	for _, rec := range x.acquired {
 		x.sys.locks.store(rec.idx, wv<<1)
 	}

@@ -52,6 +52,7 @@ import (
 	"time"
 
 	"github.com/stamp-go/stamp/internal/mem"
+	"github.com/stamp-go/stamp/internal/tm/chaos"
 )
 
 // Mem is the minimal read/write/allocate contract shared by transactions and
@@ -231,6 +232,43 @@ type Config struct {
 	// characterization (the concurrent systems track them anyway).
 	ProfileSets bool
 
+	// Chaos arms the deterministic fault-injection layer with a spec of the
+	// form "seed:site:prob[,site:prob...]" — see internal/tm/chaos for the
+	// site registry (tl2-lock-acquire, norec-seq-tick, hybrid-sig-check,
+	// ...) and cmd/stamp -list-chaos for the listing. Empty — the default —
+	// means chaos off: no injector is built and every failpoint is a single
+	// nil test. Spurious-abort sites stamp the site's natural abort cause,
+	// so the closed-taxonomy invariant holds under injection. The seq
+	// baseline has no conflict paths and ignores the field (the spec is
+	// still validated).
+	Chaos string
+
+	// StarveAfter is the consecutive-abort count past which a starving
+	// atomic block escalates to irrevocable mode under *every* contention
+	// manager: it acquires the global irrevocability token, drains
+	// in-flight peers, runs alone with fault injection suppressed, and
+	// must commit (counted in ThreadStats.Escalations/EscalatedCommits;
+	// peers it displaces abort with killed-for-irrevocable). 0 selects
+	// DefaultStarveAfter; negative disables escalation — the watchdog
+	// mutation-test arm, which reintroduces the possibility of livelock.
+	StarveAfter int
+
+	// StarveAfterNs is the age-based escalation trigger: a block whose
+	// first attempt started more than this many wall nanoseconds ago
+	// escalates at its next abort even below the StarveAfter count. 0 —
+	// the default — disables the age trigger (the abort-count trigger is
+	// the deterministic one; age catches long transactions starved at a
+	// low abort rate).
+	StarveAfterNs int64
+
+	// Watch, when non-nil, is the liveness watchdog's shared progress
+	// counter: every runtime bumps the committing thread's slot on commit,
+	// and blocks poll it at attempt boundaries, unwinding with HaltSignal
+	// once Halt has been called. The harness arms it for
+	// Options.ProgressTimeout; nil — the default — costs one nil test per
+	// commit.
+	Watch *Watch
+
 	// Trace enables the sampled event tracer: every Trace-th atomic block
 	// per thread records begin/abort/commit/wait events into that thread's
 	// ring buffer (1 traces every block). 0 — the default — disables
@@ -285,6 +323,9 @@ func (c Config) Defaults() Config {
 	if c.Seed == 0 {
 		c.Seed = 0x5742757374616d70
 	}
+	if c.StarveAfter == 0 {
+		c.StarveAfter = DefaultStarveAfter
+	}
 	return c
 }
 
@@ -314,8 +355,24 @@ func (c Config) Validate() error {
 			return fmt.Errorf("tm: unknown clock scheme %q (known: %v)", c.Clock, ClockNames())
 		}
 	}
+	// Chaos is likewise validated on every runtime (including seq, which
+	// ignores the armed sites) so a typoed spec errors instead of silently
+	// running an un-injected experiment.
+	if _, err := chaos.Parse(c.Chaos); err != nil {
+		return fmt.Errorf("tm: %w", err)
+	}
+	if c.StarveAfterNs < 0 {
+		return fmt.Errorf("tm: StarveAfterNs must be >= 0, got %d", c.StarveAfterNs)
+	}
 	return nil
 }
+
+// DefaultStarveAfter is the consecutive-abort escalation threshold when
+// Config.StarveAfter is 0. It sits far above the other thresholds that act
+// on the same counter (BackoffAfter 3, SerializeAfter 8, PriorityAfter 32):
+// escalation drains the whole system, so it is the last resort — but unlike
+// every policy below it, it is a guarantee, not a heuristic.
+const DefaultStarveAfter = 512
 
 // DefaultAllocChunk is the per-thread reservation size tx.Alloc refills in
 // when Config.AllocChunk is 0 (in words; ~32 KiB of arena per refill).

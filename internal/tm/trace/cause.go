@@ -52,23 +52,30 @@ const (
 	// retained in its stripe's bounded ring (stm-mv; the ring is sized by
 	// tm.Config.MVVersions). The retry begins with a fresh snapshot.
 	CauseMVVersionMissing
+	// CauseKilledForIrrevocable is an attempt that aborted itself to yield
+	// to a starving transaction escalating to irrevocable mode (the
+	// guaranteed-progress fallback; see tm.Config.StarveAfter). The
+	// escalator drains in-flight peers, runs alone, and must commit; the
+	// displaced victims retry once it releases the irrevocability token.
+	CauseKilledForIrrevocable
 
 	// NumCauses bounds the per-cause counter arrays.
 	NumCauses
 )
 
 var causeNames = [NumCauses]string{
-	CauseUnknown:           "unknown",
-	CauseReadValidation:    "read-validation",
-	CauseStripeLockBusy:    "stripe-lock-busy",
-	CauseSeqChanged:        "seq-changed",
-	CauseWriteWrite:        "write-write",
-	CauseSignatureConflict: "signature-conflict",
-	CauseHTMConflict:       "htm-conflict",
-	CauseHTMCapacity:       "htm-capacity",
-	CauseCMKill:            "cm-kill",
-	CauseExplicitRetry:     "explicit-retry",
-	CauseMVVersionMissing:  "mv-version-missing",
+	CauseUnknown:              "unknown",
+	CauseReadValidation:       "read-validation",
+	CauseStripeLockBusy:       "stripe-lock-busy",
+	CauseSeqChanged:           "seq-changed",
+	CauseWriteWrite:           "write-write",
+	CauseSignatureConflict:    "signature-conflict",
+	CauseHTMConflict:          "htm-conflict",
+	CauseHTMCapacity:          "htm-capacity",
+	CauseCMKill:               "cm-kill",
+	CauseExplicitRetry:        "explicit-retry",
+	CauseMVVersionMissing:     "mv-version-missing",
+	CauseKilledForIrrevocable: "killed-for-irrevocable",
 }
 
 // String returns the registry name of the cause (e.g. "write-write").

@@ -10,6 +10,7 @@ import (
 	"github.com/stamp-go/stamp/internal/mem"
 	"github.com/stamp-go/stamp/internal/thread"
 	"github.com/stamp-go/stamp/internal/tm"
+	"github.com/stamp-go/stamp/internal/tm/chaos"
 	"github.com/stamp-go/stamp/internal/tm/factory"
 	"github.com/stamp-go/stamp/internal/tm/trace"
 )
@@ -98,19 +99,46 @@ const NilAddr = mem.Nil
 // The closed abort-cause taxonomy (Stats.AbortCauses indexes by these;
 // CauseNames gives the matching display names in the same order).
 const (
-	CauseUnknown           = tm.CauseUnknown
-	CauseReadValidation    = tm.CauseReadValidation
-	CauseStripeLockBusy    = tm.CauseStripeLockBusy
-	CauseSeqChanged        = tm.CauseSeqChanged
-	CauseWriteWrite        = tm.CauseWriteWrite
-	CauseSignatureConflict = tm.CauseSignatureConflict
-	CauseHTMConflict       = tm.CauseHTMConflict
-	CauseHTMCapacity       = tm.CauseHTMCapacity
-	CauseCMKill            = tm.CauseCMKill
-	CauseExplicitRetry     = tm.CauseExplicitRetry
-	CauseMVVersionMissing  = tm.CauseMVVersionMissing
-	NumCauses              = tm.NumCauses
+	CauseUnknown              = tm.CauseUnknown
+	CauseReadValidation       = tm.CauseReadValidation
+	CauseStripeLockBusy       = tm.CauseStripeLockBusy
+	CauseSeqChanged           = tm.CauseSeqChanged
+	CauseWriteWrite           = tm.CauseWriteWrite
+	CauseSignatureConflict    = tm.CauseSignatureConflict
+	CauseHTMConflict          = tm.CauseHTMConflict
+	CauseHTMCapacity          = tm.CauseHTMCapacity
+	CauseCMKill               = tm.CauseCMKill
+	CauseExplicitRetry        = tm.CauseExplicitRetry
+	CauseMVVersionMissing     = tm.CauseMVVersionMissing
+	CauseKilledForIrrevocable = tm.CauseKilledForIrrevocable
+	NumCauses                 = tm.NumCauses
 )
+
+// ErrStalled is the distinguishable error RunOpts (and the commands' -timeout
+// flag) reports when the progress watchdog halts a run that made no commit
+// progress for a full Options.ProgressTimeout window; match with errors.Is.
+var ErrStalled = harness.ErrStalled
+
+// ChaosSite describes one registered fault-injection failpoint for listings
+// (name, kind, description); see ChaosSites and Options.Chaos.
+type ChaosSite = chaos.SiteInfo
+
+// ChaosSites returns every registered fault-injection failpoint in enum
+// order. Failpoints are armed per run through Config.Chaos / Options.Chaos
+// (or the -chaos flag of the commands) with a spec of the form
+// "seed:site:prob[,site:prob...]".
+func ChaosSites() []ChaosSite { return chaos.Sites() }
+
+// ParseChaos validates a chaos spec ("seed:site:prob[,site:prob...]")
+// against the failpoint registry. The empty string is allowed and means
+// chaos off.
+func ParseChaos(spec string) (string, error) {
+	spec = strings.TrimSpace(spec)
+	if _, err := chaos.Parse(spec); err != nil {
+		return "", err
+	}
+	return spec, nil
+}
 
 // NewArena returns an arena with capacity for nWords 8-byte words.
 func NewArena(nWords int) *Arena { return mem.NewArena(nWords) }
