@@ -86,8 +86,13 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(2)
 		}
-		report, regressed := Compare(oldDoc, newDoc, *tolerance)
+		report, regressed, latRegressed := Compare(oldDoc, newDoc, *tolerance)
 		os.Stdout.WriteString(report)
+		if latRegressed > 0 {
+			// Tail latency is warn-only: noisy runners make p99 jumpy, so it
+			// never fails the gate — only ns/op does.
+			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) exceeded the p99 latency tolerance (warn-only)\n", latRegressed)
+		}
 		if regressed > 0 {
 			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed more than %.0f%%\n", regressed, *tolerance)
 			os.Exit(1)
@@ -189,7 +194,11 @@ func Median(results []Result) []Result {
 // documents and counts how many benchmarks slowed down by more than
 // tolerance percent. Benchmarks present in only one file are listed but
 // never count as regressions (the roster legitimately grows per PR).
-func Compare(oldDoc, newDoc *File, tolerance float64) (report string, regressed int) {
+// Benchmarks carrying a p99-ns metric in both files (the serving-mode
+// stampd results) additionally get a tail-latency delta table; those count
+// into latRegressed, which callers treat as warn-only — tail percentiles
+// on shared runners are too noisy to hard-fail on.
+func Compare(oldDoc, newDoc *File, tolerance float64) (report string, regressed, latRegressed int) {
 	oldBy := make(map[string]Result, len(oldDoc.Results))
 	for _, r := range oldDoc.Results {
 		oldBy[key(r)] = r
@@ -237,7 +246,36 @@ func Compare(oldDoc, newDoc *File, tolerance float64) (report string, regressed 
 	} else {
 		fmt.Fprintf(&b, "\nNo regressions beyond the %.0f%% tolerance.\n", tolerance)
 	}
-	return b.String(), regressed
+
+	// Tail-latency section: only benchmarks measured in both files count.
+	var lat strings.Builder
+	for _, nr := range newDoc.Results {
+		or, ok := oldBy[key(nr)]
+		if !ok {
+			continue
+		}
+		nv, hasNew := nr.Metrics["p99-ns"]
+		ov, hasOld := or.Metrics["p99-ns"]
+		if !hasNew || !hasOld || ov == 0 {
+			continue
+		}
+		delta := (nv - ov) / ov * 100
+		mark := ""
+		if delta > tolerance {
+			latRegressed++
+			mark = " ⚠️"
+		}
+		fmt.Fprintf(&lat, "| %s | %.0f | %.0f | %+.1f%%%s |\n", nr.Name, ov, nv, delta, mark)
+	}
+	if lat.Len() > 0 {
+		fmt.Fprintf(&b, "\n### Tail-latency delta (p99-ns, warn-only)\n\n")
+		b.WriteString("| benchmark | old p99-ns | new p99-ns | delta |\n|---|---:|---:|---:|\n")
+		b.WriteString(lat.String())
+		if latRegressed > 0 {
+			fmt.Fprintf(&b, "\n%d benchmark(s) exceeded the p99 tolerance — warning only, not a gate.\n", latRegressed)
+		}
+	}
+	return b.String(), regressed, latRegressed
 }
 
 // Parse reads `go test -bench` output and collects the header context and

@@ -77,7 +77,7 @@ func mkFile(entries map[string]float64) *File {
 func TestCompareFlagsRegressions(t *testing.T) {
 	oldDoc := mkFile(map[string]float64{"a": 100, "b": 100, "c": 100, "gone": 50})
 	newDoc := mkFile(map[string]float64{"a": 110, "b": 130, "c": 90, "fresh": 42})
-	report, regressed := Compare(oldDoc, newDoc, 25)
+	report, regressed, _ := Compare(oldDoc, newDoc, 25)
 	if regressed != 1 {
 		t.Fatalf("regressed = %d, want 1 (only b is >25%% slower)\n%s", regressed, report)
 	}
@@ -96,7 +96,7 @@ func TestCompareFlagsRegressions(t *testing.T) {
 
 func TestCompareCleanRun(t *testing.T) {
 	doc := mkFile(map[string]float64{"a": 100, "b": 250})
-	report, regressed := Compare(doc, mkFile(map[string]float64{"a": 100, "b": 250}), 25)
+	report, regressed, _ := Compare(doc, mkFile(map[string]float64{"a": 100, "b": 250}), 25)
 	if regressed != 0 {
 		t.Fatalf("identical files regressed = %d\n%s", regressed, report)
 	}
@@ -114,7 +114,7 @@ func TestCompareProcsDistinguished(t *testing.T) {
 		{Name: "x", Procs: 1, Iterations: 1, Metrics: map[string]float64{"ns/op": 100}},
 		{Name: "x", Procs: 8, Iterations: 1, Metrics: map[string]float64{"ns/op": 300}},
 	}}
-	_, regressed := Compare(oldDoc, newDoc, 25)
+	_, regressed, _ := Compare(oldDoc, newDoc, 25)
 	if regressed != 1 {
 		t.Fatalf("regressed = %d, want 1 (only the -8 variant slowed)", regressed)
 	}
@@ -167,5 +167,40 @@ func TestMedianCollapsesInterleavedRuns(t *testing.T) {
 	single := Median(in[:2])
 	if len(single) != 2 || single[0].Metrics["ns/op"] != 300 {
 		t.Fatalf("singleton handling: %v", single)
+	}
+}
+
+// TestCompareLatencyWarnOnly pins the serving-mode contract: p99-ns deltas
+// get their own table and counter, but only ns/op drives the regressed
+// count that gates CI.
+func TestCompareLatencyWarnOnly(t *testing.T) {
+	mk := func(ns, p99 float64) *File {
+		return &File{Results: []Result{{
+			Name: "Stampd/stm-mv/c4/ro50", Procs: 8, Iterations: 1000,
+			Metrics: map[string]float64{"ns/op": ns, "p99-ns": p99},
+		}}}
+	}
+	report, regressed, latRegressed := Compare(mk(100, 50000), mk(105, 90000), 25)
+	if regressed != 0 {
+		t.Fatalf("ns/op within tolerance but regressed = %d\n%s", regressed, report)
+	}
+	if latRegressed != 1 {
+		t.Fatalf("latRegressed = %d, want 1 (p99 +80%%)\n%s", latRegressed, report)
+	}
+	for _, want := range []string{
+		"Tail-latency delta (p99-ns, warn-only)",
+		"| Stampd/stm-mv/c4/ro50 | 50000 | 90000 | +80.0% ⚠️ |",
+		"warning only, not a gate",
+	} {
+		if !strings.Contains(report, want) {
+			t.Fatalf("report missing %q:\n%s", want, report)
+		}
+	}
+
+	// No p99-ns on either side: no latency section at all.
+	plain := mkFile(map[string]float64{"a": 100})
+	report, _, latRegressed = Compare(plain, plain, 25)
+	if latRegressed != 0 || strings.Contains(report, "Tail-latency") {
+		t.Fatalf("latency section leaked into plain compare:\n%s", report)
 	}
 }

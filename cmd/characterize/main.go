@@ -87,10 +87,11 @@ func main() {
 	var rows []stamp.Characterization
 	for _, v := range selected {
 		fmt.Fprintf(os.Stderr, "characterizing %s (scale %g)...\n", v.Name, *scale)
-		c, err := harness.Characterize(v, *scale, *retry, harness.Options{
+		c, err := harness.Characterize(v, harness.Options{
+			Scale: *scale, RetryThreads: *retry, ExtraRetrySystems: extraSystems,
 			CM: cm, Clock: clock, MVVersions: *mvVers,
 			Chaos: chaosSpec, ProgressTimeout: *timeout,
-		}, extraSystems...)
+		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "characterize:", err)
 			os.Exit(1)

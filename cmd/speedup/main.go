@@ -87,7 +87,8 @@ func main() {
 	var series []stamp.SpeedupSeries
 	for _, v := range selected {
 		fmt.Fprintf(os.Stderr, "measuring %s (scale %g)...\n", v.Name, *scale)
-		s, err := harness.MeasureSpeedup(v, *scale, ts, systems, harness.Options{
+		s, err := harness.MeasureSpeedup(v, harness.Options{
+			Scale: *scale, ThreadCounts: ts, Systems: systems,
 			CM: cm, Clock: clock, MVVersions: *mvVers,
 			Chaos: chaosSpec, ProgressTimeout: *timeout,
 		})

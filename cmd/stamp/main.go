@@ -123,9 +123,10 @@ func main() {
 		if sysName == "seq" {
 			n = 1 // seq has no concurrency control; >1 thread corrupts the run
 		}
-		res, err := stamp.RunOpts(*variant, *scale, sysName, n,
-			stamp.Options{CM: cm, Clock: clock, Trace: *traceN, MVVersions: *mvVers,
-				Chaos: chaosSpec, ProgressTimeout: *timeout})
+		res, err := stamp.Run(*variant, stamp.Options{
+			System: sysName, Threads: n, Scale: *scale,
+			CM: cm, Clock: clock, Trace: *traceN, MVVersions: *mvVers,
+			Chaos: chaosSpec, ProgressTimeout: *timeout})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "stamp:", err)
 			os.Exit(1)

@@ -29,6 +29,19 @@
 //   - The eight STAMP applications with their 30 Table IV configurations,
 //     and the harness that regenerates the paper's Table VI
 //     characterization and Figure 1 speedup curves.
+//   - A serving mode (Serve, ServerOptions, RunLoad, LoadOptions; the
+//     cmd/stampd daemon) that runs the vacation workload as a long-lived
+//     service: a persistent arena, a worker pool of Thread slots, and a
+//     bounded admission queue that sheds load with ErrQueueFull when
+//     full, with client-observed p50/p99/p999 latency histograms and the
+//     same per-block transactional statistics as batch runs.
+//
+// The measurement entrypoints take one consolidated Options struct —
+// Run("vacation-high", Options{System: "stm-mv", Threads: 8}) — whose
+// Validate reports every invalid field at once; the positional RunCM /
+// RunOpts / CharacterizeCM / CharacterizeOpts / MeasureSpeedupCM /
+// MeasureSpeedupOpts forms are deprecated wrappers kept for source
+// compatibility.
 //
 // Contention management is pluggable. Every software-managed runtime draws
 // a per-thread, seeded policy from a registry — CMNames() lists "randlin"

@@ -9,8 +9,6 @@
 package vacation
 
 import (
-	"fmt"
-
 	"github.com/stamp-go/stamp/internal/container"
 	"github.com/stamp-go/stamp/internal/mem"
 	"github.com/stamp-go/stamp/internal/rng"
@@ -58,8 +56,7 @@ const (
 type App struct {
 	cfg Config
 
-	tables    [numTypes]container.RBTree // id -> reservation record addr
-	customers container.RBTree           // id -> customer record addr (reservation list header)
+	store Store // the four tables (see ops.go for the operation bodies)
 
 	// Pre-generated per-session scripts so every system executes the same
 	// logical workload.
@@ -67,17 +64,10 @@ type App struct {
 }
 
 type session struct {
-	kind  int // 0 reserve, 1 delete customer, 2 update tables
-	cust  int
-	items []sessionItem
-}
-
-type sessionItem struct {
-	typ   int
-	id    int
-	add   bool // update sessions: add vs delete
-	num   int
-	price int
+	kind    int // 0 reserve, 1 delete customer, 2 update tables
+	cust    int
+	items   []Item   // reserve sessions
+	updates []Update // update sessions
 }
 
 // New pre-generates the session scripts.
@@ -103,9 +93,9 @@ func New(cfg Config) *App {
 			ses.cust = r.Intn(queryRange) + 1
 			n := cfg.QueriesPerTx
 			for i := 0; i < n; i++ {
-				ses.items = append(ses.items, sessionItem{
-					typ: r.Intn(numTypes),
-					id:  r.Intn(queryRange) + 1,
+				ses.items = append(ses.items, Item{
+					Typ: r.Intn(numTypes),
+					ID:  r.Intn(queryRange) + 1,
 				})
 			}
 		case action < cfg.PercentUser+(100-cfg.PercentUser)/2:
@@ -114,12 +104,12 @@ func New(cfg Config) *App {
 		default:
 			ses.kind = 2
 			for i := 0; i < cfg.QueriesPerTx; i++ {
-				ses.items = append(ses.items, sessionItem{
-					typ:   r.Intn(numTypes),
-					id:    r.Intn(queryRange) + 1,
-					add:   r.Intn(2) == 0,
-					num:   r.Intn(5) + 1,
-					price: r.Intn(450) + 50,
+				ses.updates = append(ses.updates, Update{
+					Typ:   r.Intn(numTypes),
+					ID:    r.Intn(queryRange) + 1,
+					Add:   r.Intn(2) == 0,
+					Num:   r.Intn(5) + 1,
+					Price: r.Intn(450) + 50,
 				})
 			}
 		}
@@ -142,21 +132,9 @@ func (a *App) ArenaWords() int {
 }
 
 // Setup implements apps.App: populates the four tables, as in
-// manager_initialize.
+// manager_initialize (see NewStore).
 func (a *App) Setup(ar *mem.Arena) {
-	d := mem.Direct{A: ar}
-	r := rng.New(a.cfg.Seed ^ 0x696e6974)
-	for t := 0; t < numTypes; t++ {
-		a.tables[t] = container.NewRBTree(d)
-		for id := 1; id <= a.cfg.Records; id++ {
-			rec := newReservation(d, id, r.Intn(300)+100, r.Intn(450)+50)
-			a.tables[t].Insert(d, uint64(id), uint64(rec))
-		}
-	}
-	a.customers = container.NewRBTree(d)
-	for id := 1; id <= a.cfg.Records; id++ {
-		a.customers.Insert(d, uint64(id), uint64(newCustomer(d)))
-	}
+	a.store = NewStore(mem.Direct{A: ar}, a.cfg.Records, a.cfg.Seed)
 }
 
 func newReservation(m tm.Mem, id, total, price int) mem.Addr {
@@ -198,171 +176,33 @@ func (a *App) Run(sys tm.System, team *thread.Team) {
 	})
 }
 
-// makeReservation queries the priced availability of the session's items
-// and books the highest-priced available item of each type for the
-// customer, inserting the customer if needed — the original's
-// CLIENT_DO_MAKE_RESERVATION in one transaction.
+// makeReservation runs the session's reservation as one transaction (see
+// Store.MakeReservation).
 func (a *App) makeReservation(th tm.Thread, ses *session) {
 	th.AtomicAt(blkReserve, func(tx tm.Tx) {
-		var bestID [numTypes]int
-		var bestPrice [numTypes]int64
-		for t := range bestPrice {
-			bestPrice[t] = -1
-			bestID[t] = -1
-		}
-		for _, it := range ses.items {
-			recA, ok := a.tables[it.typ].Get(tx, uint64(it.id))
-			if !ok {
-				continue
-			}
-			rec := mem.Addr(recA)
-			if tx.Load(rec+resFree) > 0 {
-				price := int64(tx.Load(rec + resPrice))
-				if price > bestPrice[it.typ] {
-					bestPrice[it.typ] = price
-					bestID[it.typ] = it.id
-				}
-			}
-		}
-		custKey := uint64(ses.cust)
-		custA, ok := a.customers.Get(tx, custKey)
-		if !ok {
-			custA = uint64(newCustomer(tx))
-			a.customers.Insert(tx, custKey, custA)
-		}
-		custList := container.List{H: mem.Addr(custA)}
-		for t := 0; t < numTypes; t++ {
-			if bestID[t] < 0 {
-				continue
-			}
-			recA, ok := a.tables[t].Get(tx, uint64(bestID[t]))
-			if !ok {
-				continue
-			}
-			rec := mem.Addr(recA)
-			free := tx.Load(rec + resFree)
-			if free == 0 {
-				continue
-			}
-			if !custList.Insert(tx, itemKey(t, bestID[t]), tx.Load(rec+resPrice)) {
-				continue // customer already holds this exact item
-			}
-			tx.Store(rec+resFree, free-1)
-			tx.Store(rec+resUsed, tx.Load(rec+resUsed)+1)
-		}
+		a.store.MakeReservation(tx, ses.cust, ses.items)
 	})
 }
 
-// deleteCustomer releases all of a customer's reservations and removes the
-// customer — one transaction.
+// deleteCustomer runs the session's cancellation as one transaction (see
+// Store.DeleteCustomer).
 func (a *App) deleteCustomer(th tm.Thread, ses *session) {
 	th.AtomicAt(blkDelete, func(tx tm.Tx) {
-		custA, ok := a.customers.Get(tx, uint64(ses.cust))
-		if !ok {
-			return
-		}
-		custList := container.List{H: mem.Addr(custA)}
-		custList.Each(tx, func(k, v uint64) bool {
-			typ := int(k >> 32)
-			id := k & 0xffffffff
-			if recA, ok := a.tables[typ].Get(tx, id); ok {
-				rec := mem.Addr(recA)
-				tx.Store(rec+resFree, tx.Load(rec+resFree)+1)
-				tx.Store(rec+resUsed, tx.Load(rec+resUsed)-1)
-			}
-			return true
-		})
-		a.customers.Remove(tx, uint64(ses.cust))
+		a.store.DeleteCustomer(tx, ses.cust)
 	})
 }
 
-// updateTables grows or shrinks the inventory — the original's
-// CLIENT_DO_UPDATE_TABLES in one transaction.
+// updateTables runs the session's inventory mutations as one transaction
+// (see Store.UpdateTables).
 func (a *App) updateTables(th tm.Thread, ses *session) {
 	th.AtomicAt(blkUpdate, func(tx tm.Tx) {
-		for _, it := range ses.items {
-			recA, ok := a.tables[it.typ].Get(tx, uint64(it.id))
-			if it.add {
-				if ok {
-					rec := mem.Addr(recA)
-					tx.Store(rec+resFree, tx.Load(rec+resFree)+uint64(it.num))
-					tx.Store(rec+resTotal, tx.Load(rec+resTotal)+uint64(it.num))
-					tx.Store(rec+resPrice, uint64(it.price))
-				} else {
-					rec := newReservation(tx, it.id, it.num, it.price)
-					a.tables[it.typ].Insert(tx, uint64(it.id), uint64(rec))
-				}
-				continue
-			}
-			if !ok {
-				continue
-			}
-			rec := mem.Addr(recA)
-			free := tx.Load(rec + resFree)
-			if free < uint64(it.num) {
-				continue // cannot retire seats that are in use
-			}
-			tx.Store(rec+resFree, free-uint64(it.num))
-			tx.Store(rec+resTotal, tx.Load(rec+resTotal)-uint64(it.num))
-			if tx.Load(rec+resTotal) == 0 {
-				a.tables[it.typ].Remove(tx, uint64(it.id))
-			}
-		}
+		a.store.UpdateTables(tx, ses.updates)
 	})
 }
 
 // Verify implements apps.App: per-record accounting (used + free == total),
-// cross-checked against a global recount of all customer reservation lists.
+// cross-checked against a global recount of all customer reservation lists
+// (see Store.Check).
 func (a *App) Verify(ar *mem.Arena) error {
-	d := mem.Direct{A: ar}
-	// Recount bookings per (type, id) from the customer lists.
-	booked := map[uint64]uint64{}
-	custCount := 0
-	a.customers.Each(d, func(_, custA uint64) bool {
-		custCount++
-		l := container.List{H: mem.Addr(custA)}
-		l.Each(d, func(k, _ uint64) bool {
-			booked[k]++
-			return true
-		})
-		return true
-	})
-	for t := 0; t < numTypes; t++ {
-		var err error
-		seen := 0
-		a.tables[t].Each(d, func(id, recA uint64) bool {
-			seen++
-			rec := mem.Addr(recA)
-			used := d.Load(rec + resUsed)
-			free := d.Load(rec + resFree)
-			total := d.Load(rec + resTotal)
-			if used+free != total {
-				err = fmt.Errorf("vacation: table %d id %d: used %d + free %d != total %d",
-					t, id, used, free, total)
-				return false
-			}
-			if got := booked[itemKey(t, int(id))]; got != used {
-				err = fmt.Errorf("vacation: table %d id %d: used %d but %d customer bookings",
-					t, id, used, got)
-				return false
-			}
-			delete(booked, itemKey(t, int(id)))
-			return true
-		})
-		if err != nil {
-			return err
-		}
-		if seen == 0 && a.cfg.Records > 0 {
-			return fmt.Errorf("vacation: table %d is empty", t)
-		}
-	}
-	// Any remaining booked entries reference deleted records: those bookings
-	// must be zero-count (cannot happen: updateTables only deletes records
-	// with total == 0, i.e. free == used == 0 given the invariant above).
-	for k, n := range booked {
-		if n != 0 {
-			return fmt.Errorf("vacation: %d bookings reference missing record %#x", n, k)
-		}
-	}
-	return nil
+	return a.store.Check(mem.Direct{A: ar}, a.cfg.Records)
 }

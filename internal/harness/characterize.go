@@ -27,21 +27,26 @@ type Characterization struct {
 	ArenaWords int // workload footprint (working-set proxy)
 }
 
-// Characterize reproduces one Table VI row for a variant: the seq run
-// provides the barrier counts and the per-transaction time proxy, the lazy
-// HTM provides read/write sets and time-in-transactions (as in the paper),
-// and every TM system at retryThreads threads provides retries per
-// transaction (the paper uses 16). opt applies to the retry-column runs
-// (contention management and the commit-clock scheme are what those
-// columns vary; the zero Options keeps each runtime's defaults).
-// extraSystems adds retry columns for runtimes beyond the paper's six
-// (e.g. "stm-norec").
-func Characterize(v Variant, scale float64, retryThreads int, opt Options, extraSystems ...string) (Characterization, error) {
+// Characterize reproduces one Table VI row for a variant at opt.Scale: the
+// seq run provides the barrier counts and the per-transaction time proxy,
+// the lazy HTM provides read/write sets and time-in-transactions (as in
+// the paper), and every TM system at opt.RetryThreads threads (0 = 16, the
+// paper's) provides retries per transaction. The remaining per-run knobs
+// of opt apply to the retry-column runs (contention management and the
+// commit-clock scheme are what those columns vary; the zero Options keeps
+// each runtime's defaults). opt.ExtraRetrySystems adds retry columns for
+// runtimes beyond the paper's six (e.g. "stm-norec"); opt.System and
+// opt.Threads are ignored — the columns pick their own.
+func Characterize(v Variant, opt Options) (Characterization, error) {
 	c := Characterization{Variant: v.Name, Retries: map[string]float64{}}
-	app := v.Make(scale)
+	if err := opt.Validate(); err != nil {
+		return c, fmt.Errorf("harness: invalid options: %w", err)
+	}
+	opt = opt.withDefaults()
+	app := v.Make(opt.Scale)
 	c.ArenaWords = app.ArenaWords()
 
-	seq, err := RunOne(app, v.Name, "seq", 1, Options{Profile: true})
+	seq, err := RunOne(app, v.Name, Options{System: "seq", Threads: 1, Profile: true})
 	if err != nil {
 		return c, err
 	}
@@ -55,7 +60,7 @@ func Characterize(v Variant, scale float64, retryThreads int, opt Options, extra
 	c.MeanLoads = seq.Stats.MeanLoads()
 	c.MeanStores = seq.Stats.MeanStores()
 
-	htm, err := RunOne(app, v.Name, "htm-lazy", 1, Options{Profile: true})
+	htm, err := RunOne(app, v.Name, Options{System: "htm-lazy", Threads: 1, Profile: true})
 	if err != nil {
 		return c, err
 	}
@@ -66,8 +71,11 @@ func Characterize(v Variant, scale float64, retryThreads int, opt Options, extra
 	c.WriteSetP90 = htm.Stats.WriteSetP90()
 	c.TxTimePct = htm.TxTimeFraction() * 100
 
-	for _, sysName := range append(TMSystems(), extraSystems...) {
-		r, err := RunOne(app, v.Name, sysName, retryThreads, opt)
+	for _, sysName := range append(TMSystems(), opt.ExtraRetrySystems...) {
+		ro := opt
+		ro.System = sysName
+		ro.Threads = opt.RetryThreads
+		r, err := RunOne(app, v.Name, ro)
 		if err != nil {
 			return c, err
 		}

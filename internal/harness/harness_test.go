@@ -56,7 +56,7 @@ func TestRunVariantSmoke(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		r, err := RunVariant(v, 0.05, "stm-lazy", 2, Options{})
+		r, err := RunVariant(v, Options{Scale: 0.05, System: "stm-lazy", Threads: 2})
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -80,7 +80,7 @@ func TestRunVariantNOrec(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			r, err := RunVariant(v, 0.05, sysName, 4, Options{})
+			r, err := RunVariant(v, Options{Scale: 0.05, System: sysName, Threads: 4})
 			if err != nil {
 				t.Fatalf("%s on %s: %v", name, sysName, err)
 			}
@@ -103,7 +103,7 @@ func TestCharacterizeSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := Characterize(v, 0.1, 4, Options{})
+	c, err := Characterize(v, Options{Scale: 0.1, RetryThreads: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +138,7 @@ func TestMeasureSpeedupSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := MeasureSpeedup(v, 0.05, []int{1, 2}, []string{"stm-lazy", "htm-lazy"}, Options{})
+	s, err := MeasureSpeedup(v, Options{Scale: 0.05, ThreadCounts: []int{1, 2}, Systems: []string{"stm-lazy", "htm-lazy"}})
 	if err != nil {
 		t.Fatal(err)
 	}

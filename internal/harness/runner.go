@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -8,11 +9,28 @@ import (
 	"github.com/stamp-go/stamp/internal/mem"
 	"github.com/stamp-go/stamp/internal/thread"
 	"github.com/stamp-go/stamp/internal/tm"
+	"github.com/stamp-go/stamp/internal/tm/chaos"
 	"github.com/stamp-go/stamp/internal/tm/factory"
 )
 
-// Options carries the per-run knobs beyond system and thread count.
+// Options is the single per-run configuration struct of the harness: what
+// to run on (System, Threads, Scale) plus every per-run knob. The zero
+// value is valid everywhere a field is documented as having a default;
+// Validate reports every invalid field at once.
 type Options struct {
+	// System names the TM runtime to run on (factory.Names / stamp.Systems).
+	// Required by RunOne and RunVariant; Characterize and MeasureSpeedup
+	// choose their own systems per column and ignore it.
+	System string
+	// Threads is the worker count (0 = 1). Required to be 1 for "seq",
+	// which has no concurrency control.
+	Threads int
+	// Scale shrinks the workload relative to the paper's configuration
+	// (0 = 1.0, the full Table IV arguments). Used wherever a Variant is
+	// constructed (RunVariant, Characterize, MeasureSpeedup); RunOne takes
+	// an already-built app and ignores it.
+	Scale float64
+
 	// Profile makes the run track read/write line sets (Table VI columns).
 	Profile bool
 	// CM selects the contention-management policy (tm.CMNames); empty keeps
@@ -34,11 +52,160 @@ type Options struct {
 	// Chaos arms deterministic failpoints in the runtime's conflict and
 	// commit paths ("" = off; see tm.Config.Chaos for the spec grammar).
 	Chaos string
+	// AdaptiveRead and AdaptiveWrite name the stm-adaptive meta-runtime's
+	// two delegates ("" = the tm.Config defaults, stm-norec-ro and
+	// stm-lazy). Other runtimes ignore them.
+	AdaptiveRead  string
+	AdaptiveWrite string
 	// ProgressTimeout arms the progress watchdog: if the run's global commit
 	// count is flat for a full window, the run is halted, diagnostics are
 	// dumped to stderr, and RunOne returns an ErrStalled-wrapped error
 	// instead of hanging (0 = watchdog off).
 	ProgressTimeout time.Duration
+
+	// RetryThreads is the thread count of Characterize's retries-per-
+	// transaction columns (0 = 16, the paper's). Only Characterize reads it.
+	RetryThreads int
+	// ExtraRetrySystems adds Characterize retry columns for runtimes beyond
+	// the paper's six (e.g. "stm-norec"). Only Characterize reads it.
+	ExtraRetrySystems []string
+	// ThreadCounts is MeasureSpeedup's sweep (nil = DefaultThreads, the
+	// paper's 1..16). Only MeasureSpeedup reads it.
+	ThreadCounts []int
+	// Systems is MeasureSpeedup's runtime set (nil = TMSystems(), the
+	// paper's six). "seq" is rejected: it is already every panel's
+	// baseline. Only MeasureSpeedup reads it.
+	Systems []string
+}
+
+// withDefaults resolves the zero values that mean "default".
+func (o Options) withDefaults() Options {
+	if o.Threads == 0 {
+		o.Threads = 1
+	}
+	if o.Scale == 0 {
+		o.Scale = 1
+	}
+	if o.RetryThreads == 0 {
+		o.RetryThreads = 16
+	}
+	return o
+}
+
+// Validate checks every field against its registry and returns all
+// problems at once (errors.Join), instead of failing one-at-a-time the way
+// constructing the system would — so a CLI or server config with three
+// typos reports three errors in one round trip. A zero Options is valid;
+// System is checked when set and independently required by RunOne.
+func (o Options) Validate() error {
+	var errs []error
+	bad := func(format string, args ...any) { errs = append(errs, fmt.Errorf(format, args...)) }
+
+	knownSystem := func(name string) bool {
+		for _, s := range factory.Names() {
+			if s == name {
+				return true
+			}
+		}
+		return false
+	}
+	if o.System != "" && !knownSystem(o.System) {
+		bad("unknown system %q (known: %v)", o.System, factory.Names())
+	}
+	if o.Threads < 0 {
+		bad("threads must be >= 0 (0 = 1), got %d", o.Threads)
+	}
+	if o.System == "seq" && o.Threads > 1 {
+		bad("seq is the sequential baseline (no concurrency control) and cannot run at %d threads", o.Threads)
+	}
+	if o.Scale < 0 {
+		bad("scale must be >= 0 (0 = the paper's configuration), got %g", o.Scale)
+	}
+	if o.CM != "" {
+		found := false
+		for _, name := range tm.CMNames() {
+			if name == o.CM {
+				found = true
+				break
+			}
+		}
+		if !found {
+			bad("unknown contention manager %q (known: %v)", o.CM, tm.CMNames())
+		}
+	}
+	if o.Clock != "" {
+		found := false
+		for _, name := range tm.ClockNames() {
+			if name == o.Clock {
+				found = true
+				break
+			}
+		}
+		if !found {
+			bad("unknown clock scheme %q (known: %v)", o.Clock, tm.ClockNames())
+		}
+	}
+	if o.Trace < 0 {
+		bad("trace sampling interval must be >= 0, got %d", o.Trace)
+	}
+	if o.TraceBuf < 0 {
+		bad("trace ring capacity must be >= 0, got %d", o.TraceBuf)
+	}
+	if o.MVVersions < 0 {
+		bad("mv version-ring depth must be >= 0 (0 = default), got %d", o.MVVersions)
+	}
+	if o.Chaos != "" {
+		if _, err := chaos.Parse(o.Chaos); err != nil {
+			bad("chaos spec: %v", err)
+		}
+	}
+	// Resolve the delegate defaults the way tm.Config.Defaults will, so an
+	// explicit delegate that collides with the other side's default is
+	// caught here and not at NewSystem.
+	ar, aw := o.AdaptiveRead, o.AdaptiveWrite
+	if ar == "" {
+		ar = "stm-norec-ro"
+	}
+	if aw == "" {
+		aw = "stm-lazy"
+	}
+	for side, name := range map[string]string{"adaptive-read": o.AdaptiveRead, "adaptive-write": o.AdaptiveWrite} {
+		if name == "" {
+			continue
+		}
+		if !knownSystem(name) {
+			bad("unknown %s delegate %q (known: %v)", side, name, factory.Names())
+		} else if name == "seq" || name == "stm-adaptive" {
+			bad("%s delegate cannot be %q", side, name)
+		}
+	}
+	if (o.AdaptiveRead != "" || o.AdaptiveWrite != "") && ar == aw {
+		bad("adaptive delegates must differ, both resolve to %q", ar)
+	}
+	if o.ProgressTimeout < 0 {
+		bad("progress timeout must be >= 0, got %v", o.ProgressTimeout)
+	}
+	if o.RetryThreads < 0 {
+		bad("retry threads must be >= 0 (0 = 16), got %d", o.RetryThreads)
+	}
+	for _, t := range o.ThreadCounts {
+		if t < 1 {
+			bad("thread counts must be >= 1, got %d", t)
+		}
+	}
+	for _, s := range o.Systems {
+		if !knownSystem(s) {
+			bad("unknown system %q in Systems (known: %v)", s, factory.Names())
+		} else if s == "seq" {
+			bad("seq is the baseline of every speedup panel and cannot be swept")
+		}
+	}
+	for _, s := range o.ExtraRetrySystems {
+		if !knownSystem(s) {
+			bad("unknown system %q in ExtraRetrySystems (known: %v)", s, factory.Names())
+		}
+	}
+	return errors.Join(errs...)
 }
 
 // Result is the outcome of one app × system × thread-count run.
@@ -77,17 +244,25 @@ func (r Result) TxTimeFraction() float64 {
 	return f
 }
 
-// RunOne stages app into a fresh arena and executes it once.
-func RunOne(app apps.App, variant, sysName string, threads int, opt Options) (Result, error) {
+// RunOne stages app into a fresh arena and executes it once on opt.System
+// at opt.Threads workers (opt.Scale is ignored: the app is already built).
+func RunOne(app apps.App, variant string, opt Options) (Result, error) {
+	if err := opt.Validate(); err != nil {
+		return Result{}, fmt.Errorf("harness: invalid options: %w", err)
+	}
+	if opt.System == "" {
+		return Result{}, fmt.Errorf("harness: Options.System is required (known: %v)", factory.Names())
+	}
+	opt = opt.withDefaults()
 	arena := mem.NewArena(app.ArenaWords())
 	app.Setup(arena)
 	var watch *tm.Watch
 	if opt.ProgressTimeout > 0 {
-		watch = tm.NewWatch(threads)
+		watch = tm.NewWatch(opt.Threads)
 	}
-	sys, err := factory.New(sysName, tm.Config{
+	sys, err := factory.New(opt.System, tm.Config{
 		Arena:              arena,
-		Threads:            threads,
+		Threads:            opt.Threads,
 		EnableEarlyRelease: true,
 		ProfileSets:        opt.Profile,
 		CM:                 opt.CM,
@@ -96,13 +271,15 @@ func RunOne(app apps.App, variant, sysName string, threads int, opt Options) (Re
 		TraceBuf:           opt.TraceBuf,
 		MVVersions:         opt.MVVersions,
 		Chaos:              opt.Chaos,
+		AdaptiveRead:       opt.AdaptiveRead,
+		AdaptiveWrite:      opt.AdaptiveWrite,
 		Watch:              watch,
 	})
 	if err != nil {
 		return Result{}, fmt.Errorf("harness: %w", err)
 	}
-	team := thread.NewTeam(threads)
-	team.SetLabels("app", variant, "system", sysName)
+	team := thread.NewTeam(opt.Threads)
+	team.SetLabels("app", variant, "system", opt.System)
 	start := time.Now()
 	if watch == nil {
 		app.Run(sys, team)
@@ -112,8 +289,8 @@ func RunOne(app apps.App, variant, sysName string, threads int, opt Options) (Re
 	wall := time.Since(start)
 	return Result{
 		Variant: variant,
-		System:  sysName,
-		Threads: threads,
+		System:  opt.System,
+		Threads: opt.Threads,
 		CM:      opt.CM,
 		Clock:   opt.Clock,
 		Wall:    wall,
@@ -123,7 +300,8 @@ func RunOne(app apps.App, variant, sysName string, threads int, opt Options) (Re
 	}, nil
 }
 
-// RunVariant constructs the variant at the given scale and runs it.
-func RunVariant(v Variant, scale float64, sysName string, threads int, opt Options) (Result, error) {
-	return RunOne(v.Make(scale), v.Name, sysName, threads, opt)
+// RunVariant constructs the variant at opt.Scale and runs it on opt.System
+// at opt.Threads workers.
+func RunVariant(v Variant, opt Options) (Result, error) {
+	return RunOne(v.Make(opt.withDefaults().Scale), v.Name, opt)
 }

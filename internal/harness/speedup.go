@@ -26,24 +26,33 @@ type SpeedupSeries struct {
 // DefaultThreads is the paper's core sweep.
 var DefaultThreads = []int{1, 2, 4, 8, 16}
 
-// MeasureSpeedup runs the full Figure 1 sweep for one variant. opt.CM
-// applies to every TM run (the sequential baseline has no contention to
-// manage).
-func MeasureSpeedup(v Variant, scale float64, threads []int, systems []string, opt Options) (SpeedupSeries, error) {
-	if len(threads) == 0 {
-		threads = DefaultThreads
-	}
-	if len(systems) == 0 {
-		systems = TMSystems()
-	}
+// MeasureSpeedup runs the full Figure 1 sweep for one variant at
+// opt.Scale: opt.Systems (nil = the paper's six) at each of
+// opt.ThreadCounts (nil = DefaultThreads) against the sequential baseline.
+// The remaining per-run knobs of opt (e.g. CM) apply to every TM run — the
+// sequential baseline has no contention to manage. opt.System and
+// opt.Threads are ignored: the sweep picks its own per cell.
+func MeasureSpeedup(v Variant, opt Options) (SpeedupSeries, error) {
 	s := SpeedupSeries{
 		Variant:      v.Name,
-		Threads:      threads,
 		Wall:         map[string][]float64{},
 		ModelSpeedup: map[string][]float64{},
 	}
-	app := v.Make(scale)
-	base, err := RunOne(app, v.Name, "seq", 1, Options{})
+	if err := opt.Validate(); err != nil {
+		return s, fmt.Errorf("harness: invalid options: %w", err)
+	}
+	opt = opt.withDefaults()
+	threads := opt.ThreadCounts
+	if len(threads) == 0 {
+		threads = DefaultThreads
+	}
+	systems := opt.Systems
+	if len(systems) == 0 {
+		systems = TMSystems()
+	}
+	s.Threads = threads
+	app := v.Make(opt.Scale)
+	base, err := RunOne(app, v.Name, Options{System: "seq", Threads: 1})
 	if err != nil {
 		return s, err
 	}
@@ -53,7 +62,10 @@ func MeasureSpeedup(v Variant, scale float64, threads []int, systems []string, o
 	s.Baseline = float64(base.Wall.Nanoseconds())
 	for _, sysName := range systems {
 		for _, t := range threads {
-			r, err := RunOne(app, v.Name, sysName, t, opt)
+			ro := opt
+			ro.System = sysName
+			ro.Threads = t
+			r, err := RunOne(app, v.Name, ro)
 			if err != nil {
 				return s, err
 			}

@@ -48,7 +48,8 @@ func (okApp) Run(sys tm.System, team *thread.Team) {
 }
 
 func TestWatchdogStallsAreReported(t *testing.T) {
-	_, err := RunOne(stallApp{}, "stall", "stm-lazy", 2, Options{
+	_, err := RunOne(stallApp{}, "stall", Options{
+		System: "stm-lazy", Threads: 2,
 		ProgressTimeout: 100 * time.Millisecond,
 	})
 	if err == nil {
@@ -60,7 +61,8 @@ func TestWatchdogStallsAreReported(t *testing.T) {
 }
 
 func TestWatchdogSilentOnProgress(t *testing.T) {
-	res, err := RunOne(okApp{}, "ok", "stm-lazy", 2, Options{
+	res, err := RunOne(okApp{}, "ok", Options{
+		System: "stm-lazy", Threads: 2,
 		ProgressTimeout: 2 * time.Second,
 	})
 	if err != nil {

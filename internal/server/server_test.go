@@ -1,0 +1,380 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/stamp-go/stamp/internal/tm"
+)
+
+// testOptions keeps e2e servers small and fast.
+func testOptions() Options {
+	return Options{
+		Workers: 4, Records: 512, OpBudget: 1 << 15, Seed: 7,
+		Diagnostics: &bytes.Buffer{},
+	}
+}
+
+func TestServerOptionsValidate(t *testing.T) {
+	if err := (Options{}).Validate(); err != nil {
+		t.Fatalf("zero Options must validate: %v", err)
+	}
+	err := Options{
+		System: "seq", Workers: 99, Queue: -1, Records: -1,
+		OpBudget: -1, ArenaWords: -1, CM: "nope",
+	}.Validate()
+	if err == nil {
+		t.Fatal("invalid Options validated")
+	}
+	for _, want := range []string{
+		"seq", "workers", "queue", "records",
+		"op budget", "arena words", "unknown contention manager",
+	} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("joined error %q is missing %q", err, want)
+		}
+	}
+	if _, err := New(Options{Workers: -1}); err == nil {
+		t.Fatal("New accepted invalid options")
+	}
+}
+
+func TestLoadOptionsValidate(t *testing.T) {
+	if err := (LoadOptions{}).Validate(); err != nil {
+		t.Fatalf("zero LoadOptions must validate: %v", err)
+	}
+	err := LoadOptions{
+		Clients: -1, Rate: -1, Duration: -time.Second,
+		UserPct: 101, ROPct: 101, QueriesPerTx: -1, QueryRangePct: -1,
+	}.Validate()
+	if err == nil {
+		t.Fatal("invalid LoadOptions validated")
+	}
+	for _, want := range []string{
+		"clients", "rate", "duration", "user pct",
+		"ro pct", "queries per tx", "query range pct",
+	} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("joined error %q is missing %q", err, want)
+		}
+	}
+}
+
+// TestServerMixedLoad is the serving-mode e2e: a mixed read-write /
+// read-only load at several client counts against one warm server, then
+// table invariants, snapshot consistency, and abort-cause hygiene. Run
+// under -race this is also the data-race proof for the whole admission →
+// worker → response → stats path.
+func TestServerMixedLoad(t *testing.T) {
+	for _, sys := range []string{"stm-mv", "stm-lazy"} {
+		t.Run(sys, func(t *testing.T) {
+			opt := testOptions()
+			opt.System = sys
+			s, err := New(opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			for _, clients := range []int{2, 8} {
+				for _, roPct := range []int{0, 50} {
+					rep, err := RunLoad(s, LoadOptions{
+						Clients: clients, Duration: 120 * time.Millisecond,
+						ROPct: roPct, Seed: uint64(clients),
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if rep.Completed == 0 {
+						t.Fatalf("c%d/ro%d: no requests completed: %+v", clients, roPct, rep)
+					}
+					if rep.Lost != 0 || rep.Failed != 0 {
+						t.Fatalf("c%d/ro%d: lost=%d failed=%d", clients, roPct, rep.Lost, rep.Failed)
+					}
+					if rep.Torn != 0 {
+						t.Fatalf("c%d/ro%d: %d torn query snapshots", clients, roPct, rep.Torn)
+					}
+					if rep.Latency.Count != rep.Completed {
+						t.Fatalf("c%d/ro%d: latency count %d != completed %d",
+							clients, roPct, rep.Latency.Count, rep.Completed)
+					}
+					if rep.Latency.P50Ns > rep.Latency.P99Ns || rep.Latency.P99Ns > rep.Latency.P999Ns {
+						t.Fatalf("c%d/ro%d: quantiles not monotone: %+v", clients, roPct, rep.Latency)
+					}
+					if n := rep.TM.AbortCauses()[tm.CauseUnknown]; n != 0 {
+						t.Fatalf("c%d/ro%d: %d unknown-cause aborts", clients, roPct, n)
+					}
+					if roPct > 0 {
+						if _, ok := rep.PerOp[OpQuery.String()]; !ok {
+							t.Fatalf("c%d/ro%d: no query latency recorded: %v", clients, roPct, rep.PerOp)
+						}
+					}
+					if err := s.CheckInvariants(); err != nil {
+						t.Fatalf("c%d/ro%d: invariants violated: %v", clients, roPct, err)
+					}
+				}
+			}
+			// On stm-mv the read-only block must have been snapshot-served:
+			// its row may not abort.
+			if sys == "stm-mv" {
+				for _, row := range s.TMStats().Blocks() {
+					if row.Name == "stampd/query" && row.Aborts != 0 {
+						t.Fatalf("stm-mv query block aborted %d times", row.Aborts)
+					}
+				}
+			}
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestServerOpenLoopRate: a feasible fixed rate is sustained and the
+// latency histogram sees every completion.
+func TestServerOpenLoopRate(t *testing.T) {
+	s, err := New(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	rep, err := RunLoad(s, LoadOptions{
+		Clients: 4, Rate: 2000, Duration: 250 * time.Millisecond, ROPct: 30, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2000 * 0.25
+	if float64(rep.Offered) < want*0.5 {
+		t.Fatalf("open loop under-offered: %d of ~%.0f", rep.Offered, want)
+	}
+	if rep.Completed+rep.Rejected+rep.Failed != rep.Offered {
+		t.Fatalf("accounting leak: completed %d + rejected %d + failed %d != offered %d",
+			rep.Completed, rep.Rejected, rep.Failed, rep.Offered)
+	}
+}
+
+// wedge blocks n workers inside transactions until release is closed.
+func wedge(t *testing.T, s *Server, n int) (release chan struct{}, done chan Response) {
+	t.Helper()
+	release = make(chan struct{})
+	done = make(chan Response, n)
+	for i := 0; i < n; i++ {
+		req := &Request{Op: opProbe, probe: func(tm.Tx) { <-release }, done: done}
+		if err := s.Submit(req); err != nil {
+			t.Fatalf("wedge submit %d: %v", i, err)
+		}
+	}
+	// Wait until all n probes are actually inside workers.
+	deadline := time.Now().Add(2 * time.Second)
+	for s.inflight.Load() < int64(n) {
+		if time.Now().After(deadline) {
+			t.Fatalf("probes not picked up: inflight=%d", s.inflight.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return release, done
+}
+
+// TestServerQueueRejection: with every worker wedged, the bounded queue
+// fills and Submit sheds load with ErrQueueFull instead of buffering.
+func TestServerQueueRejection(t *testing.T) {
+	opt := testOptions()
+	opt.Workers = 2
+	opt.Queue = 2
+	s, err := New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	release, done := wedge(t, s, 2)
+
+	// Workers are busy; the next Queue submissions park, then rejection.
+	for i := 0; i < opt.Queue; i++ {
+		if err := s.Submit(&Request{Op: OpQuery, Items: nil, done: done}); err != nil {
+			t.Fatalf("fill submit %d: %v", i, err)
+		}
+	}
+	err = s.Submit(&Request{Op: OpQuery, done: done})
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("over-capacity submit: got %v, want ErrQueueFull", err)
+	}
+	if g := s.Snapshot(); g.Rejected != 1 || g.QueueDepth != opt.Queue {
+		t.Fatalf("gauges after rejection: %+v", g)
+	}
+
+	close(release)
+	for i := 0; i < 2+opt.Queue; i++ {
+		if resp := <-done; resp.Err != nil {
+			t.Fatalf("drained request %d failed: %v", i, resp.Err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServerStallWatchdog: a wedged pool with work in flight must trip the
+// progress watchdog — pending and future requests fail with ErrStalled
+// instead of the server hanging — and the post-mortem must reach the
+// Diagnostics writer.
+func TestServerStallWatchdog(t *testing.T) {
+	var diag bytes.Buffer
+	opt := testOptions()
+	opt.System = "stm-lazy"
+	opt.Workers = 2
+	opt.ProgressTimeout = 30 * time.Millisecond
+	opt.Diagnostics = &diag
+	s, err := New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release, done := wedge(t, s, 2)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Err() == nil {
+		if time.Now().After(deadline) {
+			close(release)
+			t.Fatal("watchdog never tripped")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !errors.Is(s.Err(), ErrStalled) {
+		t.Fatalf("fatal error %v is not ErrStalled", s.Err())
+	}
+	if err := s.Submit(&Request{Op: OpQuery}); !errors.Is(err, ErrStalled) {
+		t.Fatalf("post-stall submit: got %v, want ErrStalled", err)
+	}
+
+	close(release) // un-wedge so Close can join the workers
+	for i := 0; i < 2; i++ {
+		<-done
+	}
+	if err := s.Close(); !errors.Is(err, ErrStalled) {
+		t.Fatalf("Close: got %v, want ErrStalled", err)
+	}
+	if !strings.Contains(diag.String(), "progress watchdog") {
+		t.Fatalf("diagnostics missing watchdog post-mortem: %q", diag.String())
+	}
+}
+
+// TestServerIdleNoFalseStall: an idle server commits nothing — that must
+// NOT read as a stall (the batch watchdog's rule would misfire here).
+func TestServerIdleNoFalseStall(t *testing.T) {
+	opt := testOptions()
+	opt.ProgressTimeout = 20 * time.Millisecond
+	s, err := New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond) // several idle windows
+	if err := s.Err(); err != nil {
+		t.Fatalf("idle server reported fatal error: %v", err)
+	}
+	if resp := s.Do(&Request{Op: OpQuery, Items: nil}); resp.Err != nil {
+		t.Fatalf("request after idle period failed: %v", resp.Err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerSubmitAfterClose(t *testing.T) {
+	s, err := New(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Submit(&Request{Op: OpQuery}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after close: got %v, want ErrClosed", err)
+	}
+	if err := s.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+}
+
+// TestServerHTTP drives the JSON front-end end to end: operations, live
+// stats, health, and the 503 load-shedding path.
+func TestServerHTTP(t *testing.T) {
+	opt := testOptions()
+	opt.Workers = 2
+	opt.Queue = 2
+	s, err := New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post := func(path, body string) (int, apiResponse) {
+		t.Helper()
+		resp, err := ts.Client().Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out apiResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("%s: bad response body: %v", path, err)
+		}
+		return resp.StatusCode, out
+	}
+
+	if code, out := post("/reserve", `{"customer": 3, "items": [{"Typ":0,"ID":5},{"Typ":1,"ID":9}]}`); code != 200 || out.Error != "" {
+		t.Fatalf("/reserve: %d %+v", code, out)
+	}
+	code, out := post("/query", `{"items": [{"Typ":0,"ID":5}]}`)
+	if code != 200 || out.Torn != 0 || out.LatencyNs <= 0 {
+		t.Fatalf("/query: %d %+v", code, out)
+	}
+	if code, _ := post("/cancel", `{"customer": 3}`); code != 200 {
+		t.Fatalf("/cancel: %d", code)
+	}
+	if code, _ := post("/update", `{"updates": [{"Typ":2,"ID":4,"Add":true,"Num":1,"Price":80}]}`); code != 200 {
+		t.Fatalf("/update: %d", code)
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g Gauges
+	if err := json.NewDecoder(resp.Body).Decode(&g); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if g.Served < 4 || g.Workers != 2 || g.Latency.Count < 4 {
+		t.Fatalf("/stats gauges: %+v", g)
+	}
+	if hr, err := ts.Client().Get(ts.URL + "/healthz"); err != nil || hr.StatusCode != 200 {
+		t.Fatalf("/healthz: %v %v", hr, err)
+	} else {
+		hr.Body.Close()
+	}
+
+	// Load shedding over HTTP: wedge both workers, fill the queue, and the
+	// next request must answer 503 with the queue-full error.
+	release, done := wedge(t, s, 2)
+	for i := 0; i < opt.Queue; i++ {
+		if err := s.Submit(&Request{Op: OpQuery, done: done}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if code, out := post("/query", `{}`); code != 503 || !strings.Contains(out.Error, "queue full") {
+		t.Fatalf("over-capacity POST: %d %+v", code, out)
+	}
+	close(release)
+	for i := 0; i < 2+opt.Queue; i++ {
+		<-done
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

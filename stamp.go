@@ -81,9 +81,11 @@ type (
 type (
 	// Variant is one Table IV configuration row.
 	Variant = harness.Variant
-	// Options carries the per-run knobs beyond system and thread count:
-	// set-profiling, the contention-manager policy (CM), and the TL2
-	// commit-clock scheme (Clock).
+	// Options is the single per-run configuration struct: what to run on
+	// (System, Threads, Scale) plus every per-run knob — set profiling,
+	// contention-manager policy (CM), commit-clock scheme (Clock), tracing,
+	// chaos, the progress watchdog, and the Characterize/MeasureSpeedup
+	// sweep shapes. Options.Validate reports every invalid field at once.
 	Options = harness.Options
 	// Result is the outcome of one app × system × threads run.
 	Result = harness.Result
@@ -114,9 +116,10 @@ const (
 	NumCauses                 = tm.NumCauses
 )
 
-// ErrStalled is the distinguishable error RunOpts (and the commands' -timeout
-// flag) reports when the progress watchdog halts a run that made no commit
-// progress for a full Options.ProgressTimeout window; match with errors.Is.
+// ErrStalled is the distinguishable error Run (and the commands' -timeout
+// flag, and the serving harness — see Serve) reports when the progress
+// watchdog halts a run that made no commit progress for a full
+// Options.ProgressTimeout window; match with errors.Is.
 var ErrStalled = harness.ErrStalled
 
 // ChaosSite describes one registered fault-injection failpoint for listings
@@ -323,67 +326,85 @@ func SimVariants() []Variant { return harness.SimVariants() }
 // FindVariant looks a variant up by name (e.g. "vacation-high+").
 func FindVariant(name string) (Variant, error) { return harness.FindVariant(name) }
 
-// Run executes one variant at the given scale (1 = the paper's
-// configuration) on the named system with each runtime's default contention
-// manager.
-func Run(variantName string, scale float64, system string, threads int) (Result, error) {
-	return RunCM(variantName, scale, system, threads, "")
-}
-
-// RunCM is Run with an explicit contention-manager policy (see CMNames);
-// empty keeps the runtime's default.
-func RunCM(variantName string, scale float64, system string, threads int, cm string) (Result, error) {
-	return RunOpts(variantName, scale, system, threads, Options{CM: cm})
-}
-
-// RunOpts is Run with explicit per-run Options (contention manager,
-// commit-clock scheme, set profiling).
-func RunOpts(variantName string, scale float64, system string, threads int, opt Options) (Result, error) {
+// Run executes one variant on opt.System (required) at opt.Threads workers
+// (0 = 1), at opt.Scale (0 = 1.0, the paper's configuration), with every
+// other per-run knob read from opt. It is the single entrypoint the former
+// Run/RunCM/RunOpts accretion collapsed into; Options.Validate reports
+// every configuration problem at once before anything runs.
+func Run(variantName string, opt Options) (Result, error) {
 	v, err := harness.FindVariant(variantName)
 	if err != nil {
 		return Result{}, err
 	}
-	return harness.RunVariant(v, scale, system, threads, opt)
+	return harness.RunVariant(v, opt)
 }
 
-// Characterize regenerates one Table VI row for a variant.
-func Characterize(variantName string, scale float64, retryThreads int) (Characterization, error) {
-	return CharacterizeCM(variantName, scale, retryThreads, "")
-}
-
-// CharacterizeCM is Characterize with an explicit contention-manager policy
-// applied to the retry-column runs.
-func CharacterizeCM(variantName string, scale float64, retryThreads int, cm string) (Characterization, error) {
-	return CharacterizeOpts(variantName, scale, retryThreads, Options{CM: cm})
-}
-
-// CharacterizeOpts is Characterize with explicit per-run Options applied to
-// the retry-column runs.
-func CharacterizeOpts(variantName string, scale float64, retryThreads int, opt Options) (Characterization, error) {
+// Characterize regenerates one Table VI row for a variant at opt.Scale,
+// with the retry columns run at opt.RetryThreads (0 = 16, the paper's) and
+// extended by opt.ExtraRetrySystems. The per-run knobs of opt apply to the
+// retry-column runs; opt.System and opt.Threads are ignored — the columns
+// pick their own. It replaces Characterize/CharacterizeCM/CharacterizeOpts.
+func Characterize(variantName string, opt Options) (Characterization, error) {
 	v, err := harness.FindVariant(variantName)
 	if err != nil {
 		return Characterization{}, err
 	}
-	return harness.Characterize(v, scale, retryThreads, opt)
+	return harness.Characterize(v, opt)
 }
 
-// MeasureSpeedup runs one Figure 1 panel for a variant.
-func MeasureSpeedup(variantName string, scale float64, threads []int, systems []string) (SpeedupSeries, error) {
-	return MeasureSpeedupCM(variantName, scale, threads, systems, "")
-}
-
-// MeasureSpeedupCM is MeasureSpeedup with an explicit contention-manager
-// policy applied to every TM run.
-func MeasureSpeedupCM(variantName string, scale float64, threads []int, systems []string, cm string) (SpeedupSeries, error) {
-	return MeasureSpeedupOpts(variantName, scale, threads, systems, Options{CM: cm})
-}
-
-// MeasureSpeedupOpts is MeasureSpeedup with explicit per-run Options
-// applied to every TM run.
-func MeasureSpeedupOpts(variantName string, scale float64, threads []int, systems []string, opt Options) (SpeedupSeries, error) {
+// MeasureSpeedup runs one Figure 1 panel for a variant at opt.Scale:
+// opt.Systems (nil = the paper's six) swept over opt.ThreadCounts (nil =
+// 1,2,4,8,16) against the sequential baseline. It replaces
+// MeasureSpeedup/MeasureSpeedupCM/MeasureSpeedupOpts.
+func MeasureSpeedup(variantName string, opt Options) (SpeedupSeries, error) {
 	v, err := harness.FindVariant(variantName)
 	if err != nil {
 		return SpeedupSeries{}, err
 	}
-	return harness.MeasureSpeedup(v, scale, threads, systems, opt)
+	return harness.MeasureSpeedup(v, opt)
+}
+
+// Deprecated: RunCM is the legacy positional form. Use Run with
+// Options{Scale: scale, System: system, Threads: threads, CM: cm}.
+func RunCM(variantName string, scale float64, system string, threads int, cm string) (Result, error) {
+	return RunOpts(variantName, scale, system, threads, Options{CM: cm})
+}
+
+// Deprecated: RunOpts is the legacy positional form; the positional
+// arguments override the corresponding opt fields. Use Run and set
+// Options.Scale, Options.System, and Options.Threads directly.
+func RunOpts(variantName string, scale float64, system string, threads int, opt Options) (Result, error) {
+	opt.Scale, opt.System, opt.Threads = scale, system, threads
+	return Run(variantName, opt)
+}
+
+// Deprecated: CharacterizeCM is the legacy positional form. Use
+// Characterize with Options{Scale: scale, RetryThreads: retryThreads,
+// CM: cm}.
+func CharacterizeCM(variantName string, scale float64, retryThreads int, cm string) (Characterization, error) {
+	return CharacterizeOpts(variantName, scale, retryThreads, Options{CM: cm})
+}
+
+// Deprecated: CharacterizeOpts is the legacy positional form; the
+// positional arguments override the corresponding opt fields. Use
+// Characterize and set Options.Scale and Options.RetryThreads directly.
+func CharacterizeOpts(variantName string, scale float64, retryThreads int, opt Options) (Characterization, error) {
+	opt.Scale, opt.RetryThreads = scale, retryThreads
+	return Characterize(variantName, opt)
+}
+
+// Deprecated: MeasureSpeedupCM is the legacy positional form. Use
+// MeasureSpeedup with Options{Scale: scale, ThreadCounts: threads,
+// Systems: systems, CM: cm}.
+func MeasureSpeedupCM(variantName string, scale float64, threads []int, systems []string, cm string) (SpeedupSeries, error) {
+	return MeasureSpeedupOpts(variantName, scale, threads, systems, Options{CM: cm})
+}
+
+// Deprecated: MeasureSpeedupOpts is the legacy positional form; the
+// positional arguments override the corresponding opt fields. Use
+// MeasureSpeedup and set Options.Scale, Options.ThreadCounts, and
+// Options.Systems directly.
+func MeasureSpeedupOpts(variantName string, scale float64, threads []int, systems []string, opt Options) (SpeedupSeries, error) {
+	opt.Scale, opt.ThreadCounts, opt.Systems = scale, threads, systems
+	return MeasureSpeedup(variantName, opt)
 }

@@ -1,0 +1,83 @@
+package stamp_test
+
+import (
+	"testing"
+
+	"github.com/stamp-go/stamp"
+)
+
+// Backward-compat coverage for the deprecated positional wrappers: each one
+// must keep compiling and producing the same verified results as the
+// Options-first entrypoint it forwards to. New code must use Run /
+// Characterize / MeasureSpeedup with Options (CI greps for new callers of
+// the deprecated forms outside this file).
+
+func TestCompatRunCM(t *testing.T) {
+	res, err := stamp.RunCM("ssca2", 0.05, "stm-lazy", 2, "greedy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verify != nil {
+		t.Fatalf("verification failed: %v", res.Verify)
+	}
+	if res.CM != "greedy" || res.System != "stm-lazy" || res.Threads != 2 {
+		t.Fatalf("positional arguments not carried into result: %+v", res)
+	}
+}
+
+func TestCompatRunOpts(t *testing.T) {
+	// The positional arguments must override the corresponding opt fields.
+	res, err := stamp.RunOpts("ssca2", 0.05, "stm-eager", 2,
+		stamp.Options{System: "ignored", Threads: 99, Clock: "gv4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verify != nil {
+		t.Fatalf("verification failed: %v", res.Verify)
+	}
+	if res.System != "stm-eager" || res.Threads != 2 || res.Clock != "gv4" {
+		t.Fatalf("positional override broken: %+v", res)
+	}
+}
+
+func TestCompatCharacterizeCM(t *testing.T) {
+	c, err := stamp.CharacterizeCM("kmeans-high", 0.1, 2, "greedy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.TxCount == 0 || len(c.Retries) != 6 {
+		t.Fatalf("empty characterization: %+v", c)
+	}
+}
+
+func TestCompatCharacterizeOpts(t *testing.T) {
+	c, err := stamp.CharacterizeOpts("kmeans-high", 0.1, 2,
+		stamp.Options{RetryThreads: 99, Clock: "gv4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.TxCount == 0 || len(c.Retries) != 6 {
+		t.Fatalf("empty characterization: %+v", c)
+	}
+}
+
+func TestCompatMeasureSpeedupCM(t *testing.T) {
+	s, err := stamp.MeasureSpeedupCM("ssca2", 0.05, []int{1}, []string{"stm-lazy"}, "greedy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Baseline <= 0 || len(s.Wall["stm-lazy"]) != 1 {
+		t.Fatalf("empty series: %+v", s)
+	}
+}
+
+func TestCompatMeasureSpeedupOpts(t *testing.T) {
+	s, err := stamp.MeasureSpeedupOpts("ssca2", 0.05, []int{2}, []string{"htm-lazy"},
+		stamp.Options{ThreadCounts: []int{99}, Systems: []string{"ignored"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Threads) != 1 || s.Threads[0] != 2 || len(s.Wall["htm-lazy"]) != 1 {
+		t.Fatalf("positional override broken: %+v", s)
+	}
+}

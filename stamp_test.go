@@ -115,7 +115,7 @@ func TestParseClock(t *testing.T) {
 func TestRunClockEndToEnd(t *testing.T) {
 	for _, clock := range stamp.ClockNames() {
 		for _, sys := range []string{"stm-lazy", "stm-eager"} {
-			res, err := stamp.RunOpts("ssca2", 0.05, sys, 4, stamp.Options{Clock: clock})
+			res, err := stamp.Run("ssca2", stamp.Options{Scale: 0.05, System: sys, Threads: 4, Clock: clock})
 			if err != nil {
 				t.Fatalf("%s on %s: %v", clock, sys, err)
 			}
@@ -127,8 +127,8 @@ func TestRunClockEndToEnd(t *testing.T) {
 			}
 		}
 	}
-	if _, err := stamp.RunOpts("ssca2", 0.05, "stm-lazy", 2, stamp.Options{Clock: "gv9"}); err == nil {
-		t.Fatal("unknown clock scheme accepted by RunOpts")
+	if _, err := stamp.Run("ssca2", stamp.Options{Scale: 0.05, System: "stm-lazy", Threads: 2, Clock: "gv9"}); err == nil {
+		t.Fatal("unknown clock scheme accepted by Run")
 	}
 }
 
@@ -137,7 +137,7 @@ func TestRunClockEndToEnd(t *testing.T) {
 func TestRunCMEndToEnd(t *testing.T) {
 	for _, cm := range stamp.CMNames() {
 		for _, sys := range []string{"stm-lazy", "hybrid-eager"} {
-			res, err := stamp.RunCM("ssca2", 0.05, sys, 4, cm)
+			res, err := stamp.Run("ssca2", stamp.Options{Scale: 0.05, System: sys, Threads: 4, CM: cm})
 			if err != nil {
 				t.Fatalf("%s on %s: %v", cm, sys, err)
 			}
@@ -149,8 +149,8 @@ func TestRunCMEndToEnd(t *testing.T) {
 			}
 		}
 	}
-	if _, err := stamp.RunCM("ssca2", 0.05, "stm-lazy", 2, "no-such-cm"); err == nil {
-		t.Fatal("unknown contention manager accepted by RunCM")
+	if _, err := stamp.Run("ssca2", stamp.Options{Scale: 0.05, System: "stm-lazy", Threads: 2, CM: "no-such-cm"}); err == nil {
+		t.Fatal("unknown contention manager accepted by Run")
 	}
 }
 
@@ -217,7 +217,7 @@ func TestPublicContainers(t *testing.T) {
 }
 
 func TestPublicRunVariant(t *testing.T) {
-	res, err := stamp.Run("ssca2", 0.05, "stm-eager", 2)
+	res, err := stamp.Run("ssca2", stamp.Options{Scale: 0.05, System: "stm-eager", Threads: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,11 +227,14 @@ func TestPublicRunVariant(t *testing.T) {
 	if res.Stats.Total.Commits == 0 {
 		t.Fatal("no transactions")
 	}
-	if _, err := stamp.Run("no-such-variant", 1, "seq", 1); err == nil {
+	if _, err := stamp.Run("no-such-variant", stamp.Options{System: "seq"}); err == nil {
 		t.Fatal("unknown variant accepted")
 	}
-	if _, err := stamp.Run("ssca2", 0.05, "no-such-system", 1); err == nil {
+	if _, err := stamp.Run("ssca2", stamp.Options{Scale: 0.05, System: "no-such-system"}); err == nil {
 		t.Fatal("unknown system accepted")
+	}
+	if _, err := stamp.Run("ssca2", stamp.Options{Scale: 0.05}); err == nil {
+		t.Fatal("missing System accepted")
 	}
 }
 
@@ -277,7 +280,7 @@ func ExampleParseSystems() {
 // prints the invariants instead: the cause counters account for every
 // abort and nothing lands in the "unknown" bucket.
 func ExampleRun_abortCauses() {
-	res, err := stamp.Run("vacation-high", 0.05, "stm-lazy", 4)
+	res, err := stamp.Run("vacation-high", stamp.Options{Scale: 0.05, System: "stm-lazy", Threads: 4})
 	if err != nil {
 		panic(err)
 	}

@@ -1,0 +1,68 @@
+package stamp
+
+import (
+	"github.com/stamp-go/stamp/internal/server"
+)
+
+// Serving mode: the batch benchmark recast as a long-lived service. Serve
+// builds a persistent transactional arena behind a bounded admission queue
+// and a worker pool of tm.Thread slots, handling vacation operations as
+// requests; RunLoad drives an open- or closed-loop client mix at it and
+// reports tail latency plus the pool's transactional statistics.
+
+// Server is a long-lived serving instance (see Serve).
+type Server = server.Server
+
+// ServerOptions configures Serve. The zero value serves the default
+// vacation store on stm-mv (read-only queries are snapshot-served with zero
+// aborts); Validate reports every invalid field at once.
+type ServerOptions = server.Options
+
+// ServerRequest is one operation submission for Server.Submit / Server.Do.
+type ServerRequest = server.Request
+
+// ServerResponse is one operation's outcome, including client-observed
+// latency (queue wait included).
+type ServerResponse = server.Response
+
+// ServerGauges is the live operational readout returned by
+// Server.Snapshot; safe to read while requests are in flight.
+type ServerGauges = server.Gauges
+
+// LoadOptions shapes one RunLoad run: client count, open-loop arrival rate
+// (0 = closed loop), duration, and the vacation op mix.
+type LoadOptions = server.LoadOptions
+
+// LoadReport is one load run's outcome: admission accounting, p50/p99/p999
+// latency overall and per op, and the pool's tm.Stats.
+type LoadReport = server.Report
+
+// LatencySummary is one latency histogram's percentile readout.
+type LatencySummary = server.LatSummary
+
+// Request op kinds for ServerRequest.Op.
+const (
+	OpReserve = server.OpReserve
+	OpCancel  = server.OpCancel
+	OpUpdate  = server.OpUpdate
+	OpQuery   = server.OpQuery
+)
+
+// ErrQueueFull reports an admission rejection: the server sheds load when
+// its bounded queue is full rather than buffering without bound.
+var ErrQueueFull = server.ErrQueueFull
+
+// Serve starts a serving-mode instance: it populates the store in a fresh
+// long-lived arena, starts opt.Workers worker goroutines (one tm.Thread
+// slot each), and begins accepting requests. The caller owns the lifecycle
+// and must Close it. With opt.ProgressTimeout set, a stalled pool is halted
+// and every pending and future request fails with an ErrStalled-wrapped
+// error instead of hanging.
+func Serve(opt ServerOptions) (*Server, error) { return server.New(opt) }
+
+// RunLoad drives opt's request mix at a served instance and blocks until
+// every accepted request has answered. The server stays open, so loads can
+// be run back to back against warm state.
+func RunLoad(s *Server, opt LoadOptions) (LoadReport, error) {
+	return server.RunLoad(s, opt)
+}
