@@ -804,3 +804,87 @@ func BenchmarkAblationMVReadHeavy(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkAblationTransactionalFree is the allocator-lifecycle ablation:
+// the same balanced alloc/free churn with the reserver free lists on (the
+// default) vs off (NoRecycle, the seed's leak-everything tmalloc). Both
+// arms get an arena big enough to survive without recycling, so the
+// comparison isolates the free lists' speed and their effect on the arena
+// high-water mark — the recycle arm's high-water must stay near the live
+// set while the leak arm's grows with every transaction.
+func BenchmarkAblationTransactionalFree(b *testing.B) {
+	const (
+		threads   = 8
+		perT      = 1500
+		nodeWords = 6
+	)
+	for _, arm := range []struct {
+		name      string
+		noRecycle bool
+	}{
+		{"recycle=on", false},
+		{"recycle=off", true},
+	} {
+		b.Run(arm.name, func(b *testing.B) {
+			var highWater uint64
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				// The leak arm burns threads×perT×nodeWords plus chunk tails.
+				arena := stamp.NewArena(1 << 17)
+				sys, err := factory.New("stm-lazy", tm.Config{
+					Arena: arena, Threads: threads, NoRecycle: arm.noRecycle,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				team := thread.NewTeam(threads)
+				team.Run(func(tid int) {
+					th := sys.Thread(tid)
+					for j := 0; j < perT; j++ {
+						th.Atomic(func(tx tm.Tx) {
+							node := tx.Alloc(nodeWords)
+							for w := 0; w < nodeWords; w++ {
+								tx.Store(node+mem.Addr(w), uint64(j+w))
+							}
+							tx.Free(node, nodeWords)
+						})
+					}
+				})
+				b.StopTimer()
+				highWater += uint64(arena.Used())
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(highWater)/float64(b.N), "high-water-words/run")
+		})
+	}
+}
+
+// BenchmarkAblationEpochSwapPause measures the serving-mode epoch swap's
+// stop-the-world floor — the live-store compaction — as a function of
+// store size. The swap pause a client can observe is this copy plus the
+// in-flight request drain, so the scaling here is what bounds Options
+// .SwapAt tuning: pause grows with the live set, not with the garbage
+// being discarded.
+func BenchmarkAblationEpochSwapPause(b *testing.B) {
+	for _, records := range []int{1024, 4096, 16384} {
+		b.Run(fmt.Sprintf("records=%d", records), func(b *testing.B) {
+			words := vacation.StoreWords(records) + 1<<16
+			var live uint64
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				src := stamp.NewArena(words)
+				sm := mem.Direct{A: src}
+				st := vacation.NewStore(sm, records, 42)
+				dst := stamp.NewArena(words)
+				b.StartTimer()
+				out := st.CompactInto(sm, mem.Direct{A: dst})
+				b.StopTimer()
+				_ = out
+				live += uint64(dst.Used())
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(live)/float64(b.N), "live-words")
+		})
+	}
+}

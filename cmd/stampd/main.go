@@ -5,14 +5,17 @@
 //
 // Usage:
 //
-//	stampd -bench [-system stm-mv] [-workers 8] [-clients 4,16] [-rate 20000] \
-//	       [-duration 2s] [-ro 0,50] [-user 90] [-queries 4] [-qrange 60]
+//	stampd -bench [-system stm-mv] [-systems stm-mv,stm-lazy] [-workers 8] \
+//	       [-clients 4,16] [-rate 20000] [-duration 2s] [-ro 0,50] \
+//	       [-user 90] [-queries 4] [-qrange 60]
 //	stampd -listen :8080 [-system stm-mv] [-workers 8] [-timeout 2s]
 //
-// Bench mode prints one human-readable report per (clients × ro-mix) cell
-// plus `go test -bench`-formatted result lines (BenchmarkStampd/...) whose
-// ns/op is the mean client-observed latency, with p50-ns/p99-ns/p999-ns and
-// req/s as extra metrics — pipe through `benchjson` to record or compare.
+// Bench mode prints one human-readable report per (system × clients ×
+// ro-mix) cell plus `go test -bench`-formatted result lines
+// (BenchmarkStampd/...) whose ns/op is the mean client-observed latency,
+// with p50-ns/p99-ns/p999-ns and req/s as extra metrics — pipe through
+// `benchjson` to record or compare. -systems sweeps several runtimes in one
+// invocation (each cell gets a fresh server); it overrides -system.
 //
 // Listen mode serves the operations over HTTP with JSON bodies
 // (POST /reserve /cancel /update /query, GET /stats /healthz); admission
@@ -40,6 +43,7 @@ func main() {
 		bench   = flag.Bool("bench", false, "run the built-in load generator and report latency percentiles")
 		listen  = flag.String("listen", "", "serve the operations over HTTP on this address (e.g. :8080)")
 		system  = flag.String("system", "stm-mv", "TM runtime for the worker pool (stm-mv serves queries snapshot-style)")
+		systems = flag.String("systems", "", "comma-separated TM runtimes to sweep in bench mode (overrides -system)")
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines (one TM thread slot each, max 64)")
 		queueN  = flag.Int("queue", 0, "admission queue bound (0 = 4×workers); full queue rejects, not buffers")
 		records = flag.Int("records", 16384, "rows per reservation table (vacation -r)")
@@ -59,6 +63,11 @@ func main() {
 		chaos   = flag.String("chaos", "", "deterministic failpoints: seed:site:prob[,site:prob...]")
 		mvVers  = flag.Int("mv-versions", 0, "stm-mv per-stripe version-ring depth (0 = default)")
 		timeout = flag.Duration("timeout", 0, "progress watchdog: halt the pool and fail pending requests if commits stall this long with work in flight (0 = off)")
+
+		swapAt    = flag.Float64("swap-at", 0, "arena high-water fraction that triggers an epoch swap (0 = 0.85)")
+		deadline  = flag.Duration("deadline", 0, "per-request deadline from admission to completion (0 = none)")
+		retries   = flag.Int("retries", 0, "retry budget for requests that hit arena exhaustion, one epoch swap per retry (0 = 3)")
+		noRecycle = flag.Bool("no-recycle", false, "disable the transactional free lists (every tx.Free leaks, as in the original tmalloc) — the ablation baseline")
 	)
 	flag.Parse()
 	if *workers > 64 {
@@ -76,12 +85,21 @@ func main() {
 		System: *system, Workers: *workers, Queue: *queueN,
 		Records: *records, OpBudget: *budget,
 		CM: cm, Clock: clock, Chaos: chaosSpec, MVVersions: *mvVers,
+		SwapAt: *swapAt, RequestDeadline: *deadline, RequestRetries: *retries,
+		NoRecycle:       *noRecycle,
 		ProgressTimeout: *timeout, Seed: *seed,
+	}
+	sweep := []string{*system}
+	if *systems != "" {
+		var err error
+		sweep, err = stamp.ParseSystems(*systems, false)
+		fatal(err)
 	}
 
 	switch {
 	case *bench:
 		runBench(opts, benchConfig{
+			systems: sweep,
 			clients: parseInts(*clients, "-clients"),
 			roPcts:  parseInts(*ro, "-ro"),
 			rate:    *rate, duration: *duration,
@@ -116,6 +134,7 @@ func parseInts(csv, flagName string) []int {
 }
 
 type benchConfig struct {
+	systems  []string
 	clients  []int
 	roPcts   []int
 	rate     float64
@@ -126,17 +145,21 @@ type benchConfig struct {
 	seed     uint64
 }
 
-// runBench runs one load cell per (clients × ro) combination, each against
-// a fresh server so the cells' statistics and arenas are independent.
+// runBench runs one load cell per (system × clients × ro) combination, each
+// against a fresh server so the cells' statistics and arenas are
+// independent.
 func runBench(opts stamp.ServerOptions, cfg benchConfig) {
 	fmt.Printf("goos: %s\ngoarch: %s\npkg: github.com/stamp-go/stamp/cmd/stampd\n",
 		runtime.GOOS, runtime.GOARCH)
 	exitCode := 0
-	for _, nc := range cfg.clients {
-		for _, roPct := range cfg.roPcts {
-			if err := benchCell(opts, cfg, nc, roPct); err != nil {
-				fmt.Fprintln(os.Stderr, "stampd:", err)
-				exitCode = 1
+	for _, sysName := range cfg.systems {
+		opts.System = sysName
+		for _, nc := range cfg.clients {
+			for _, roPct := range cfg.roPcts {
+				if err := benchCell(opts, cfg, nc, roPct); err != nil {
+					fmt.Fprintln(os.Stderr, "stampd:", err)
+					exitCode = 1
+				}
 			}
 		}
 	}
@@ -185,6 +208,11 @@ func benchCell(opts stamp.ServerOptions, cfg benchConfig, nc, roPct int) error {
 	tot := rep.TM.Total
 	fmt.Printf("# tm          starts=%d commits=%d aborts=%d escalations=%d cm-waits=%d\n",
 		tot.Starts, tot.Commits, tot.Aborts, tot.Escalations, tot.CMWaits)
+	if g := srv.Snapshot(); g.Swaps > 0 {
+		fmt.Printf("# lifecycle   epoch=%d swaps=%d swap-pause-total=%v swap-pause-last=%v arena=%d/%d words\n",
+			g.Epoch, g.Swaps, time.Duration(g.SwapPauseNs).Round(time.Microsecond),
+			time.Duration(g.LastSwapPauseNs).Round(time.Microsecond), g.ArenaUsed, g.ArenaCap)
+	}
 	names := stamp.CauseNames()
 	var causes []string
 	for c, n := range rep.TM.AbortCauses() {

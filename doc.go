@@ -76,7 +76,14 @@
 // line-aligned reservation chunks (Config.AllocChunk; one contended
 // atomic per chunk instead of per tx.Alloc), and the TL2 stripe-lock
 // table is sized from the arena instead of a fixed 8 MiB
-// (Config.LockTableBits).
+// (Config.LockTableBits). Allocation is transactional in both
+// directions: tx.Free defers to commit and feeds per-thread free lists,
+// aborted attempts' allocations are reclaimed, and abandoned chunk
+// tails are retired, so balanced churn runs at a bounded arena
+// high-water (Config.NoRecycle restores the original suite's leaky
+// tmalloc as an ablation arm). Arena exhaustion is typed and
+// recoverable, not a panic: tx.Alloc aborts with the "alloc-exhausted"
+// cause and the run fails with an error matching ErrArenaFull.
 //
 // Statistics can be attributed per atomic-block call site: register a site
 // with NewBlock and run it with Thread.AtomicAt, and Stats.Blocks() breaks
@@ -88,8 +95,9 @@
 // (AbortCause; CauseNames lists them: "unknown" — always zero on a
 // healthy runtime — "read-validation", "stripe-lock-busy", "seq-changed",
 // "write-write", "mv-version-missing", "signature-conflict",
-// "htm-conflict", "htm-capacity", "cm-kill", "explicit-retry", and
-// "killed-for-irrevocable"), stamped at the conflict site inside
+// "htm-conflict", "htm-capacity", "cm-kill", "explicit-retry",
+// "killed-for-irrevocable", and "alloc-exhausted"), stamped at the
+// conflict site inside
 // the runtime: Stats.AbortCauses() sums to exactly Total.Aborts, and the
 // per-block rows carry the same breakdown. Aborts also feed a conflict
 // heatmap of the hottest contended locations (Stats.TopConflicts: address,

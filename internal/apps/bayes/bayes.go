@@ -350,7 +350,7 @@ type peekMem struct{ tx tm.Tx }
 func (p peekMem) Load(a mem.Addr) uint64     { return p.tx.Peek(a) }
 func (p peekMem) Store(a mem.Addr, v uint64) { p.tx.Store(a, v) }
 func (p peekMem) Alloc(n int) mem.Addr       { return p.tx.Alloc(n) }
-func (p peekMem) Free(a mem.Addr)            { p.tx.Free(a) }
+func (p peekMem) Free(a mem.Addr, n int)     { p.tx.Free(a, n) }
 
 // Verify implements apps.App: the learned network must be acyclic, respect
 // the in-degree caps, and every learned family must beat the empty family's

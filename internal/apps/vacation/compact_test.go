@@ -1,0 +1,72 @@
+package vacation
+
+import (
+	"testing"
+
+	"github.com/stamp-go/stamp/internal/mem"
+)
+
+// TestCompactInto pins the epoch-swap compactor: after churn plus dead
+// garbage in the source arena, the copied store passes the full invariant
+// check, answers queries identically to the original, and lands in the
+// destination arena at its live-set size — the garbage stays behind.
+func TestCompactInto(t *testing.T) {
+	const records = 64
+	src := mem.NewArena(1 << 16)
+	m := mem.Direct{A: src}
+	st := NewStore(m, records, 42)
+
+	// Churn: bookings for some customers, inventory updates, one customer
+	// deleted again — so the compactor must follow non-trivial customer
+	// lists and record states.
+	items := make([]Item, 0, NumTypes)
+	for typ := 0; typ < NumTypes; typ++ {
+		items = append(items, Item{Typ: typ, ID: 3 + 2*typ})
+	}
+	for cust := 1; cust <= 8; cust++ {
+		st.MakeReservation(m, cust, items)
+	}
+	st.UpdateTables(m, []Update{
+		{Typ: 0, ID: 3, Add: true, Num: 10, Price: 99},
+		{Typ: 1, ID: records + 1, Add: true, Num: 5, Price: 50},
+	})
+	st.DeleteCustomer(m, 8)
+	if err := st.Check(m, records); err != nil {
+		t.Fatalf("source store broken before compaction: %v", err)
+	}
+
+	// Dead weight the compactor must strand: raw allocations nothing
+	// references, standing in for aborted-attempt leaks.
+	for i := 0; i < 512; i++ {
+		src.Alloc(8)
+	}
+
+	dst := mem.NewArena(1 << 16)
+	dm := mem.Direct{A: dst}
+	out := st.CompactInto(m, dm)
+
+	if err := out.Check(dm, records); err != nil {
+		t.Fatalf("compacted store fails invariants: %v", err)
+	}
+	wantFree, torn := st.QueryFree(m, items)
+	if torn != 0 {
+		t.Fatalf("source query torn=%d on a quiescent store", torn)
+	}
+	gotFree, torn := out.QueryFree(dm, items)
+	if torn != 0 {
+		t.Fatalf("compacted query torn=%d on a quiescent store", torn)
+	}
+	if gotFree != wantFree {
+		t.Fatalf("compacted availability %d != source %d", gotFree, wantFree)
+	}
+	if dst.Used() >= src.Used() {
+		t.Fatalf("compaction did not shrink: dst %d words >= src %d", dst.Used(), src.Used())
+	}
+
+	// The copy is deep: mutating the compacted store must not leak back.
+	out.MakeReservation(dm, 9, items)
+	afterFree, _ := st.QueryFree(m, items)
+	if afterFree != wantFree {
+		t.Fatalf("mutating the copy changed the source: %d -> %d", wantFree, afterFree)
+	}
+}

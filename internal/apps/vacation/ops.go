@@ -201,6 +201,40 @@ func (st *Store) QueryFree(tx tm.Mem, items []Item) (free uint64, torn int) {
 	return free, torn
 }
 
+// CompactInto deep-copies the live store reachable through src into a fresh
+// arena through dst, returning the rebuilt Store. This is the serving mode's
+// epoch-swap compactor: only live records, customers, and their reservation
+// lists are copied, so the destination arena's high-water restarts at the
+// live set — everything the bump allocator leaked to aborted attempts and
+// everything the free lists could not recycle is left behind in the source
+// arena. Quiescent use only (both sides are typically mem.Direct).
+func (st *Store) CompactInto(src, dst tm.Mem) Store {
+	var out Store
+	for t := 0; t < NumTypes; t++ {
+		out.Tables[t] = container.NewRBTree(dst)
+		st.Tables[t].Each(src, func(id, recA uint64) bool {
+			rec := mem.Addr(recA)
+			nrec := dst.Alloc(resWords)
+			for w := 0; w < resWords; w++ {
+				dst.Store(nrec+mem.Addr(w), src.Load(rec+mem.Addr(w)))
+			}
+			out.Tables[t].Insert(dst, id, uint64(nrec))
+			return true
+		})
+	}
+	out.Customers = container.NewRBTree(dst)
+	st.Customers.Each(src, func(id, custA uint64) bool {
+		nl := container.NewList(dst)
+		container.List{H: mem.Addr(custA)}.Each(src, func(k, v uint64) bool {
+			nl.Insert(dst, k, v)
+			return true
+		})
+		out.Customers.Insert(dst, id, uint64(nl.H))
+		return true
+	})
+	return out
+}
+
 // Check verifies the store's conserved invariants quiescently (no
 // concurrent transactions): per-record accounting (used + free == total)
 // cross-checked against a global recount of all customer reservation lists.

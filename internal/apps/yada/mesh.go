@@ -128,7 +128,7 @@ func (ms *mesh) unlinkEdge(m tm.Mem, key uint64, t mem.Addr) {
 	}
 	if m.Load(rec+edgeT1) == 0 && m.Load(rec+edgeT2) == 0 {
 		ms.edges.Remove(m, key)
-		m.Free(rec)
+		m.Free(rec, edgeWords)
 	}
 }
 

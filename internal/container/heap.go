@@ -57,7 +57,7 @@ func (h Heap) Push(m tm.Mem, key, val uint64) {
 		for i := uint64(0); i < 2*size; i++ {
 			m.Store(newData+mem.Addr(i), m.Load(data+mem.Addr(i)))
 		}
-		m.Free(data)
+		m.Free(data, int(2*capa))
 		data = newData
 		m.Store(h.H+hCap, newCap)
 		m.Store(h.H+hData, uint64(data))

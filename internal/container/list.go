@@ -88,7 +88,7 @@ func (l List) Remove(m tm.Mem, k uint64) bool {
 	} else {
 		m.Store(prev+nodeNext, next)
 	}
-	m.Free(cur)
+	m.Free(cur, listNodeWords)
 	m.Store(l.H+listSize, m.Load(l.H+listSize)-1)
 	return true
 }

@@ -50,7 +50,7 @@ func (q Queue) Push(m tm.Mem, v uint64) {
 		for i := uint64(0); i < size; i++ {
 			m.Store(newData+mem.Addr(i), m.Load(data+mem.Addr((head+i)%capa)))
 		}
-		m.Free(data)
+		m.Free(data, int(capa))
 		data, head, capa = newData, 0, newCap
 		m.Store(q.H+qCap, capa)
 		m.Store(q.H+qHead, 0)

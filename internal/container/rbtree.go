@@ -278,7 +278,7 @@ func (t RBTree) Remove(m tm.Mem, k uint64) bool {
 	if yColor == black {
 		t.removeFixup(m, x, xp)
 	}
-	m.Free(z)
+	m.Free(z, rbNodeWords)
 	m.Store(t.H+rbSize, m.Load(t.H+rbSize)-1)
 	return true
 }

@@ -54,7 +54,7 @@ func (v Vector) PushBack(m tm.Mem, val uint64) {
 		for i := uint64(0); i < n; i++ {
 			m.Store(newData+mem.Addr(i), m.Load(data+mem.Addr(i)))
 		}
-		m.Free(data)
+		m.Free(data, int(capa))
 		data = newData
 		m.Store(v.H+vCap, newCap)
 		m.Store(v.H+vData, uint64(data))

@@ -282,7 +282,9 @@ func RunOne(app apps.App, variant string, opt Options) (Result, error) {
 	team.SetLabels("app", variant, "system", opt.System)
 	start := time.Now()
 	if watch == nil {
-		app.Run(sys, team)
+		if err := runApp(app, sys, team); err != nil {
+			return Result{}, err
+		}
 	} else if err := runWatched(app, sys, team, watch, opt.ProgressTimeout); err != nil {
 		return Result{}, err
 	}
@@ -298,6 +300,26 @@ func RunOne(app apps.App, variant string, opt Options) (Result, error) {
 		Trace:   tm.TraceEvents(sys),
 		Verify:  app.Verify(arena),
 	}, nil
+}
+
+// runApp executes the parallel region, converting an arena-exhaustion
+// unwind (tm.AllocFailure, re-raised by the worker team) into a typed error
+// matching mem.ErrArenaFull with errors.Is. Any other panic is the
+// application's and propagates.
+func runApp(app apps.App, sys tm.System, team *thread.Team) (err error) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if af, ok := r.(tm.AllocFailure); ok {
+			err = fmt.Errorf("harness: %s: %w", sys.Name(), af.Err)
+			return
+		}
+		panic(r)
+	}()
+	app.Run(sys, team)
+	return nil
 }
 
 // RunVariant constructs the variant at opt.Scale and runs it on opt.System

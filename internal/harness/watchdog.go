@@ -44,6 +44,11 @@ func runWatched(app apps.App, sys tm.System, team *thread.Team, w *tm.Watch, win
 				// A halt raced run completion; still a stall.
 				return fmt.Errorf("%w: %s", ErrStalled, hs.Reason)
 			}
+			if af, ok := r.(tm.AllocFailure); ok {
+				// Arena exhaustion is a typed, recoverable outcome, not a
+				// stall and not an application bug.
+				return fmt.Errorf("harness: %s: %w", sys.Name(), af.Err)
+			}
 			panic(r) // application panic: not ours to swallow
 		case <-ticker.C:
 			if now := w.Commits(); now != last {

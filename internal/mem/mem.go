@@ -14,6 +14,7 @@
 package mem
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sync/atomic"
@@ -42,13 +43,27 @@ func LineOf(a Addr) Line { return Line(a >> LineShift) }
 // LineStart returns the first word address of line l.
 func LineStart(l Line) Addr { return Addr(l) << LineShift }
 
+// ErrArenaFull reports an arena capacity miss: an allocation did not fit in
+// the remaining words. It is a recoverable condition, not a crash — the TM
+// runtimes turn it into an alloc-exhausted abort, the harness and the serving
+// mode surface it as a typed error, and the server's epoch-swap recycler uses
+// it as the trigger to compact into a fresh arena. Match with errors.Is.
+var ErrArenaFull = errors.New("mem: arena exhausted")
+
 // Arena is a fixed-capacity, non-moving word arena. Allocation is a
-// lock-free bump pointer; there is no free list (mirroring STAMP's tmalloc,
-// where transactional frees are deferred and, in practice, most benchmark
-// allocations live for the whole run).
+// lock-free bump pointer; freed words are recycled only through per-thread
+// Reserver free lists (mirroring STAMP's tmalloc, where transactional frees
+// are deferred and most benchmark allocations live for the whole run).
 type Arena struct {
 	words []uint64
 	next  atomic.Uint32 // next free word
+}
+
+// exhausted is the one construction site of every capacity-miss failure, so
+// Alloc, TryAlloc, and the aligned paths cannot drift apart in wording or in
+// the sentinel they wrap.
+func (a *Arena) exhausted(need uint32) error {
+	return fmt.Errorf("%w (cap %d words, need %d)", ErrArenaFull, len(a.words), need)
 }
 
 // NewArena returns an arena with capacity for nWords 8-byte words.
@@ -65,51 +80,80 @@ func NewArena(nWords int) *Arena {
 // Cap returns the arena capacity in words.
 func (a *Arena) Cap() int { return len(a.words) }
 
-// Used returns the allocation high-water mark in words: everything handed
-// out by Alloc/AllocLines plus everything reserved by Reservers, including
-// alignment gaps and the unconsumed tails of per-thread chunks. It is an
-// upper bound on the words actually written, not an exact live count —
-// sizing decisions should treat it as "words no longer available".
+// Used returns the bump high-water mark in words: everything ever drawn
+// from the shared pointer by Alloc/AllocLines plus everything reserved by
+// Reservers, including alignment gaps and chunk tails. It is the high-water
+// mark *net of free-list recycling*: words a Reserver recycles (transactional
+// frees, reclaimed speculative allocations, retired chunk tails) are served
+// again without advancing this mark, so on a long-lived workload with
+// balanced alloc/free churn Used() plateaus instead of growing without
+// bound. It is an upper bound on the words actually live, not an exact
+// count — sizing and swap-threshold decisions should treat it as "words no
+// longer available from the shared pointer".
 func (a *Arena) Used() int { return int(a.next.Load()) }
 
-// Alloc bump-allocates n words and returns the address of the first.
-// It panics if the arena is exhausted: arenas are sized per workload by the
-// harness, so exhaustion is a configuration bug, not a runtime condition.
-func (a *Arena) Alloc(n int) Addr {
+// TryAlloc bump-allocates n words and returns the address of the first, or
+// an ErrArenaFull-wrapped error when the request does not fit. The failure
+// leaves the bump pointer unchanged, so exhaustion is observable and
+// recoverable rather than a one-way ratchet.
+func (a *Arena) TryAlloc(n int) (Addr, error) {
 	if n <= 0 {
 		n = 1
 	}
-	end := a.next.Add(uint32(n))
-	if int(end) > len(a.words) {
-		panic(fmt.Sprintf("mem: arena exhausted (cap %d words, need %d)", len(a.words), end))
+	for {
+		cur := a.next.Load()
+		end := cur + uint32(n)
+		if int(end) > len(a.words) {
+			return Nil, a.exhausted(end)
+		}
+		if a.next.CompareAndSwap(cur, end) {
+			return Addr(cur), nil
+		}
 	}
-	return Addr(end - uint32(n))
+}
+
+// Alloc bump-allocates n words and returns the address of the first.
+// It panics if the arena is exhausted — the convenience form for setup and
+// verification phases, where arenas are sized per workload by the harness
+// and exhaustion is a configuration bug. Runtime allocation paths use
+// TryAlloc (via Reserver.TxAlloc) and recover instead.
+func (a *Arena) Alloc(n int) Addr {
+	addr, err := a.TryAlloc(n)
+	if err != nil {
+		panic(err.Error())
+	}
+	return addr
 }
 
 // AllocLines allocates n words rounded up so the block starts on a line
 // boundary and occupies whole lines. Labyrinth pads every grid point to a
 // full line this way (the paper does the same so early release is sound at
-// line granularity).
+// line granularity). Like Alloc it panics on exhaustion.
 func (a *Arena) AllocLines(n int) Addr {
 	if n <= 0 {
 		n = 1
 	}
-	return a.allocAligned((n + WordsPerLine - 1) &^ (WordsPerLine - 1))
+	addr, err := a.tryAllocAligned((n + WordsPerLine - 1) &^ (WordsPerLine - 1))
+	if err != nil {
+		panic(err.Error())
+	}
+	return addr
 }
 
-// allocAligned carves n words (a whole-line multiple) off the shared bump
+// tryAllocAligned carves n words (a whole-line multiple) off the shared bump
 // pointer, starting on a line boundary. Shared by AllocLines and Reserver
-// refills, so both exhaust with the same actionable message as Alloc.
-func (a *Arena) allocAligned(n int) Addr {
+// refills, so both report exhaustion through the same ErrArenaFull failure
+// path as TryAlloc.
+func (a *Arena) tryAllocAligned(n int) (Addr, error) {
 	for {
 		cur := a.next.Load()
 		start := (cur + WordsPerLine - 1) &^ (WordsPerLine - 1)
 		end := start + uint32(n)
 		if int(end) > len(a.words) {
-			panic(fmt.Sprintf("mem: arena exhausted (cap %d words, need %d)", len(a.words), end))
+			return Nil, a.exhausted(end)
 		}
 		if a.next.CompareAndSwap(cur, end) {
-			return Addr(start)
+			return Addr(start), nil
 		}
 	}
 }
@@ -125,22 +169,57 @@ func (a *Arena) allocAligned(n int) Addr {
 // hybrids) see no false conflicts from the allocator either.
 //
 // A Reserver is owned by one worker and is not safe for concurrent use;
-// the arena it draws from remains fully concurrent. Chunk tails abandoned
-// at refill are never reused (they are part of the Used() high-water
-// mark), mirroring STAMP's tmalloc, which leaks far more.
+// the arena it draws from remains fully concurrent.
+//
+// Beyond chunked reservation, a Reserver maintains per-thread free lists
+// with abort-safe transactional semantics: TxFree defers a free to commit
+// (OnCommit) so an aborted attempt's frees never take effect, and TxAlloc
+// logs speculative allocations so an abort (OnAbort) reclaims them. Chunk
+// tails abandoned at refill are retired into the same free lists instead of
+// leaking. Together these cap the arena high-water mark on long-lived runs
+// with balanced churn — where STAMP's tmalloc leaks every free and every
+// aborted attempt. Recycling may hand one thread a block another thread
+// freed, which weakens the strict cross-thread line-disjointness of fresh
+// chunks to "recycled lines may be shared": that can cost the
+// line-granularity runtimes spurious conflicts, never soundness.
 type Reserver struct {
 	a       *Arena
 	next    uint32 // next free word of the private chunk
 	limit   uint32 // end of the private chunk (next == limit: empty)
-	chunk   uint32 // refill size in words (0: passthrough to Arena.Alloc)
+	chunk   uint32 // refill size in words (0: passthrough to Arena.TryAlloc)
 	refills uint64 // shared-pointer refills (the contended-atomic count)
+
+	norecycle bool // ablation arm: drop frees and tails (the seed behavior)
+
+	// Free lists: classes[n] holds blocks of exactly n words (n <=
+	// freeClasses); spares holds larger blocks and retired chunk tails.
+	classes  [freeClasses + 1][]Addr
+	spares   []span
+	recycled uint64 // words served from the free lists instead of the arena
+
+	// Per-attempt logs for the abort-safe protocol (see TxAlloc/TxFree).
+	allocLog []span
+	freeLog  []span
+}
+
+// freeClasses is the largest block size (in words) kept on an exact
+// size-class free list. The transactional workloads free small fixed-size
+// nodes (list nodes 3, reservation records 5, rbtree nodes 6); container
+// data arrays and retired chunk tails land in the variable-size spares.
+const freeClasses = 64
+
+// span is one free or speculative block: address and size in words.
+type span struct {
+	addr Addr
+	n    uint32
 }
 
 // NewReserver returns a reservation handle that refills chunkWords words
 // (rounded up to whole lines) at a time. chunkWords < 1 yields a
-// passthrough Reserver whose every Alloc hits the shared bump pointer
+// passthrough Reserver whose every miss hits the shared bump pointer
 // directly — the pre-reservation behavior, kept for ablations and for
-// arenas too small to reserve from.
+// arenas too small to reserve from. Free-list recycling works in both
+// modes.
 func (a *Arena) NewReserver(chunkWords int) *Reserver {
 	if chunkWords < 1 {
 		return &Reserver{a: a}
@@ -149,36 +228,205 @@ func (a *Arena) NewReserver(chunkWords int) *Reserver {
 	return &Reserver{a: a, chunk: uint32(c)}
 }
 
-// Alloc bump-allocates n words from the private chunk, refilling from the
-// shared arena pointer when the chunk is exhausted. Requests larger than
-// the chunk go to the shared pointer directly (line-aligned, so the
-// cross-thread line-disjointness of reserved memory is preserved). Like
-// Arena.Alloc it panics when the arena is exhausted, and it never returns
-// Nil.
+// SetRecycle enables or disables free-list recycling (enabled by default).
+// Disabled, TxFree drops its argument and chunk tails leak at refill — the
+// seed allocator's behavior, kept as the ablation arm behind
+// tm.Config.NoRecycle.
+func (r *Reserver) SetRecycle(on bool) { r.norecycle = !on }
+
+// Alloc bump-allocates n words, panicking when the arena is exhausted — the
+// setup-phase convenience, like Arena.Alloc. Transactional paths use
+// TxAlloc and recover.
 func (r *Reserver) Alloc(n int) Addr {
+	addr, err := r.alloc(n)
+	if err != nil {
+		panic(err.Error())
+	}
+	return addr
+}
+
+// TxAlloc allocates n words for the current transactional attempt: free
+// lists first, then the private chunk, then the shared pointer. The block
+// is logged so OnAbort can reclaim it if the attempt fails. A capacity miss
+// returns an ErrArenaFull-wrapped error (after the free lists, the chunk
+// tail, and the spares have all been tried) — the runtimes turn that into
+// an alloc-exhausted abort instead of a panic.
+func (r *Reserver) TxAlloc(n int) (Addr, error) {
+	addr, err := r.alloc(n)
+	if err == nil && !r.norecycle {
+		r.allocLog = append(r.allocLog, span{addr, allocSize(n)})
+	}
+	return addr, err
+}
+
+// allocSize normalizes a request to the size alloc actually hands out.
+func allocSize(n int) uint32 {
+	if n <= 0 {
+		return 1
+	}
+	return uint32(n)
+}
+
+// alloc is the shared allocation path of Alloc and TxAlloc.
+func (r *Reserver) alloc(n int) (Addr, error) {
 	if n <= 0 {
 		n = 1
 	}
-	if r.chunk == 0 {
-		return r.a.Alloc(n)
+	// Exact size-class hit: the common case for node churn.
+	if n <= freeClasses {
+		if l := r.classes[n]; len(l) > 0 {
+			addr := l[len(l)-1]
+			r.classes[n] = l[:len(l)-1]
+			r.recycled += uint64(n)
+			return addr, nil
+		}
 	}
-	if uint32(n) > r.chunk {
-		return r.a.allocAligned((n + WordsPerLine - 1) &^ (WordsPerLine - 1))
+	if r.chunk == 0 { // passthrough mode
+		if addr, ok := r.carveSpare(uint32(n)); ok {
+			return addr, nil
+		}
+		return r.a.TryAlloc(n)
+	}
+	if uint32(n) > r.chunk { // oversized: never fits a chunk
+		if addr, ok := r.carveSpare(uint32(n)); ok {
+			return addr, nil
+		}
+		return r.a.tryAllocAligned((n + WordsPerLine - 1) &^ (WordsPerLine - 1))
 	}
 	if r.next+uint32(n) > r.limit {
-		r.refills++
-		start := uint32(r.a.allocAligned(int(r.chunk)))
-		r.next, r.limit = start, start+r.chunk
+		if err := r.refill(uint32(n)); err != nil {
+			// Arena dry: fall back to carving any spare that fits before
+			// reporting exhaustion.
+			if addr, ok := r.carveSpare(uint32(n)); ok {
+				return addr, nil
+			}
+			return Nil, err
+		}
 	}
 	addr := Addr(r.next)
 	r.next += uint32(n)
-	return addr
+	return addr, nil
+}
+
+// refill retires the current chunk tail into the free lists, then installs
+// a new chunk: a recycled spare when one is big enough for the pending
+// request, otherwise a fresh line-aligned block from the shared pointer.
+func (r *Reserver) refill(need uint32) error {
+	if tail := r.limit - r.next; tail > 0 && !r.norecycle {
+		r.release(Addr(r.next), tail)
+	}
+	r.next, r.limit = 0, 0
+	// Adopt the largest spare as the new chunk when it covers the request:
+	// recycled tails and large frees become bump space again.
+	if best := r.largestSpare(); best >= 0 && r.spares[best].n >= need {
+		sp := r.spares[best]
+		r.spares[best] = r.spares[len(r.spares)-1]
+		r.spares = r.spares[:len(r.spares)-1]
+		r.recycled += uint64(sp.n)
+		r.next, r.limit = uint32(sp.addr), uint32(sp.addr)+sp.n
+		return nil
+	}
+	r.refills++
+	start, err := r.a.tryAllocAligned(int(r.chunk))
+	if err != nil {
+		return err
+	}
+	r.next, r.limit = uint32(start), uint32(start)+r.chunk
+	return nil
+}
+
+// largestSpare returns the index of the biggest spare block (-1 when none).
+func (r *Reserver) largestSpare() int {
+	best := -1
+	for i := range r.spares {
+		if best < 0 || r.spares[i].n > r.spares[best].n {
+			best = i
+		}
+	}
+	return best
+}
+
+// carveSpare takes an n-word prefix of any spare block that fits, returning
+// the remainder to the free lists.
+func (r *Reserver) carveSpare(n uint32) (Addr, bool) {
+	for i := range r.spares {
+		sp := r.spares[i]
+		if sp.n < n {
+			continue
+		}
+		r.spares[i] = r.spares[len(r.spares)-1]
+		r.spares = r.spares[:len(r.spares)-1]
+		r.recycled += uint64(n)
+		if rest := sp.n - n; rest > 0 {
+			r.release(sp.addr+Addr(n), rest)
+		}
+		return sp.addr, true
+	}
+	return Nil, false
+}
+
+// release files a free block under its size class (or the spares).
+func (r *Reserver) release(addr Addr, n uint32) {
+	if r.norecycle || addr == Nil || n == 0 {
+		return
+	}
+	if n <= freeClasses {
+		r.classes[n] = append(r.classes[n], addr)
+		return
+	}
+	r.spares = append(r.spares, span{addr, n})
+}
+
+// TxFree records a transactional free of the n-word block at addr. The free
+// is deferred: it reaches the free lists only when the attempt commits
+// (OnCommit), so an aborted attempt's frees — whose loads may have been
+// inconsistent — never recycle live memory.
+func (r *Reserver) TxFree(addr Addr, n int) {
+	if r.norecycle || addr == Nil || n <= 0 {
+		return
+	}
+	r.freeLog = append(r.freeLog, span{addr, uint32(n)})
+}
+
+// Free releases a block immediately (non-transactional callers that know
+// the block is unreachable, e.g. compaction discarding a dead arena region).
+func (r *Reserver) Free(addr Addr, n int) {
+	if n > 0 {
+		r.release(addr, uint32(n))
+	}
+}
+
+// OnCommit seals the current attempt: deferred frees reach the free lists
+// and the speculative-allocation log is forgotten (the blocks are now
+// reachable). Called once per committed atomic block by the runtimes.
+func (r *Reserver) OnCommit() {
+	for _, sp := range r.freeLog {
+		r.release(sp.addr, sp.n)
+	}
+	r.freeLog = r.freeLog[:0]
+	r.allocLog = r.allocLog[:0]
+}
+
+// OnAbort rolls the current attempt back: speculative allocations return to
+// the free lists (nothing committed can reference them) and deferred frees
+// are dropped. Called once per aborted attempt by the runtimes.
+func (r *Reserver) OnAbort() {
+	for _, sp := range r.allocLog {
+		r.release(sp.addr, sp.n)
+	}
+	r.allocLog = r.allocLog[:0]
+	r.freeLog = r.freeLog[:0]
 }
 
 // Refills returns how many times this Reserver went to the shared bump
 // pointer — the number of contended atomics its allocations have cost
 // (excluding oversized requests, which always go shared).
 func (r *Reserver) Refills() uint64 { return r.refills }
+
+// Recycled returns the words served from this Reserver's free lists instead
+// of the shared pointer — the allocation volume that did not advance the
+// arena high-water mark.
+func (r *Reserver) Recycled() uint64 { return r.recycled }
 
 // Load atomically reads the word at addr.
 func (a *Arena) Load(addr Addr) uint64 { return atomic.LoadUint64(&a.words[addr]) }
@@ -215,5 +463,7 @@ func (d Direct) Store(addr Addr, v uint64) { d.A.Store(addr, v) }
 // Alloc allocates from the underlying arena.
 func (d Direct) Alloc(n int) Addr { return d.A.Alloc(n) }
 
-// Free is a no-op (bump allocator); present to satisfy the tm.Mem contract.
-func (d Direct) Free(Addr) {}
+// Free is a no-op: Direct has no per-thread free list to recycle into (the
+// arena only recycles through Reservers); present to satisfy the tm.Mem
+// contract's sized-free signature.
+func (d Direct) Free(Addr, int) {}

@@ -145,5 +145,5 @@ func TestDirectSatisfiesContract(t *testing.T) {
 	if d.Load(addr) != 42 {
 		t.Fatal("Direct round trip failed")
 	}
-	d.Free(addr) // no-op, must not panic
+	d.Free(addr, 1) // no-op, must not panic
 }

@@ -33,8 +33,10 @@ type apiResponse struct {
 //	GET  /stats    live Gauges (always safe; server-side atomics only)
 //	GET  /healthz  200 while serving, 500 once the pool is halted
 //
-// Admission rejections map to 503 Service Unavailable (shed load, retry
-// later); a halted pool maps to 500 on every endpoint.
+// Admission rejections, deadline misses, and arena-exhaustion failures
+// (retry budget spent) map to 503 Service Unavailable with a Retry-After
+// hint (shed load, retry after the epoch swap or queue drain completes); a
+// halted pool maps to 500 on every endpoint.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	op := func(kind OpKind) http.HandlerFunc {
@@ -62,8 +64,14 @@ func (s *Server) Handler() http.Handler {
 			if resp.Err != nil {
 				out.Error = resp.Err.Error()
 				switch {
-				case errors.Is(resp.Err, ErrQueueFull):
+				case errors.Is(resp.Err, ErrQueueFull),
+					errors.Is(resp.Err, ErrDeadline),
+					errors.Is(resp.Err, ErrRetriesExhausted),
+					errors.Is(resp.Err, ErrArenaFull):
+					// Overload, not breakage: shed and invite a retry after
+					// the epoch swap (or queue drain) completes.
 					status = http.StatusServiceUnavailable
+					w.Header().Set("Retry-After", "1")
 				default:
 					status = http.StatusInternalServerError
 				}

@@ -13,6 +13,7 @@ import (
 	"github.com/stamp-go/stamp/internal/harness"
 	"github.com/stamp-go/stamp/internal/mem"
 	"github.com/stamp-go/stamp/internal/tm"
+	"github.com/stamp-go/stamp/internal/tm/chaos"
 	"github.com/stamp-go/stamp/internal/tm/factory"
 )
 
@@ -79,6 +80,18 @@ var (
 	// ErrStalled re-exports the progress-watchdog sentinel: once the pool
 	// is halted every pending and future request fails wrapping it.
 	ErrStalled = harness.ErrStalled
+	// ErrDeadline reports that a request exceeded Options.RequestDeadline
+	// (measured from admission, so queue wait and epoch-swap hold time
+	// count). The request was abandoned without (further) execution.
+	ErrDeadline = errors.New("server: request deadline exceeded")
+	// ErrRetriesExhausted reports that a request hit arena exhaustion on
+	// every attempt of its Options.RequestRetries budget, each retry
+	// following an epoch swap. Errors wrapping it also wrap the final
+	// attempt's mem.ErrArenaFull.
+	ErrRetriesExhausted = errors.New("server: retry budget exhausted")
+	// ErrArenaFull re-exports the arena capacity sentinel so callers can
+	// match overload responses without importing internal/mem.
+	ErrArenaFull = mem.ErrArenaFull
 )
 
 // Options configures a Server. The zero value serves the default store on
@@ -106,6 +119,26 @@ type Options struct {
 	// ArenaWords overrides the derived arena size entirely (0 = derive
 	// from Records and OpBudget).
 	ArenaWords int
+
+	// SwapAt is the arena high-water fraction that triggers a proactive
+	// epoch swap: once Used/Cap crosses it after a served request, the pool
+	// quiesces, the live store is compacted into a fresh arena, and serving
+	// resumes (0 = 0.85; must be < 1). Reactive swaps — a request actually
+	// hitting arena exhaustion — happen regardless.
+	SwapAt float64
+	// RequestDeadline bounds each request's admission-to-completion time:
+	// a request still unserved past it (queued behind a stalled swap, or
+	// burning its retry budget) fails with an ErrDeadline-wrapped error
+	// instead of waiting forever (0 = no deadline).
+	RequestDeadline time.Duration
+	// RequestRetries is how many times a request that hits arena
+	// exhaustion is retried, each retry behind an epoch swap, before
+	// failing with ErrRetriesExhausted (0 = 3).
+	RequestRetries int
+	// NoRecycle disables the runtime's transactional free lists (every
+	// tx.Free becomes a leak, as in the original suite's tmalloc) — the
+	// ablation knob of tm.Config.NoRecycle.
+	NoRecycle bool
 
 	// CM, Clock, Chaos, MVVersions, AdaptiveRead, AdaptiveWrite mirror the
 	// harness.Options knobs of the same names.
@@ -145,6 +178,12 @@ func (o Options) withDefaults() Options {
 	if o.OpBudget == 0 {
 		o.OpBudget = 1 << 18
 	}
+	if o.SwapAt == 0 {
+		o.SwapAt = 0.85
+	}
+	if o.RequestRetries == 0 {
+		o.RequestRetries = 3
+	}
 	if o.Diagnostics == nil {
 		o.Diagnostics = os.Stderr
 	}
@@ -175,6 +214,15 @@ func (o Options) Validate() error {
 	}
 	if o.ArenaWords < 0 {
 		bad("arena words must be >= 0 (0 = derived), got %d", o.ArenaWords)
+	}
+	if o.SwapAt < 0 || o.SwapAt >= 1 {
+		bad("swap threshold must be in [0, 1) (0 = 0.85), got %g", o.SwapAt)
+	}
+	if o.RequestDeadline < 0 {
+		bad("request deadline must be >= 0 (0 = none), got %v", o.RequestDeadline)
+	}
+	if o.RequestRetries < 0 {
+		bad("request retries must be >= 0 (0 = 3), got %d", o.RequestRetries)
 	}
 	if o.System == "seq" {
 		bad("seq has no concurrency control and cannot serve a worker pool")
@@ -231,17 +279,50 @@ type Gauges struct {
 	ArenaUsed  int    `json:"arena_used_words"`
 	ArenaCap   int    `json:"arena_cap_words"`
 
+	// Epoch counts arena generations (0 = the arena New built); Swaps is
+	// the number of completed epoch swaps (== Epoch). SwapPauseNs is the
+	// cumulative quiesce-to-resume pause across all swaps and
+	// LastSwapPauseNs the most recent one — the serving-mode availability
+	// cost of arena compaction.
+	Epoch           uint64 `json:"epoch"`
+	Swaps           uint64 `json:"swaps"`
+	SwapPauseNs     int64  `json:"swap_pause_ns_total"`
+	LastSwapPauseNs int64  `json:"last_swap_pause_ns"`
+
 	Latency LatSummary            `json:"latency"`
 	PerOp   map[string]LatSummary `json:"per_op"`
 }
 
-// Server is a long-lived arena and worker pool serving vacation operations.
-type Server struct {
-	opt   Options
+// epochState is one arena generation: the arena, the TM system running on
+// it, and the store rooted in it. The three swap together atomically — a
+// worker serving a request resolves all of them from one pointer load under
+// the swap gate's read lock.
+type epochState struct {
+	epoch uint64
 	arena *mem.Arena
 	sys   tm.System
 	store vacation.Store
-	watch *tm.Watch
+}
+
+// Server is a long-lived worker pool serving vacation operations over a
+// sequence of arena epochs: when the current arena's high-water crosses
+// Options.SwapAt (or a request actually hits exhaustion), the pool
+// quiesces, the live store is compacted into a fresh arena, and serving
+// resumes on the new epoch.
+type Server struct {
+	opt        Options
+	arenaWords int // per-epoch arena size
+	watch      *tm.Watch
+	chaos      *chaos.Injector // serving-mode failpoints (swap-stall)
+
+	// cur is the live epoch. Workers read it under swapGate.RLock; trySwap
+	// replaces it under swapGate.Lock (the quiesce barrier). swapMu
+	// single-flights swaps and guards retired, the retired epochs'
+	// transactional statistics.
+	cur      atomic.Pointer[epochState]
+	swapGate sync.RWMutex
+	swapMu   sync.Mutex
+	retired  []tm.Stats
 
 	mu     sync.RWMutex // guards queue close vs Submit sends
 	queue  chan *Request
@@ -257,6 +338,10 @@ type Server struct {
 	rejected atomic.Uint64
 	failed   atomic.Uint64
 	queueHW  atomic.Int64
+
+	swaps           atomic.Uint64
+	swapPauseNs     atomic.Int64
+	lastSwapPauseNs atomic.Int64
 
 	latAll LatHist
 	lat    [numOps]LatHist
@@ -275,32 +360,29 @@ func New(opt Options) (*Server, error) {
 	}
 	s := &Server{
 		opt:         opt,
-		arena:       mem.NewArena(words),
+		arenaWords:  words,
 		queue:       make(chan *Request, opt.Queue),
 		stopMonitor: make(chan struct{}),
 		monitorDone: make(chan struct{}),
 	}
-	s.store = vacation.NewStore(mem.Direct{A: s.arena}, opt.Records, opt.Seed)
-	if opt.ProgressTimeout > 0 {
-		s.watch = tm.NewWatch(opt.Workers)
-	}
-	sys, err := factory.New(opt.System, tm.Config{
-		Arena:              s.arena,
-		Threads:            opt.Workers,
-		EnableEarlyRelease: true,
-		CM:                 opt.CM,
-		Clock:              opt.Clock,
-		Chaos:              opt.Chaos,
-		MVVersions:         opt.MVVersions,
-		AdaptiveRead:       opt.AdaptiveRead,
-		AdaptiveWrite:      opt.AdaptiveWrite,
-		Watch:              s.watch,
-		Seed:               opt.Seed,
-	})
+	// The server's own injector drives the serving-layer failpoints
+	// (swap-stall); the runtime sites are armed independently inside each
+	// epoch's system from the same spec.
+	inj, err := chaos.New(opt.Chaos, 1)
 	if err != nil {
 		return nil, fmt.Errorf("server: %w", err)
 	}
-	s.sys = sys
+	s.chaos = inj
+	if opt.ProgressTimeout > 0 {
+		s.watch = tm.NewWatch(opt.Workers)
+	}
+	arena := mem.NewArena(words)
+	store := vacation.NewStore(mem.Direct{A: arena}, opt.Records, opt.Seed)
+	sys, err := s.newSystem(arena)
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	s.cur.Store(&epochState{arena: arena, sys: sys, store: store})
 	s.wg.Add(opt.Workers)
 	for tid := 0; tid < opt.Workers; tid++ {
 		go s.worker(tid)
@@ -311,6 +393,25 @@ func New(opt Options) (*Server, error) {
 		close(s.monitorDone)
 	}
 	return s, nil
+}
+
+// newSystem constructs one epoch's TM system over arena, sharing the
+// server-lifetime watch so commit progress accumulates across swaps.
+func (s *Server) newSystem(arena *mem.Arena) (tm.System, error) {
+	return factory.New(s.opt.System, tm.Config{
+		Arena:              arena,
+		Threads:            s.opt.Workers,
+		EnableEarlyRelease: true,
+		CM:                 s.opt.CM,
+		Clock:              s.opt.Clock,
+		Chaos:              s.opt.Chaos,
+		MVVersions:         s.opt.MVVersions,
+		AdaptiveRead:       s.opt.AdaptiveRead,
+		AdaptiveWrite:      s.opt.AdaptiveWrite,
+		NoRecycle:          s.opt.NoRecycle,
+		Watch:              s.watch,
+		Seed:               s.opt.Seed,
+	})
 }
 
 // Err returns the server's fatal error: non-nil once the pool has been
@@ -360,11 +461,10 @@ func (s *Server) Do(req *Request) Response {
 	return <-req.done
 }
 
-// worker owns tm.Thread slot tid for the server's lifetime and drains the
-// admission queue into named atomic blocks.
+// worker owns tm.Thread slot tid (of every epoch's system) for the server's
+// lifetime and drains the admission queue into named atomic blocks.
 func (s *Server) worker(tid int) {
 	defer s.wg.Done()
-	th := s.sys.Thread(tid)
 	for req := range s.queue {
 		var resp Response
 		if err := s.Err(); err != nil {
@@ -374,7 +474,7 @@ func (s *Server) worker(tid int) {
 			resp.Err = err
 		} else {
 			s.inflight.Add(1)
-			resp = s.serve(th, req)
+			resp = s.execute(tid, req)
 			s.inflight.Add(-1)
 		}
 		resp.Op = req.Op
@@ -394,10 +494,56 @@ func (s *Server) worker(tid int) {
 	}
 }
 
-// serve executes one request as one named atomic block, converting
-// watchdog halts (and any other panic out of the runtime) into errors on
-// the response instead of killing the worker.
-func (s *Server) serve(th tm.Thread, req *Request) (resp Response) {
+// execute runs one request to completion across epoch swaps: each attempt
+// serves on the current epoch under the swap gate's read lock; an attempt
+// that hits arena exhaustion triggers a swap and retries on the fresh
+// epoch, up to the retry budget and the request deadline. A request that
+// arrives while a swap holds the gate waits at admission — and fails with
+// ErrDeadline instead of serving if the wait consumed its deadline.
+func (s *Server) execute(tid int, req *Request) Response {
+	var deadline time.Time
+	if s.opt.RequestDeadline > 0 {
+		deadline = req.arrive.Add(s.opt.RequestDeadline)
+	}
+	expired := func() bool { return !deadline.IsZero() && time.Now().After(deadline) }
+	for attempt := 0; ; attempt++ {
+		if expired() {
+			return Response{Err: fmt.Errorf("%w (%v since admission)",
+				ErrDeadline, time.Since(req.arrive).Round(time.Millisecond))}
+		}
+		s.swapGate.RLock()
+		if expired() {
+			// The wait for an in-progress swap consumed the deadline.
+			s.swapGate.RUnlock()
+			return Response{Err: fmt.Errorf("%w (%v since admission, held at epoch swap)",
+				ErrDeadline, time.Since(req.arrive).Round(time.Millisecond))}
+		}
+		ep := s.cur.Load()
+		resp := s.serve(ep, tid, req)
+		s.swapGate.RUnlock()
+		if resp.Err == nil || !errors.Is(resp.Err, mem.ErrArenaFull) {
+			if resp.Err == nil && float64(ep.arena.Used()) >= s.opt.SwapAt*float64(ep.arena.Cap()) {
+				s.trySwap(ep.epoch) // proactive: high-water crossed the threshold
+			}
+			return resp
+		}
+		if err := s.Err(); err != nil {
+			return Response{Err: err}
+		}
+		if attempt >= s.opt.RequestRetries {
+			return Response{Err: fmt.Errorf("%w (%d attempts): %w",
+				ErrRetriesExhausted, attempt+1, resp.Err)}
+		}
+		s.trySwap(ep.epoch) // reactive: this request could not be placed
+	}
+}
+
+// serve executes one request as one named atomic block on epoch ep,
+// converting watchdog halts (and any other panic out of the runtime) into
+// errors on the response instead of killing the worker. Arena exhaustion
+// (tm.AllocFailure) is a per-request, recoverable outcome — execute retries
+// it behind an epoch swap — not a pool-fatal one.
+func (s *Server) serve(ep *epochState, tid int, req *Request) (resp Response) {
 	defer func() {
 		r := recover()
 		if r == nil {
@@ -409,26 +555,31 @@ func (s *Server) serve(th tm.Thread, req *Request) (resp Response) {
 			resp.Err = err
 			return
 		}
+		if af, ok := r.(tm.AllocFailure); ok {
+			resp.Err = fmt.Errorf("server: %s: %w", req.Op, af.Err)
+			return
+		}
 		err := fmt.Errorf("server: %s worker panicked: %v", req.Op, r)
 		s.fail(err)
 		resp.Err = err
 	}()
+	th := ep.sys.Thread(tid)
 	switch req.Op {
 	case OpReserve:
 		th.AtomicAt(blkReserve, func(tx tm.Tx) {
-			s.store.MakeReservation(tx, req.Customer, req.Items)
+			ep.store.MakeReservation(tx, req.Customer, req.Items)
 		})
 	case OpCancel:
 		th.AtomicAt(blkCancel, func(tx tm.Tx) {
-			s.store.DeleteCustomer(tx, req.Customer)
+			ep.store.DeleteCustomer(tx, req.Customer)
 		})
 	case OpUpdate:
 		th.AtomicAt(blkUpdate, func(tx tm.Tx) {
-			s.store.UpdateTables(tx, req.Updates)
+			ep.store.UpdateTables(tx, req.Updates)
 		})
 	case OpQuery:
 		th.AtomicAt(blkQuery, func(tx tm.Tx) {
-			free, torn := s.store.QueryFree(tx, req.Items)
+			free, torn := ep.store.QueryFree(tx, req.Items)
 			resp.Value, resp.Torn = free, uint64(torn)
 		})
 	case opProbe:
@@ -437,6 +588,45 @@ func (s *Server) serve(th tm.Thread, req *Request) (resp Response) {
 		resp.Err = fmt.Errorf("server: unknown op %d", int(req.Op))
 	}
 	return resp
+}
+
+// trySwap retires the epoch numbered fromEpoch: it quiesces the worker pool
+// (write-locking the swap gate drains every in-flight serve), compacts the
+// live store into a fresh arena, installs a new system, and resumes.
+// Swaps are single-flight — concurrent triggers for the same epoch collapse
+// into one, and a caller whose epoch has already been retired returns
+// immediately (its request simply retries on the fresh one).
+func (s *Server) trySwap(fromEpoch uint64) {
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	old := s.cur.Load()
+	if old.epoch != fromEpoch || s.Err() != nil {
+		return
+	}
+	start := time.Now()
+	s.swapGate.Lock()
+	// Failpoint: wedge between worker-pool quiesce and arena install — the
+	// window where every request is held at admission.
+	s.chaos.Stall(chaos.SwapStall, 0)
+	arena := mem.NewArena(s.arenaWords)
+	store := old.store.CompactInto(mem.Direct{A: old.arena}, mem.Direct{A: arena})
+	sys, err := s.newSystem(arena)
+	if err != nil {
+		// Unreachable in practice: the same options built the old epoch.
+		s.swapGate.Unlock()
+		s.fail(fmt.Errorf("server: epoch swap: %w", err))
+		return
+	}
+	// The pool is quiesced, so the retiring system's per-thread counters
+	// are exact; bank them for TMStats before dropping the epoch (and its
+	// arena) to the collector.
+	s.retired = append(s.retired, old.sys.Stats())
+	s.cur.Store(&epochState{epoch: old.epoch + 1, arena: arena, sys: sys, store: store})
+	s.swapGate.Unlock()
+	pause := time.Since(start).Nanoseconds()
+	s.swaps.Add(1)
+	s.swapPauseNs.Add(pause)
+	s.lastSwapPauseNs.Store(pause)
 }
 
 // monitor is the serving-mode progress watchdog: unlike the batch
@@ -493,14 +683,14 @@ func (s *Server) monitor() {
 func (s *Server) dumpStall(reason string, quiesced bool) {
 	out := s.opt.Diagnostics
 	fmt.Fprintf(out, "server: progress watchdog: %s\n", reason)
-	fmt.Fprintf(out, "server: system=%s workers=%d served=%d rejected=%d inflight=%d queued=%d/%d\n",
-		s.sys.Name(), s.opt.Workers, s.served.Load(), s.rejected.Load(),
+	fmt.Fprintf(out, "server: system=%s workers=%d epoch=%d served=%d rejected=%d inflight=%d queued=%d/%d\n",
+		s.System(), s.opt.Workers, s.cur.Load().epoch, s.served.Load(), s.rejected.Load(),
 		s.inflight.Load(), len(s.queue), cap(s.queue))
 	if !quiesced {
 		fmt.Fprintf(out, "server: pool did not quiesce within the grace period; partial diagnostics only\n")
 		return
 	}
-	st := s.sys.Stats()
+	st := s.TMStats()
 	fmt.Fprintf(out, "  starts=%d commits=%d aborts=%d escalations=%d cm-waits=%d\n",
 		st.Total.Starts, st.Total.Commits, st.Total.Aborts, st.Total.Escalations, st.Total.CMWaits)
 	names := tm.CauseNames()
@@ -521,19 +711,24 @@ func (s *Server) dumpStall(reason string, quiesced bool) {
 // Snapshot returns the live gauges: admission counters, queue depth and
 // high-water, arena usage, and latency percentiles overall and per op.
 func (s *Server) Snapshot() Gauges {
+	ep := s.cur.Load()
 	g := Gauges{
-		Served:     s.served.Load(),
-		Rejected:   s.rejected.Load(),
-		Failed:     s.failed.Load(),
-		Inflight:   s.inflight.Load(),
-		QueueDepth: len(s.queue),
-		QueueCap:   cap(s.queue),
-		QueueHW:    s.queueHW.Load(),
-		Workers:    s.opt.Workers,
-		ArenaUsed:  s.arena.Used(),
-		ArenaCap:   s.arena.Cap(),
-		Latency:    s.latAll.Summary(),
-		PerOp:      make(map[string]LatSummary, int(numOps)),
+		Served:          s.served.Load(),
+		Rejected:        s.rejected.Load(),
+		Failed:          s.failed.Load(),
+		Inflight:        s.inflight.Load(),
+		QueueDepth:      len(s.queue),
+		QueueCap:        cap(s.queue),
+		QueueHW:         s.queueHW.Load(),
+		Workers:         s.opt.Workers,
+		ArenaUsed:       ep.arena.Used(),
+		ArenaCap:        ep.arena.Cap(),
+		Epoch:           ep.epoch,
+		Swaps:           s.swaps.Load(),
+		SwapPauseNs:     s.swapPauseNs.Load(),
+		LastSwapPauseNs: s.lastSwapPauseNs.Load(),
+		Latency:         s.latAll.Summary(),
+		PerOp:           make(map[string]LatSummary, int(numOps)),
 	}
 	for op := OpKind(0); op < numOps; op++ {
 		if sum := s.lat[op].Summary(); sum.Count > 0 {
@@ -544,20 +739,34 @@ func (s *Server) Snapshot() Gauges {
 }
 
 // TMStats returns the pool's transactional statistics (abort causes,
-// escalations, CM waits, per-block rows). The per-thread counters are
+// escalations, CM waits, per-block rows), merged across every retired
+// epoch plus the current one. The live system's per-thread counters are
 // unsynchronized by design, so call it quiescently: after Close, or after
 // every submitted request has completed (a response delivery
 // happens-before this read for that requester).
-func (s *Server) TMStats() tm.Stats { return s.sys.Stats() }
+func (s *Server) TMStats() tm.Stats {
+	cur := s.cur.Load().sys.Stats()
+	s.swapMu.Lock()
+	per := make([]*tm.ThreadStats, 0, len(s.retired)+1)
+	for i := range s.retired {
+		per = append(per, &s.retired[i].Total)
+	}
+	s.swapMu.Unlock()
+	per = append(per, &cur.Total)
+	st := tm.Aggregate(per)
+	st.Threads = s.opt.Workers
+	return st
+}
 
 // System exposes the pool's runtime name.
-func (s *Server) System() string { return s.sys.Name() }
+func (s *Server) System() string { return s.cur.Load().sys.Name() }
 
 // CheckInvariants re-counts the store's conserved quantities (per-record
 // used+free==total, bookings vs customer lists) outside any transaction.
 // Quiescent use only, like TMStats.
 func (s *Server) CheckInvariants() error {
-	return s.store.Check(mem.Direct{A: s.arena}, s.opt.Records)
+	ep := s.cur.Load()
+	return ep.store.Check(mem.Direct{A: ep.arena}, s.opt.Records)
 }
 
 // Close stops admission, drains the queue, joins the workers and the

@@ -71,6 +71,16 @@ const (
 	// CMWaitDrop overrides a contention-manager wait decision
 	// (tm.WaitOrAbort) to an immediate abort.
 	CMWaitDrop
+	// AllocExhaust fires in every runtime's tx.Alloc: a spurious
+	// alloc-exhausted abort, as if the arena had run dry at that allocation
+	// (without the terminal unwind a real capacity miss adds, so the
+	// attempt retries — and starvation escalation, which suppresses chaos,
+	// guarantees progress under a probability-1 arm).
+	AllocExhaust
+	// SwapStall stalls the serving-mode epoch-swap recycler between
+	// quiescing the worker pool and installing the fresh arena, stretching
+	// the window requests are held at admission.
+	SwapStall
 
 	// NumSites bounds per-site arrays.
 	NumSites
@@ -94,6 +104,8 @@ var siteInfos = [NumSites]SiteInfo{
 	MVRingPublish:   {MVRingPublish, "mv-ring-publish", "stall", "stm-mv committer stalls mid version-ring publish, stripe locks held"},
 	AdaptiveHandoff: {AdaptiveHandoff, "adaptive-handoff", "stall", "stm-adaptive switcher stalls between team quiesce and mode install"},
 	CMWaitDrop:      {CMWaitDrop, "cm-wait-drop", "drop-wait", "a contention-manager wait decision becomes an immediate abort"},
+	AllocExhaust:    {AllocExhaust, "alloc-exhaust", "spurious-abort", "tx.Alloc spuriously reports the arena exhausted (every runtime; the attempt retries)"},
+	SwapStall:       {SwapStall, "swap-stall", "stall", "serving-mode epoch swap stalls between worker-pool quiesce and arena install"},
 }
 
 // Sites returns every registered failpoint in enum order.

@@ -202,6 +202,35 @@ func (g *governor) ShouldAbort(enemy ContentionManager) bool {
 	return g.inner.ShouldAbort(enemy)
 }
 
+// AbandonBlock releases a block's contention-manager claims without a
+// commit. The terminal alloc-exhaustion path calls it from the retry loop
+// after the final abort is accounted, just before unwinding the block with
+// AllocFailure: the thread leaves the in-a-block gate group (so a later
+// escalator's drain never waits on a thread that is gone), and if the block
+// itself had escalated to irrevocable mode it releases the token — parked
+// peers resume — without counting an escalated commit. Per-block policy
+// state resets through the wrapped policy's OnCommit, exactly as on a real
+// block end. Safe on any ContentionManager; non-governor managers carry no
+// cross-thread claims and need no cleanup.
+func AbandonBlock(cm ContentionManager) {
+	g, ok := cm.(*governor)
+	if !ok {
+		return
+	}
+	p := g.pool
+	if g.irrevocable.Load() {
+		g.irrevocable.Store(false)
+		p.chaos.Suppress(g.id, false)
+		p.flags[g.id].Store(0)
+		p.gateLock.Store(0)
+		p.gatePending.Add(-1)
+	} else {
+		p.flags[g.id].Store(0)
+	}
+	g.t0 = 0
+	g.inner.OnCommit()
+}
+
 // CauseOrDisplaced resolves the abort cause at a WaitOrAbort conflict site:
 // if cm's arbitration just aborted the caller to yield to a pending
 // irrevocable escalation, the abort is attributed to killed-for-irrevocable;

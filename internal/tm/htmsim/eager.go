@@ -52,7 +52,7 @@ func NewEager(cfg tm.Config) (*Eager, error) {
 		x := &eagerTx{
 			sys:        s,
 			slot:       i,
-			res:        cfg.Arena.NewReserver(cfg.ReserveChunk()),
+			res:        cfg.NewReserver(),
 			sets:       newSetTracker(cfg),
 			readLines:  make(map[mem.Line]struct{}),
 			writeLines: make(map[mem.Line]struct{}),
@@ -134,11 +134,21 @@ func (t *eagerThread) AtomicAt(b tm.BlockID, fn func(tm.Tx)) {
 		t.stats.RecordAbort(b, t.tx.info.Cause, t.tx.info.Key, t.tx.info.Blame)
 		t.stats.Tracer.Emit(trace.EvAbort, t.tx.info.Cause, t.id, int32(b), t.tx.info.Key)
 		t.stats.Wasted += t.tx.loads + t.tx.stores
+		t.tx.res.OnAbort()
+		if t.tx.info.Err != nil {
+			// Terminal alloc exhaustion: the abort is accounted, rollback
+			// replayed the undo log and withdrew the directory marks —
+			// unwind the block instead of retrying.
+			t.curBlock.Store(int32(tm.NoBlock))
+			tm.AbandonBlock(t.cm)
+			t.tx.info.BailAlloc()
+		}
 		// Default policy is "none": immediate restart, no backoff (Section
 		// IV); the undo-log replay itself is the only delay, as the paper
 		// notes. An explicit Config.CM adds its delay here.
 		t.cm.OnAbort(aborts)
 	}
+	t.tx.res.OnCommit()
 	t.curBlock.Store(int32(tm.NoBlock))
 	t.cm.OnCommit()
 	t.stats.Commits++
@@ -422,9 +432,25 @@ func (x *eagerTx) spillToSignatures() {
 
 // Alloc draws from the thread-private reservation chunk; line-aligned
 // chunks keep one thread's allocations off another's conflict-detection
-// lines (line granularity makes allocator false sharing a real abort).
-func (x *eagerTx) Alloc(n int) mem.Addr { return x.res.Alloc(n) }
-func (x *eagerTx) Free(mem.Addr)        {}
+// lines (line granularity makes allocator false sharing a real abort —
+// recycled free-list blocks weaken that disjointness, trading spurious
+// conflicts for a bounded arena high-water). A real capacity miss unwinds
+// terminally via FailAlloc; the alloc-exhaust failpoint injects only the
+// abort (the undo log makes either a plain rollback).
+func (x *eagerTx) Alloc(n int) mem.Addr {
+	if x.sys.chaos.Fire(chaos.AllocExhaust, x.slot) {
+		x.info.Fail(tm.CauseAllocExhausted, 0, tm.NoBlock)
+	}
+	a, err := x.res.TxAlloc(n)
+	if err != nil {
+		x.info.FailAlloc(err)
+	}
+	return a
+}
+
+// Free defers the release to commit time (rollback drops it), recycling the
+// block through the thread's free lists.
+func (x *eagerTx) Free(a mem.Addr, n int) { x.res.TxFree(a, n) }
 
 // EarlyRelease drops the reader mark for a line ("the eager HTM cannot
 // perform early-release on addresses that hit in the Bloom filter", so in

@@ -55,7 +55,7 @@ func NewLazy(cfg tm.Config) (*Lazy, error) {
 		x := &lazyTx{
 			sys:        s,
 			slot:       i,
-			res:        cfg.Arena.NewReserver(cfg.ReserveChunk()),
+			res:        cfg.NewReserver(),
 			readSet:    newLineSet(cfg.CapacityLines),
 			writeSet:   newLineSet(cfg.CapacityLines),
 			sets:       newSetTracker(cfg),
@@ -121,6 +121,12 @@ func (t *lazyThread) AtomicAt(b tm.BlockID, fn func(tm.Tx)) {
 	for {
 		t.tx.begin()
 		ok := tm.Attempt(t.tx, fn) && t.tx.commit()
+		if !ok {
+			// Serial (overflow) attempts store in place; replay their undo
+			// log before end releases the serial lock, so no other
+			// transaction observes a failed attempt's partial writes.
+			t.tx.rollbackSerial()
+		}
 		t.tx.end()
 		if ok {
 			break
@@ -130,11 +136,21 @@ func (t *lazyThread) AtomicAt(b tm.BlockID, fn func(tm.Tx)) {
 		t.stats.RecordAbort(b, t.tx.info.Cause, t.tx.info.Key, t.tx.info.Blame)
 		t.stats.Tracer.Emit(trace.EvAbort, t.tx.info.Cause, t.id, int32(b), t.tx.info.Key)
 		t.stats.Wasted += t.tx.loads + t.tx.stores
+		t.tx.res.OnAbort()
+		if t.tx.info.Err != nil {
+			// Terminal alloc exhaustion: the abort is accounted and end
+			// already released the serial/active state — unwind the block
+			// instead of retrying.
+			t.curBlock.Store(int32(tm.NoBlock))
+			tm.AbandonBlock(t.cm)
+			t.tx.info.BailAlloc()
+		}
 		// Default policy is "none": the lazy HTM restarts aborted
 		// transactions immediately (Section IV). Overflowed attempts retry
 		// in serial mode; that switch happens inside begin via tx.serial.
 		t.cm.OnAbort(aborts)
 	}
+	t.tx.res.OnCommit()
 	t.curBlock.Store(int32(tm.NoBlock))
 	t.cm.OnCommit()
 	t.stats.Commits++
@@ -173,9 +189,16 @@ type lazyTx struct {
 	heldSerial bool
 	serialRead map[mem.Line]struct{}
 	serialWrit map[mem.Line]struct{}
+	serialUndo []undoRec // old values of serial-mode in-place stores
 
 	loads  uint64
 	stores uint64
+}
+
+// undoRec is one serial-mode in-place store's pre-image (see rollbackSerial).
+type undoRec struct {
+	a mem.Addr
+	v uint64
 }
 
 func (x *lazyTx) readLineCount() int {
@@ -203,6 +226,7 @@ func (x *lazyTx) begin() {
 		x.sys.serialMu.Lock()
 		clear(x.serialRead)
 		clear(x.serialWrit)
+		x.serialUndo = x.serialUndo[:0]
 		return
 	}
 	x.sys.serialMu.RLock()
@@ -227,6 +251,20 @@ func (x *lazyTx) setKilled() {
 func (x *lazyTx) failKilled() {
 	x.setKilled()
 	tm.Retry()
+}
+
+// rollbackSerial replays a failed serial attempt's undo log (newest first)
+// while the serial lock is still held, so an explicit Restart or a terminal
+// allocation miss in overflow mode never exposes partial in-place writes.
+// No-op for speculative attempts (their writes never left the buffer).
+func (x *lazyTx) rollbackSerial() {
+	if !x.heldSerial {
+		return
+	}
+	for i := len(x.serialUndo) - 1; i >= 0; i-- {
+		x.sys.cfg.Arena.Store(x.serialUndo[i].a, x.serialUndo[i].v)
+	}
+	x.serialUndo = x.serialUndo[:0]
 }
 
 // end releases begin's locks after a commit or an abort.
@@ -277,6 +315,15 @@ func (x *lazyTx) Load(a mem.Addr) uint64 {
 		}
 		v := x.sys.cfg.Arena.Load(a)
 		if x.sys.epoch.Load() == e {
+			// Recheck the flag after the stable-epoch confirmation: a commit
+			// that flagged us can complete entirely between the loop-top flag
+			// poll and the first epoch load (flag store precedes its closing
+			// epoch bump, so a stable epoch makes the flag visible here). The
+			// loop-top poll alone can read a stale false and return the
+			// committed value while earlier loads predate the writeback.
+			if x.aborted.Load() {
+				x.failKilled()
+			}
 			return v
 		}
 		// A commit overlapped this insert+load window; redo so the value is
@@ -289,6 +336,7 @@ func (x *lazyTx) Store(a mem.Addr, v uint64) {
 	x.stores++
 	if x.serial {
 		x.serialWrit[mem.LineOf(a)] = struct{}{}
+		x.serialUndo = append(x.serialUndo, undoRec{a: a, v: x.sys.cfg.Arena.Load(a)})
 		x.sys.cfg.Arena.Store(a, v)
 		return
 	}
@@ -308,9 +356,26 @@ func (x *lazyTx) Store(a mem.Addr, v uint64) {
 
 // Alloc draws from the thread-private reservation chunk; line-aligned
 // chunks keep one thread's allocations off another's conflict-detection
-// lines (line granularity makes allocator false sharing a real abort).
-func (x *lazyTx) Alloc(n int) mem.Addr { return x.res.Alloc(n) }
-func (x *lazyTx) Free(mem.Addr)        {}
+// lines (line granularity makes allocator false sharing a real abort —
+// recycled free-list blocks weaken that disjointness, trading spurious
+// conflicts for a bounded arena high-water). A real capacity miss unwinds
+// terminally via FailAlloc; the alloc-exhaust failpoint injects only the
+// abort (safe even mid serial attempt — rollbackSerial undoes the in-place
+// stores before the retry).
+func (x *lazyTx) Alloc(n int) mem.Addr {
+	if x.sys.chaos.Fire(chaos.AllocExhaust, x.slot) {
+		x.info.Fail(tm.CauseAllocExhausted, 0, tm.NoBlock)
+	}
+	a, err := x.res.TxAlloc(n)
+	if err != nil {
+		x.info.FailAlloc(err)
+	}
+	return a
+}
+
+// Free defers the release to commit time (abort drops it), recycling the
+// block through the thread's free lists.
+func (x *lazyTx) Free(a mem.Addr, n int) { x.res.TxFree(a, n) }
 
 // EarlyRelease drops a line from the speculative read set so it no longer
 // raises conflicts — the labyrinth optimization. Lines also in the write set

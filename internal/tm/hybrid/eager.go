@@ -43,7 +43,7 @@ func NewEager(cfg tm.Config) (*Eager, error) {
 	s.txs = make([]*eagerTx, cfg.Threads)
 	s.cms = make([]tm.ContentionManager, cfg.Threads)
 	for i := range s.threads {
-		x := &eagerTx{sys: s, slot: i, res: cfg.Arena.NewReserver(cfg.ReserveChunk())}
+		x := &eagerTx{sys: s, slot: i, res: cfg.NewReserver()}
 		if cfg.ProfileSets {
 			x.readLines = make(map[mem.Line]struct{})
 			x.writeLines = make(map[mem.Line]struct{})
@@ -127,8 +127,18 @@ func (t *eagerThread) AtomicAt(b tm.BlockID, fn func(tm.Tx)) {
 		t.stats.RecordAbort(b, t.tx.info.Cause, t.tx.info.Key, t.tx.info.Blame)
 		t.stats.Tracer.Emit(trace.EvAbort, t.tx.info.Cause, t.id, int32(b), t.tx.info.Key)
 		t.stats.Wasted += t.tx.loads + t.tx.stores
+		t.tx.res.OnAbort()
+		if t.tx.info.Err != nil {
+			// Terminal alloc exhaustion: the abort is accounted, rollback
+			// replayed the undo log and cleared the signatures — unwind
+			// instead of retrying.
+			t.curBlock.Store(int32(tm.NoBlock))
+			tm.AbandonBlock(t.cm)
+			t.tx.info.BailAlloc()
+		}
 		t.cm.OnAbort(aborts)
 	}
+	t.tx.res.OnCommit()
 	t.curBlock.Store(int32(tm.NoBlock))
 	t.cm.OnCommit()
 	t.stats.Commits++
@@ -260,9 +270,25 @@ func (x *eagerTx) Store(a mem.Addr, v uint64) {
 }
 
 // Alloc draws from the thread-private reservation chunk; line-aligned
-// chunks also keep one thread's allocations off another's signature lines.
-func (x *eagerTx) Alloc(n int) mem.Addr { return x.res.Alloc(n) }
-func (x *eagerTx) Free(mem.Addr)        {}
+// chunks also keep one thread's allocations off another's signature lines
+// (recycled free-list blocks weaken that disjointness, trading spurious
+// signature hits for a bounded arena high-water). A real capacity miss
+// unwinds terminally via FailAlloc; the alloc-exhaust failpoint injects
+// only the abort (the undo log makes either a plain rollback).
+func (x *eagerTx) Alloc(n int) mem.Addr {
+	if x.sys.chaos.Fire(chaos.AllocExhaust, x.slot) {
+		x.info.Fail(tm.CauseAllocExhausted, 0, tm.NoBlock)
+	}
+	a, err := x.res.TxAlloc(n)
+	if err != nil {
+		x.info.FailAlloc(err)
+	}
+	return a
+}
+
+// Free defers the release to commit time (rollback drops it), recycling the
+// block through the thread's free lists.
+func (x *eagerTx) Free(a mem.Addr, n int) { x.res.TxFree(a, n) }
 
 // EarlyRelease is unsupported on signatures (no removal from a Bloom
 // filter); it is a no-op, as on the lazy hybrid.

@@ -49,7 +49,7 @@ func NewLazy(cfg tm.Config) (*Lazy, error) {
 	s.threads = make([]*lazyThread, cfg.Threads)
 	s.txs = make([]*lazyTx, cfg.Threads)
 	for i := range s.threads {
-		x := &lazyTx{sys: s, slot: i, res: cfg.Arena.NewReserver(cfg.ReserveChunk())}
+		x := &lazyTx{sys: s, slot: i, res: cfg.NewReserver()}
 		if cfg.ProfileSets {
 			x.readLines = make(map[mem.Line]struct{})
 			x.writeLines = make(map[mem.Line]struct{})
@@ -130,11 +130,20 @@ func (t *lazyThread) AtomicAt(b tm.BlockID, fn func(tm.Tx)) {
 		t.stats.RecordAbort(b, t.tx.info.Cause, t.tx.info.Key, t.tx.info.Blame)
 		t.stats.Tracer.Emit(trace.EvAbort, t.tx.info.Cause, t.id, int32(b), t.tx.info.Key)
 		t.stats.Wasted += t.tx.loads + t.tx.stores
+		t.tx.res.OnAbort()
+		if t.tx.info.Err != nil {
+			// Terminal alloc exhaustion: the abort is accounted and end
+			// already cleared the signatures — unwind instead of retrying.
+			t.curBlock.Store(int32(tm.NoBlock))
+			tm.AbandonBlock(t.cm)
+			t.tx.info.BailAlloc()
+		}
 		// Conflicts here are commit-time (committer wins, victims are only
 		// flagged), so there is no encounter-time arbitration point; the
 		// delay hooks are the whole policy surface on this runtime.
 		t.cm.OnAbort(aborts)
 	}
+	t.tx.res.OnCommit()
 	t.curBlock.Store(int32(tm.NoBlock))
 	t.cm.OnCommit()
 	t.stats.Commits++
@@ -230,6 +239,14 @@ func (x *lazyTx) Load(a mem.Addr) uint64 {
 		x.readSig.Insert(uint32(l))
 		v := x.sys.cfg.Arena.Load(a)
 		if x.sys.epoch.Load() == e {
+			// Recheck the flag after the stable-epoch confirmation: a commit
+			// that flagged us can complete entirely between the loop-top flag
+			// poll and the first epoch load, so the poll alone can read a
+			// stale false and return the committed value while earlier loads
+			// predate the writeback (see htmsim/lazy.go).
+			if x.aborted.Load() {
+				x.failKilled()
+			}
 			if x.readLines != nil {
 				x.readLines[l] = struct{}{}
 			}
@@ -252,9 +269,25 @@ func (x *lazyTx) Store(a mem.Addr, v uint64) {
 }
 
 // Alloc draws from the thread-private reservation chunk; line-aligned
-// chunks also keep one thread's allocations off another's signature lines.
-func (x *lazyTx) Alloc(n int) mem.Addr { return x.res.Alloc(n) }
-func (x *lazyTx) Free(mem.Addr)        {}
+// chunks also keep one thread's allocations off another's signature lines
+// (recycled free-list blocks weaken that disjointness, trading spurious
+// signature hits for a bounded arena high-water). A real capacity miss
+// unwinds terminally via FailAlloc; the alloc-exhaust failpoint injects
+// only the abort.
+func (x *lazyTx) Alloc(n int) mem.Addr {
+	if x.sys.chaos.Fire(chaos.AllocExhaust, x.slot) {
+		x.info.Fail(tm.CauseAllocExhausted, 0, tm.NoBlock)
+	}
+	a, err := x.res.TxAlloc(n)
+	if err != nil {
+		x.info.FailAlloc(err)
+	}
+	return a
+}
+
+// Free defers the release to commit time (abort drops it), recycling the
+// block through the thread's free lists.
+func (x *lazyTx) Free(a mem.Addr, n int) { x.res.TxFree(a, n) }
 
 // EarlyRelease cannot remove a line from a Bloom filter; like SigTM, the
 // hybrid simply does not support it (labyrinth avoids needing it on hybrids

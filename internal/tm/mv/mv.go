@@ -189,7 +189,7 @@ func New(cfg tm.Config) (*System, error) {
 		t.stats.Tracer = cfg.NewTracer()
 		t.cm = pool.ForThread(i, &t.stats)
 		s.cms[i] = t.cm
-		t.tx = &mvTx{sys: s, slot: uint64(i), th: t, res: cfg.Arena.NewReserver(cfg.ReserveChunk())}
+		t.tx = &mvTx{sys: s, slot: uint64(i), th: t, res: cfg.NewReserver()}
 		if cfg.ProfileSets {
 			t.tx.readLines = make(map[mem.Line]struct{})
 			t.tx.writeLines = make(map[mem.Line]struct{})
@@ -386,8 +386,17 @@ func (t *mvThread) AtomicAt(b tm.BlockID, fn func(tm.Tx)) {
 		t.stats.RecordAbort(b, t.tx.info.Cause, t.tx.info.Key, t.tx.info.Blame)
 		t.stats.Tracer.Emit(trace.EvAbort, t.tx.info.Cause, t.id, int32(b), t.tx.info.Key)
 		t.stats.Wasted += t.tx.loads + t.tx.stores
+		t.tx.res.OnAbort()
+		if t.tx.info.Err != nil {
+			// Terminal alloc exhaustion: the abort is accounted, locks are
+			// released — unwind the block instead of retrying.
+			t.curBlock.Store(int32(tm.NoBlock))
+			tm.AbandonBlock(t.cm)
+			t.tx.info.BailAlloc()
+		}
 		t.cm.OnAbort(aborts)
 	}
+	t.tx.res.OnCommit()
 	t.curBlock.Store(int32(tm.NoBlock))
 	t.cm.OnCommit()
 	t.stats.Commits++
@@ -526,8 +535,24 @@ func (x *mvTx) Store(a mem.Addr, v uint64) {
 	}
 }
 
-func (x *mvTx) Alloc(n int) mem.Addr { return x.res.Alloc(n) }
-func (x *mvTx) Free(mem.Addr)        {}
+// Alloc carves from the thread's reserver; a real capacity miss unwinds
+// terminally via FailAlloc, the alloc-exhaust failpoint injects only the
+// abort. Snapshot (read-only) attempts allocate too — e.g. query scratch —
+// and follow the same path.
+func (x *mvTx) Alloc(n int) mem.Addr {
+	if x.sys.chaos.Fire(chaos.AllocExhaust, x.th.id) {
+		x.info.Fail(tm.CauseAllocExhausted, 0, tm.NoBlock)
+	}
+	a, err := x.res.TxAlloc(n)
+	if err != nil {
+		x.info.FailAlloc(err)
+	}
+	return a
+}
+
+// Free defers the release to commit time (abort drops it), recycling the
+// block through the thread's free lists.
+func (x *mvTx) Free(a mem.Addr, n int) { x.res.TxFree(a, n) }
 
 // EarlyRelease is a no-op, as on the TL2 runtimes.
 func (x *mvTx) EarlyRelease(mem.Addr) {}

@@ -162,7 +162,7 @@ func newSystem(cfg tm.Config, name string, roFast bool) (*System, error) {
 		t := &norecThread{id: i, sys: s}
 		t.stats.Tracer = cfg.NewTracer()
 		t.cm = pool.ForThread(i, &t.stats)
-		t.tx = &norecTx{sys: s, th: t, res: cfg.Arena.NewReserver(cfg.ReserveChunk())}
+		t.tx = &norecTx{sys: s, th: t, res: cfg.NewReserver()}
 		if cfg.ProfileSets {
 			t.tx.readLines = make(map[mem.Line]struct{})
 			t.tx.writeLines = make(map[mem.Line]struct{})
@@ -300,6 +300,14 @@ func (t *norecThread) AtomicAt(b tm.BlockID, fn func(tm.Tx)) {
 		t.stats.RecordAbort(b, t.tx.info.Cause, t.tx.info.Key, t.tx.info.Blame)
 		t.stats.Tracer.Emit(trace.EvAbort, t.tx.info.Cause, t.id, int32(b), t.tx.info.Key)
 		t.stats.Wasted += t.tx.loads + t.tx.stores
+		t.tx.res.OnAbort()
+		if t.tx.info.Err != nil {
+			// Terminal alloc exhaustion: the abort is accounted and NOrec
+			// holds no protocol state between attempts (the combining slot is
+			// idle outside commit) — unwind instead of retrying.
+			tm.AbandonBlock(t.cm)
+			t.tx.info.BailAlloc()
+		}
 		// NOrec conflicts surface as value-validation failures with no
 		// identifiable enemy, so only the delay hooks apply here; priority
 		// policies degrade to their delay behavior on this runtime (and
@@ -307,6 +315,7 @@ func (t *norecThread) AtomicAt(b tm.BlockID, fn func(tm.Tx)) {
 		// address the revalidation pass tripped on is known).
 		t.cm.OnAbort(aborts)
 	}
+	t.tx.res.OnCommit()
 	t.cm.OnCommit()
 	t.stats.Commits++
 	t.stats.Tracer.Emit(trace.EvCommit, tm.CauseUnknown, t.id, int32(b), 0)
@@ -410,8 +419,23 @@ func (x *norecTx) Store(a mem.Addr, v uint64) {
 	}
 }
 
-func (x *norecTx) Alloc(n int) mem.Addr { return x.res.Alloc(n) }
-func (x *norecTx) Free(mem.Addr)        {}
+// Alloc carves from the thread's reserver; a real capacity miss unwinds
+// terminally via FailAlloc, the alloc-exhaust failpoint injects only the
+// abort.
+func (x *norecTx) Alloc(n int) mem.Addr {
+	if x.sys.chaos.Fire(chaos.AllocExhaust, x.th.id) {
+		x.info.Fail(tm.CauseAllocExhausted, 0, tm.NoBlock)
+	}
+	a, err := x.res.TxAlloc(n)
+	if err != nil {
+		x.info.FailAlloc(err)
+	}
+	return a
+}
+
+// Free defers the release to commit time (abort drops it), recycling the
+// block through the thread's free lists.
+func (x *norecTx) Free(a mem.Addr, n int) { x.res.TxFree(a, n) }
 
 // EarlyRelease is a no-op: there is no per-location metadata to release,
 // and dropping a read record would only skip one value comparison. Keeping

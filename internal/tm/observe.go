@@ -50,7 +50,12 @@ const (
 	// transaction's escalation to irrevocable mode (see Config.StarveAfter
 	// and CauseOrDisplaced).
 	CauseKilledForIrrevocable = trace.CauseKilledForIrrevocable
-	NumCauses                 = trace.NumCauses
+	// CauseAllocExhausted marks a tx.Alloc that found the arena out of
+	// capacity; a real miss unwinds the block with AllocFailure after the
+	// abort is accounted (see AbortInfo.FailAlloc), while the
+	// "alloc-exhaust" chaos site injects only the abort.
+	CauseAllocExhausted = trace.CauseAllocExhausted
+	NumCauses           = trace.NumCauses
 )
 
 // CauseNames returns every abort-cause name in enum order, "unknown" first.
@@ -85,6 +90,12 @@ type AbortInfo struct {
 	Cause AbortCause
 	Key   ConflictKey
 	Blame BlockID
+
+	// Err carries a terminal failure through the abort path: set (by
+	// FailAlloc) when the abort must not be retried, it makes the retry
+	// loop unwind the whole block with AllocFailure after accounting the
+	// abort. Nil on every ordinary (retryable) abort.
+	Err error
 }
 
 // Reset clears the registers for a new attempt.
@@ -101,6 +112,28 @@ func (a *AbortInfo) Set(cause AbortCause, key ConflictKey, blame BlockID) {
 func (a *AbortInfo) Fail(cause AbortCause, key ConflictKey, blame BlockID) {
 	a.Set(cause, key, blame)
 	Retry()
+}
+
+// FailAlloc is the one alloc-exhaustion abort site shared by every
+// runtime's tx.Alloc: it stamps CauseAllocExhausted, records the terminal
+// error, and unwinds the attempt through the normal retry path (so locks,
+// logs, and serial modes release exactly as on any abort). The retry loop
+// then sees Err set and raises AllocFailure instead of retrying. It never
+// returns.
+func (a *AbortInfo) FailAlloc(err error) {
+	a.Err = err
+	a.Fail(CauseAllocExhausted, 0, NoBlock)
+}
+
+// BailAlloc finishes a terminal alloc-exhaustion abort from the retry loop:
+// called after the abort has been accounted, it clears the pending error
+// and unwinds the whole atomic block with AllocFailure. Runtimes call it
+// when info.Err is non-nil, after releasing their contention-manager state
+// (see AbandonBlock). It never returns.
+func (a *AbortInfo) BailAlloc() {
+	err := a.Err
+	a.Err = nil
+	panic(AllocFailure{Err: err})
 }
 
 // KillPack encodes a flag-based kill's attribution into one word. Flag-based

@@ -30,6 +30,7 @@ func NewSeq(cfg Config) (*Seq, error) {
 	for i := range s.threads {
 		t := &seqThread{id: i, sys: s}
 		t.tx.t = t
+		t.tx.res = cfg.NewReserver()
 		t.stats.Tracer = cfg.NewTracer()
 		if cfg.ProfileSets {
 			t.tx.readLines = make(map[mem.Line]struct{})
@@ -84,14 +85,19 @@ func (t *seqThread) AtomicAt(b BlockID, fn func(Tx)) {
 		if Attempt(&t.tx, fn) {
 			break
 		}
-		// Only a user Restart can get here; sequential code has no
-		// conflicts, so a restart loop would be an application bug, but we
-		// honor the retry semantics anyway.
+		// A user Restart or a terminal allocation miss gets here; sequential
+		// code has no conflicts, so a restart loop would be an application
+		// bug, but we honor the retry semantics anyway.
 		aborts++
 		t.stats.Aborts++
-		t.stats.RecordAbort(b, CauseExplicitRetry, 0, NoBlock)
-		t.stats.Tracer.Emit(trace.EvAbort, CauseExplicitRetry, t.id, int32(b), 0)
+		t.stats.RecordAbort(b, t.tx.info.Cause, t.tx.info.Key, t.tx.info.Blame)
+		t.stats.Tracer.Emit(trace.EvAbort, t.tx.info.Cause, t.id, int32(b), 0)
+		t.tx.res.OnAbort()
+		if t.tx.info.Err != nil {
+			t.tx.info.BailAlloc()
+		}
 	}
+	t.tx.res.OnCommit()
 	t.stats.Commits++
 	t.sys.cfg.Watch.Bump(t.id)
 	t.stats.Tracer.Emit(trace.EvCommit, CauseUnknown, t.id, int32(b), 0)
@@ -110,6 +116,8 @@ func (t *seqThread) AtomicAt(b BlockID, fn func(Tx)) {
 // seqTx applies every barrier directly to the arena.
 type seqTx struct {
 	t          *seqThread
+	res        *mem.Reserver
+	info       AbortInfo
 	loads      uint64
 	stores     uint64
 	readLines  map[mem.Line]struct{} // nil unless profiling
@@ -117,6 +125,7 @@ type seqTx struct {
 }
 
 func (x *seqTx) reset() {
+	x.info.Reset()
 	x.loads, x.stores = 0, 0
 	if x.readLines != nil {
 		clear(x.readLines)
@@ -140,8 +149,21 @@ func (x *seqTx) Store(a mem.Addr, v uint64) {
 	x.t.sys.cfg.Arena.Store(a, v)
 }
 
-func (x *seqTx) Alloc(n int) mem.Addr { return x.t.sys.cfg.Arena.Alloc(n) }
-func (x *seqTx) Free(mem.Addr)        {}
+// Alloc carves from the thread's reserver; a capacity miss unwinds the
+// block with AllocFailure (after one accounted alloc-exhausted abort) just
+// like the concurrent runtimes, so the harness sees one typed failure shape
+// everywhere.
+func (x *seqTx) Alloc(n int) mem.Addr {
+	a, err := x.res.TxAlloc(n)
+	if err != nil {
+		x.info.FailAlloc(err)
+	}
+	return a
+}
+
+// Free defers the release to commit time and recycles through the thread's
+// free lists (sequential blocks always commit unless explicitly restarted).
+func (x *seqTx) Free(a mem.Addr, n int) { x.res.TxFree(a, n) }
 
 func (x *seqTx) EarlyRelease(a mem.Addr) {
 	if x.readLines != nil {
@@ -151,4 +173,4 @@ func (x *seqTx) EarlyRelease(a mem.Addr) {
 
 func (x *seqTx) Peek(a mem.Addr) uint64 { return x.t.sys.cfg.Arena.Load(a) }
 
-func (x *seqTx) Restart() { Retry() }
+func (x *seqTx) Restart() { x.info.Fail(CauseExplicitRetry, 0, NoBlock) }

@@ -63,7 +63,11 @@ type Mem interface {
 	Load(a mem.Addr) uint64
 	Store(a mem.Addr, v uint64)
 	Alloc(n int) mem.Addr
-	Free(a mem.Addr)
+	// Free releases the n-word block at a (n is the size passed to the
+	// Alloc that produced it). Inside a transaction the free is deferred to
+	// commit and recycled through the thread's free lists (see
+	// mem.Reserver); mem.Direct ignores it.
+	Free(a mem.Addr, n int)
 }
 
 // Tx is the per-attempt transactional context handed to atomic blocks.
@@ -157,6 +161,14 @@ type Config struct {
 	// value disables reservation entirely (every tx.Alloc hits the shared
 	// pointer, the pre-reservation behavior — the ablation arm).
 	AllocChunk int
+
+	// NoRecycle disables the per-thread free-list recycling of
+	// transactional allocation (mem.Reserver): tx.Free drops its argument,
+	// aborted attempts leak their allocations, and chunk tails abandoned at
+	// refill are never reused — the seed allocator's behavior, kept as the
+	// ablation arm (BenchmarkAblationTransactionalFree) and for A/B
+	// comparisons of arena high-water growth. Recycling is on by default.
+	NoRecycle bool
 
 	// MVVersions is the per-stripe version-ring depth of the stm-mv
 	// runtime: how many committed (version, address, value) records each
@@ -407,10 +419,34 @@ func (c Config) ReserveChunk() int {
 	return chunk
 }
 
+// NewReserver builds one worker slot's allocation handle per the config:
+// chunk size from ReserveChunk, free-list recycling per NoRecycle. Every
+// runtime constructor calls this once per thread so tx.Alloc/tx.Free share
+// one policy across protocols.
+func (c Config) NewReserver() *mem.Reserver {
+	r := c.Arena.NewReserver(c.ReserveChunk())
+	r.SetRecycle(!c.NoRecycle)
+	return r
+}
+
 // RetrySignal is the panic value used to unwind an aborted attempt. It is
 // exported so runtime subpackages (tl2, htmsim, hybrid) can raise it; the
 // application-facing way to raise it is Tx.Restart.
 type RetrySignal struct{}
+
+// AllocFailure is the panic value that unwinds an atomic block after a real
+// (non-injected) arena capacity miss: the attempt first aborts normally
+// with CauseAllocExhausted — releasing protocol resources and keeping the
+// taxonomy closed — then the retry loop, seeing AbortInfo.Err set, raises
+// AllocFailure instead of retrying (exhaustion does not heal by optimism).
+// Attempt does NOT recover it: it propagates out of Atomic/AtomicAt to the
+// harness and the serving mode, which convert it into an error wrapping
+// mem.ErrArenaFull. Err is that error.
+type AllocFailure struct{ Err error }
+
+// Error lets AllocFailure read as an error in contexts that stringify
+// recovered panic values.
+func (f AllocFailure) Error() string { return f.Err.Error() }
 
 // Retry aborts the current attempt. It never returns.
 func Retry() { panic(RetrySignal{}) }

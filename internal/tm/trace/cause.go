@@ -58,6 +58,14 @@ const (
 	// escalator drains in-flight peers, runs alone, and must commit; the
 	// displaced victims retry once it releases the irrevocability token.
 	CauseKilledForIrrevocable
+	// CauseAllocExhausted is a tx.Alloc that found the arena (and the
+	// thread's recycling free lists) out of capacity. The attempt aborts
+	// once with this cause for the taxonomy's sake, then the block unwinds
+	// with a typed failure (tm.AllocFailure → mem.ErrArenaFull) instead of
+	// retrying — exhaustion is not cured by optimism. The chaos failpoint
+	// "alloc-exhaust" injects the abort spuriously (without the unwind), so
+	// the recovery path is deterministically testable.
+	CauseAllocExhausted
 
 	// NumCauses bounds the per-cause counter arrays.
 	NumCauses
@@ -76,6 +84,7 @@ var causeNames = [NumCauses]string{
 	CauseExplicitRetry:        "explicit-retry",
 	CauseMVVersionMissing:     "mv-version-missing",
 	CauseKilledForIrrevocable: "killed-for-irrevocable",
+	CauseAllocExhausted:       "alloc-exhausted",
 }
 
 // String returns the registry name of the cause (e.g. "write-write").

@@ -113,8 +113,15 @@ const (
 	CauseExplicitRetry        = tm.CauseExplicitRetry
 	CauseMVVersionMissing     = tm.CauseMVVersionMissing
 	CauseKilledForIrrevocable = tm.CauseKilledForIrrevocable
+	CauseAllocExhausted       = tm.CauseAllocExhausted
 	NumCauses                 = tm.NumCauses
 )
+
+// ErrArenaFull is the typed arena-capacity sentinel: a tx.Alloc that found
+// the arena out of words aborts its attempt with CauseAllocExhausted and
+// surfaces from Run / Serve as an error wrapping this (never a panic).
+// Match with errors.Is.
+var ErrArenaFull = mem.ErrArenaFull
 
 // ErrStalled is the distinguishable error Run (and the commands' -timeout
 // flag, and the serving harness — see Serve) reports when the progress

@@ -52,6 +52,16 @@ const (
 // its bounded queue is full rather than buffering without bound.
 var ErrQueueFull = server.ErrQueueFull
 
+// ErrDeadline reports a served request that exceeded
+// ServerOptions.RequestDeadline (admission to completion, queue wait and
+// epoch-swap hold time included).
+var ErrDeadline = server.ErrDeadline
+
+// ErrRetriesExhausted reports a served request that hit arena exhaustion on
+// every attempt of its ServerOptions.RequestRetries budget, each retry
+// behind an epoch swap.
+var ErrRetriesExhausted = server.ErrRetriesExhausted
+
 // Serve starts a serving-mode instance: it populates the store in a fresh
 // long-lived arena, starts opt.Workers worker goroutines (one tm.Thread
 // slot each), and begins accepting requests. The caller owns the lifecycle
